@@ -1,0 +1,119 @@
+// bench_detection — E7: the §2.2 claim that proxies, by logging invalid
+// requests and correlating server child crashes, can identify probing
+// sources — and that evading detection forces the attacker to a smaller
+// effective probe rate (the mechanism behind κ < 1).
+//
+// We run the LIVE FORTRESS deployment with the attacker's indirect rate
+// swept from aggressive to stealthy and report: time until every proxy has
+// blacklisted the attacker, and how many probes (= eliminated key
+// candidates) the attacker managed before being shut out. The punchline:
+// probes-before-detection is bounded regardless of rate, so the patient
+// attacker gains nothing but time — and the impatient one is caught in a
+// step or two.
+#include <cstdio>
+#include <memory>
+
+#include "attack/derand_attacker.hpp"
+#include "core/live_system.hpp"
+#include "replication/service.hpp"
+
+using namespace fortress;
+
+namespace {
+
+struct Run {
+  double rate;                 // indirect probes per unit step
+  double blacklist_time;       // sim time when ALL proxies blacklisted (-1 = never)
+  std::uint64_t probes_sent;   // indirect probes before full blacklisting
+  std::uint64_t crashes;       // server child crashes caused
+};
+
+Run run_once(double rate, std::uint32_t threshold, double window) {
+  sim::Simulator sim;
+  core::LiveConfig cfg;
+  cfg.keyspace = 1 << 16;  // large: the attack will not succeed by luck
+  cfg.policy = osl::ObfuscationPolicy::Rerandomize;
+  cfg.step_duration = 100.0;
+  cfg.seed = 11;
+  cfg.proxy_blacklist = true;
+  cfg.detection.threshold = threshold;
+  cfg.detection.window = window;
+  core::LiveS2 system(sim, cfg,
+                      [](std::uint32_t) {
+                        return std::make_unique<replication::KvService>();
+                      });
+  system.start();
+  sim.run_until(5.0);
+
+  attack::AttackerConfig acfg;
+  acfg.keyspace = cfg.keyspace;
+  acfg.step_duration = cfg.step_duration;
+  acfg.probes_per_step = 0.0001;  // direct channel idle; isolate indirect
+  acfg.indirect_probes_per_step = rate;
+  acfg.seed = 23;
+  attack::DerandAttacker attacker(sim, system.network(), acfg);
+  attacker.set_indirect_channel(system.directory().proxies);
+  attacker.start();
+
+  Run out{rate, -1.0, 0, 0};
+  const double horizon = 100.0 * 400;
+  while (sim.now() < horizon) {
+    sim.run_until(sim.now() + 50.0);
+    int blacklisting = 0;
+    for (int i = 0; i < system.n_proxies(); ++i) {
+      if (system.proxy(i).blacklisted("attacker")) ++blacklisting;
+    }
+    if (blacklisting == system.n_proxies()) {
+      out.blacklist_time = sim.now();
+      break;
+    }
+  }
+  out.probes_sent = attacker.stats().indirect_probes;
+  for (int i = 0; i < system.n_servers(); ++i) {
+    out.crashes += system.server_machine(i).child_crashes();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: proxy probe-source detection vs attacker pacing\n");
+  std::printf("(live FORTRESS deployment, detection threshold = 5 events "
+              "per 500-unit window, unit step = 100)\n\n");
+  std::printf("%18s %18s %16s %14s\n", "indirect rate", "blacklisted at",
+              "probes before", "child crashes");
+  std::printf("%18s %18s %16s %14s\n", "(probes/step)", "(time units)",
+              "shut-out", "caused");
+  for (int i = 0; i < 68; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  bool bounded = true;
+  std::uint64_t max_probes = 0;
+  for (double rate : {50.0, 20.0, 10.0, 5.0, 2.0, 1.0}) {
+    Run r = run_once(rate, 5, 500.0);
+    std::printf("%18.1f %18.1f %16llu %14llu\n", r.rate, r.blacklist_time,
+                static_cast<unsigned long long>(r.probes_sent),
+                static_cast<unsigned long long>(r.crashes));
+    if (r.blacklist_time < 0) bounded = false;
+    max_probes = std::max(max_probes, r.probes_sent);
+  }
+  for (int i = 0; i < 68; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  // A rate slow enough to stay under the threshold: the kappa mechanism.
+  Run stealthy = run_once(0.5, 5, 500.0);
+  std::printf("\nStealthy attacker at 0.5 probes/step: blacklisted at %s, "
+              "probes delivered = %llu\n",
+              stealthy.blacklist_time < 0 ? "never" : "some point",
+              static_cast<unsigned long long>(stealthy.probes_sent));
+  std::printf("\nAll attackers above the detection rate are shut out: %s\n",
+              bounded ? "PASS" : "FAIL");
+  std::printf("Probes deliverable before shut-out stay bounded (max %llu of "
+              "65536 candidates): %s\n",
+              static_cast<unsigned long long>(max_probes),
+              max_probes < 65536 / 100 ? "PASS" : "FAIL");
+  std::printf("=> evading detection forces the attacker to a reduced "
+              "effective rate: this is Definition 5's kappa < 1.\n");
+  return bounded ? 0 : 1;
+}

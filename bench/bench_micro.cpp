@@ -1,0 +1,132 @@
+// bench_micro — E12: google-benchmark microbenchmarks for the computational
+// kernels: SHA-256, HMAC, message codec, Markov-chain solving, Monte-Carlo
+// trial rates and the discrete-event simulator core.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/markov.hpp"
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "model/lifetime_sim.hpp"
+#include "replication/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace fortress;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key = bytes_of("principal-secret");
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(4096);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  crypto::KeyRegistry registry(1);
+  crypto::SigningKey key = registry.enroll("server-0");
+  replication::Message msg;
+  msg.type = replication::MsgType::Response;
+  msg.request_id = {"client", 42};
+  msg.payload = Bytes(256, 0x11);
+  replication::sign_message(msg, key);
+  for (auto _ : state) {
+    Bytes wire = msg.encode();
+    auto decoded = replication::Message::decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_SignVerify(benchmark::State& state) {
+  crypto::KeyRegistry registry(1);
+  crypto::SigningKey key = registry.enroll("server-0");
+  replication::Message msg;
+  msg.payload = Bytes(256, 0x22);
+  for (auto _ : state) {
+    replication::sign_message(msg, key);
+    benchmark::DoNotOptimize(replication::verify_message(msg, registry));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_MarkovChainSolve(benchmark::State& state) {
+  model::AttackParams p;
+  p.alpha = 1e-3;
+  p.kappa = 0.5;
+  p.period = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::expected_lifetime_markov(model::SystemShape::s2(), p));
+  }
+}
+BENCHMARK(BM_MarkovChainSolve)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_LifetimeTrialSo(benchmark::State& state) {
+  model::AttackParams p;
+  p.alpha = 1e-4;
+  p.kappa = 0.5;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::simulate_lifetime(
+        model::SystemShape::s2(), p, model::Obfuscation::StartupOnly,
+        model::Granularity::Step, rng, 1ull << 40));
+  }
+}
+BENCHMARK(BM_LifetimeTrialSo);
+
+void BM_LifetimeTrialPoProbe(benchmark::State& state) {
+  model::AttackParams p;
+  p.alpha = 1e-3;
+  p.kappa = 0.5;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::simulate_lifetime(
+        model::SystemShape::s2(), p, model::Obfuscation::Proactive,
+        model::Granularity::Probe, rng, 1ull << 40));
+  }
+}
+BENCHMARK(BM_LifetimeTrialPoProbe);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 1000) sim.schedule_after(1.0, chain);
+    };
+    sim.schedule_after(1.0, chain);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RngGeometric(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.geometric(1e-6));
+  }
+}
+BENCHMARK(BM_RngGeometric);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// bench_trends — verifies the four headline §6 trends across the full §5
+// parameter range, with the methods the paper uses (closed forms, Markov
+// chains, Monte-Carlo for S2SO).
+//
+//   Trend 1: S1SO outlives S0SO.
+//   Trend 2: S2PO and S1PO outlive all SO systems.
+//   Trend 3: S2PO outlives S1PO when kappa <= 0.9.
+//   Trend 4: S0PO outlives S2PO except when kappa = 0.
+// Summary chain: S0PO --(k>0)--> S2PO --(k<=0.9)--> S1PO -> S1SO -> S0SO.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/step_model.hpp"
+
+using namespace fortress;
+using namespace fortress::bench;
+
+int main() {
+  const std::vector<double> alphas = {1e-5, 1e-4, 1e-3, 1e-2};
+  const std::vector<double> kappas = {0.0, 0.1, 0.3, 0.5, 0.7, 0.9};
+
+  bool t1 = true, t2 = true, t3 = true, t4 = true;
+
+  std::printf("Trend verification over alpha in [1e-5, 1e-2] "
+              "(chi = 2^16)\n\n");
+  std::printf("%10s %12s %12s %12s %12s %12s | %6s %6s\n", "alpha", "S0SO",
+              "S1SO", "S2SO(k=.5)", "S1PO", "S0PO", "T1", "T2");
+  rule(100);
+  for (double alpha : alphas) {
+    model::AttackParams p;
+    p.alpha = alpha;
+    p.kappa = 0.5;
+    p.chi = 1ull << 16;
+    double s0so = evaluate_el(shape_of(model::SystemKind::S0), p,
+                              model::Obfuscation::StartupOnly).el;
+    double s1so = evaluate_el(shape_of(model::SystemKind::S1), p,
+                              model::Obfuscation::StartupOnly).el;
+    double s2so = evaluate_el(shape_of(model::SystemKind::S2), p,
+                              model::Obfuscation::StartupOnly).el;
+    double s1po = evaluate_el(shape_of(model::SystemKind::S1), p,
+                              model::Obfuscation::Proactive).el;
+    double s0po = evaluate_el(shape_of(model::SystemKind::S0), p,
+                              model::Obfuscation::Proactive).el;
+
+    bool t1_here = s1so > s0so;
+    t1 = t1 && t1_here;
+
+    // Trend 2 for every kappa: S2PO and S1PO beat every SO system.
+    bool t2_here = true;
+    double max_so = std::max({s0so, s1so, s2so});
+    if (s1po <= max_so) t2_here = false;
+    for (double kappa : kappas) {
+      model::AttackParams pk = p;
+      pk.kappa = kappa;
+      double s2po = model::expected_lifetime_po(model::SystemShape::s2(), pk);
+      if (s2po <= max_so) t2_here = false;
+    }
+    t2 = t2 && t2_here;
+
+    std::printf("%10.0e %12.4g %12.4g %12.4g %12.4g %12.4g | %6s %6s\n",
+                alpha, s0so, s1so, s2so, s1po, s0po, pass(t1_here),
+                pass(t2_here));
+  }
+
+  std::printf("\n%10s %10s %14s %14s %14s | %6s %6s\n", "alpha", "kappa",
+              "S2PO", "S1PO", "S0PO", "T3", "T4");
+  rule(96);
+  for (double alpha : alphas) {
+    for (double kappa : kappas) {
+      model::AttackParams p;
+      p.alpha = alpha;
+      p.kappa = kappa;
+      p.chi = 1ull << 16;
+      double s2po = model::expected_lifetime_po(model::SystemShape::s2(), p);
+      double s1po = model::expected_lifetime_po(model::SystemShape::s1(), p);
+      double s0po = model::expected_lifetime_po(model::SystemShape::s0(), p);
+      bool t3_here = (kappa > 0.9) || (s2po > s1po);
+      bool t4_here = (kappa == 0.0) ? (s2po > s0po) : (s0po > s2po);
+      t3 = t3 && t3_here;
+      t4 = t4 && t4_here;
+      std::printf("%10.0e %10.2f %14.5g %14.5g %14.5g | %6s %6s\n", alpha,
+                  kappa, s2po, s1po, s0po, pass(t3_here), pass(t4_here));
+    }
+  }
+
+  std::printf("\nCrossover kappa* where S2PO = S1PO (paper bound: > 0.9):\n");
+  for (double alpha : alphas) {
+    model::AttackParams p;
+    p.alpha = alpha;
+    p.chi = 1ull << 16;
+    std::printf("  alpha=%8.0e  kappa* = %.4f\n", alpha,
+                model::s2_vs_s1_kappa_crossover(p));
+  }
+
+  std::printf("\nTrend 1 (S1SO -> S0SO):                    %s\n", pass(t1));
+  std::printf("Trend 2 (S2PO, S1PO -> all SO):            %s\n", pass(t2));
+  std::printf("Trend 3 (S2PO -> S1PO for kappa <= 0.9):   %s\n", pass(t3));
+  std::printf("Trend 4 (S0PO -> S2PO except kappa = 0):   %s\n", pass(t4));
+  bool all = t1 && t2 && t3 && t4;
+  std::printf("Summary chain: %s\n", pass(all));
+  return all ? 0 : 1;
+}

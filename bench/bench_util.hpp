@@ -1,0 +1,60 @@
+// bench_util.hpp — shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "model/params.hpp"
+#include "montecarlo/engine.hpp"
+
+namespace fortress::bench {
+
+/// Evaluate EL with the best available method, mirroring §5: analytic
+/// (closed form / Markov) when it exists, Monte-Carlo otherwise. Returns the
+/// EL and the method label.
+struct ElResult {
+  double el = 0.0;
+  std::string method;
+  bool censored = false;
+};
+
+inline model::SystemShape shape_of(model::SystemKind kind, int n_proxies = 3) {
+  switch (kind) {
+    case model::SystemKind::S0: return model::SystemShape::s0();
+    case model::SystemKind::S1: return model::SystemShape::s1();
+    case model::SystemKind::S2: return model::SystemShape::s2(n_proxies);
+  }
+  return model::SystemShape::s1();
+}
+
+inline ElResult evaluate_el(const model::SystemShape& shape,
+                            const model::AttackParams& params,
+                            model::Obfuscation obf,
+                            std::uint64_t mc_trials = 200000,
+                            std::uint64_t seed = 2026) {
+  if (auto analytic = analysis::analytic_lifetime(shape, params, obf)) {
+    return {analytic->expected_lifetime,
+            analysis::to_string(analytic->method), false};
+  }
+  montecarlo::McConfig cfg;
+  cfg.trials = mc_trials;
+  cfg.seed = seed;
+  cfg.max_steps = 1ull << 40;
+  cfg.threads = 4;
+  auto mc = montecarlo::estimate_lifetime(shape, params, obf,
+                                          model::Granularity::Step, cfg);
+  return {mc.expected_lifetime(), "monte-carlo", mc.any_censored()};
+}
+
+/// Print a horizontal rule sized to `width`.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline const char* pass(bool ok) { return ok ? "PASS" : "FAIL"; }
+
+}  // namespace fortress::bench

@@ -1,0 +1,166 @@
+// derand_attack — watch a de-randomization attacker break a directly
+// exposed primary-backup system (S1), then fail against the same servers
+// fortified with proxies (S2) under proactive obfuscation.
+//
+//   $ ./derand_attack
+//
+// The keyspace is kept small (chi = 512) so the attack timeline fits in a
+// short run; all the mechanisms (probe pacing, crash side channel, forking
+// daemon, launch pads, re-randomization) are the real ones from the paper.
+#include <cstdio>
+#include <memory>
+
+#include "attack/derand_attacker.hpp"
+#include "core/live_system.hpp"
+#include "replication/service.hpp"
+
+using namespace fortress;
+
+namespace {
+
+constexpr std::uint64_t kChi = 512;
+constexpr double kStep = 100.0;
+
+core::LiveConfig live_config(osl::ObfuscationPolicy policy) {
+  core::LiveConfig cfg;
+  cfg.keyspace = kChi;
+  cfg.policy = policy;
+  cfg.step_duration = kStep;
+  cfg.seed = 2026;
+  return cfg;
+}
+
+core::ServiceFactory kv() {
+  return [](std::uint32_t) { return std::make_unique<replication::KvService>(); };
+}
+
+void report(const char* label, const core::LiveSystem& system,
+            const attack::AttackerStats& stats, std::uint64_t horizon_steps) {
+  std::printf("%s\n", label);
+  if (system.failure_step()) {
+    std::printf("  COMPROMISED during step %llu\n",
+                static_cast<unsigned long long>(*system.failure_step()));
+  } else {
+    std::printf("  survived all %llu steps\n",
+                static_cast<unsigned long long>(horizon_steps));
+  }
+  std::printf("  attacker: %llu direct probes, %llu indirect probes, "
+              "%llu crashes observed, %llu nodes compromised, %llu keys "
+              "learned\n\n",
+              static_cast<unsigned long long>(stats.direct_probes),
+              static_cast<unsigned long long>(stats.indirect_probes),
+              static_cast<unsigned long long>(stats.crashes_caused),
+              static_cast<unsigned long long>(stats.compromises),
+              static_cast<unsigned long long>(stats.keys_learned));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kHorizon = 100;  // steps per scenario
+  constexpr double kOmega = 16.0;          // probes per channel per step
+  std::printf("De-randomization attack walkthrough (chi = %llu, omega = %.0f "
+              "probes/step, horizon = %llu steps)\n\n",
+              static_cast<unsigned long long>(kChi), kOmega,
+              static_cast<unsigned long long>(kHorizon));
+
+  // --- Scenario 1: S1 with proactive RECOVERY (startup-only keys) --------
+  {
+    sim::Simulator sim;
+    core::LiveS1 system(sim, live_config(osl::ObfuscationPolicy::Recover),
+                        kv());
+    system.start();
+    attack::AttackerConfig acfg;
+    acfg.keyspace = kChi;
+    acfg.step_duration = kStep;
+    acfg.probes_per_step = kOmega;
+    attack::DerandAttacker attacker(sim, system.network(), acfg);
+    for (int i = 0; i < system.n_servers(); ++i) {
+      attacker.add_direct_target(system.server_machine(i));
+    }
+    attacker.start();
+    sim.run_until(kStep * kHorizon);
+    report("[1] S1, proactive recovery (keys fixed at startup):", system,
+           attacker.stats(), kHorizon);
+  }
+
+  // --- Scenario 2: S1 with proactive OBFUSCATION -------------------------
+  {
+    sim::Simulator sim;
+    core::LiveS1 system(sim, live_config(osl::ObfuscationPolicy::Rerandomize),
+                        kv());
+    system.start();
+    attack::AttackerConfig acfg;
+    acfg.keyspace = kChi;
+    acfg.step_duration = kStep;
+    acfg.probes_per_step = kOmega;
+    attack::DerandAttacker attacker(sim, system.network(), acfg);
+    for (int i = 0; i < system.n_servers(); ++i) {
+      attacker.add_direct_target(system.server_machine(i));
+    }
+    attacker.start();
+    sim.run_until(kStep * kHorizon);
+    report("[2] S1, proactive obfuscation (fresh keys every step):", system,
+           attacker.stats(), kHorizon);
+  }
+
+  // --- Scenario 3: FORTRESS (S2), attacker must go through proxies -------
+  {
+    sim::Simulator sim;
+    auto cfg = live_config(osl::ObfuscationPolicy::Rerandomize);
+    cfg.proxy_blacklist = false;  // even without detection, kappa < 1 helps
+    core::LiveS2 system(sim, cfg, kv());
+    system.start();
+    sim.run_until(5.0);
+    attack::AttackerConfig acfg;
+    acfg.keyspace = kChi;
+    acfg.step_duration = kStep;
+    acfg.probes_per_step = kOmega;
+    acfg.indirect_probes_per_step = kOmega / 4.0;  // kappa = 0.25
+    attack::DerandAttacker attacker(sim, system.network(), acfg);
+    for (int i = 0; i < system.n_proxies(); ++i) {
+      attacker.add_direct_target(system.proxy_machine(i));
+      attacker.add_launchpad(system.proxy_machine(i),
+                             system.server_addresses());
+    }
+    attacker.set_indirect_channel(system.directory().proxies);
+    attacker.start();
+    sim.run_until(kStep * kHorizon);
+    report("[3] S2/FORTRESS, proactive obfuscation, kappa = 0.25:", system,
+           attacker.stats(), kHorizon);
+  }
+
+  // --- Scenario 4: FORTRESS with detection enabled -----------------------
+  {
+    sim::Simulator sim;
+    auto cfg = live_config(osl::ObfuscationPolicy::Rerandomize);
+    cfg.proxy_blacklist = true;
+    cfg.detection.threshold = 5;
+    cfg.detection.window = 500.0;
+    core::LiveS2 system(sim, cfg, kv());
+    system.start();
+    sim.run_until(5.0);
+    attack::AttackerConfig acfg;
+    acfg.keyspace = kChi;
+    acfg.step_duration = kStep;
+    acfg.probes_per_step = kOmega;
+    acfg.indirect_probes_per_step = kOmega;  // greedy: gets detected
+    attack::DerandAttacker attacker(sim, system.network(), acfg);
+    attacker.set_indirect_channel(system.directory().proxies);
+    attacker.start();
+    sim.run_until(kStep * kHorizon);
+    int blacklisted = 0;
+    for (int i = 0; i < system.n_proxies(); ++i) {
+      if (system.proxy(i).blacklisted("attacker")) ++blacklisted;
+    }
+    report("[4] S2/FORTRESS with proxy detection, greedy indirect attacker:",
+           system, attacker.stats(), kHorizon);
+    std::printf("    (attacker blacklisted by %d of %d proxies)\n",
+                blacklisted, system.n_proxies());
+  }
+
+  std::printf("Takeaway: recovery alone falls to a key sweep; obfuscation "
+              "resets the sweep; proxies throttle the only remaining "
+              "channel and detect the source.\n");
+  return 0;
+}

@@ -1,0 +1,255 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+#include "model/step_model.hpp"
+
+namespace fortress::analysis {
+
+AbsorbingChain::AbsorbingChain(Matrix transition, std::size_t transient_count)
+    : p_(std::move(transition)), t_(transient_count) {
+  FORTRESS_EXPECTS(p_.rows() == p_.cols());
+  FORTRESS_EXPECTS(t_ < p_.rows());
+  a_ = p_.rows() - t_;
+  // Validate row-stochasticity of transient rows.
+  for (std::size_t i = 0; i < t_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < p_.cols(); ++j) {
+      FORTRESS_EXPECTS(p_(i, j) >= -1e-12);
+      sum += p_(i, j);
+    }
+    FORTRESS_EXPECTS(std::fabs(sum - 1.0) < 1e-9);
+  }
+}
+
+Matrix AbsorbingChain::q() const {
+  Matrix out(t_, t_);
+  for (std::size_t i = 0; i < t_; ++i) {
+    for (std::size_t j = 0; j < t_; ++j) out(i, j) = p_(i, j);
+  }
+  return out;
+}
+
+Matrix AbsorbingChain::r() const {
+  Matrix out(t_, a_);
+  for (std::size_t i = 0; i < t_; ++i) {
+    for (std::size_t j = 0; j < a_; ++j) out(i, j) = p_(i, t_ + j);
+  }
+  return out;
+}
+
+std::vector<double> AbsorbingChain::expected_steps_to_absorption() const {
+  Matrix i_minus_q = Matrix::identity(t_) - q();
+  LuDecomposition lu(std::move(i_minus_q));
+  std::vector<double> ones(t_, 1.0);
+  return lu.solve(ones);
+}
+
+Matrix AbsorbingChain::fundamental_matrix() const {
+  return inverse(Matrix::identity(t_) - q());
+}
+
+Matrix AbsorbingChain::absorption_probabilities() const {
+  Matrix i_minus_q = Matrix::identity(t_) - q();
+  LuDecomposition lu(std::move(i_minus_q));
+  return lu.solve(r());
+}
+
+namespace {
+
+double binomial_pmf(int n, double p, int k) {
+  double coeff = 1.0;
+  for (int i = 0; i < k; ++i) {
+    coeff *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return coeff * std::pow(p, k) * std::pow(1.0 - p, n - k);
+}
+
+}  // namespace
+
+PoChain build_po_chain(const model::SystemShape& shape,
+                       const model::AttackParams& params) {
+  shape.validate();
+  params.validate();
+  const double a = params.alpha;
+  const double ka = params.kappa * params.alpha;
+  const std::uint32_t period = params.period;
+
+  // Enumerate transient states. Encoding depends on the system class:
+  //  S1: single state (memoryless channel).
+  //  S0: (phase, k) with k in 0..smr_compromise-1 compromised nodes.
+  //  S2: (phase, j) with j in 0..np-1 compromised proxies.
+  struct State {
+    std::uint32_t phase;
+    int count;
+  };
+  std::vector<State> states;
+  std::map<std::pair<std::uint32_t, int>, std::size_t> index;
+  auto add_state = [&](std::uint32_t phase, int count) {
+    index[{phase, count}] = states.size();
+    states.push_back(State{phase, count});
+  };
+
+  int max_count = 0;
+  switch (shape.kind) {
+    case model::SystemKind::S1:
+      add_state(0, 0);
+      break;
+    case model::SystemKind::S0:
+      max_count = shape.smr_compromise - 1;
+      for (std::uint32_t ph = 0; ph < period; ++ph) {
+        for (int k = 0; k <= max_count; ++k) add_state(ph, k);
+      }
+      break;
+    case model::SystemKind::S2:
+      max_count = shape.n_proxies - 1;
+      for (std::uint32_t ph = 0; ph < period; ++ph) {
+        for (int j = 0; j <= max_count; ++j) add_state(ph, j);
+      }
+      break;
+  }
+
+  const std::size_t t = states.size();
+  const std::size_t n = t + 1;  // one absorbing "compromised" state
+  Matrix trans(n, n);
+  trans(t, t) = 1.0;  // absorbing self-loop
+
+  auto next_index = [&](std::uint32_t phase, int count) -> std::size_t {
+    std::uint32_t next_phase = phase + 1;
+    if (next_phase >= period) {
+      // Re-randomization boundary: everything cleansed.
+      next_phase = 0;
+      count = 0;
+    }
+    auto it = index.find({next_phase, count});
+    FORTRESS_CHECK(it != index.end());
+    return it->second;
+  };
+
+  for (std::size_t si = 0; si < t; ++si) {
+    const State st = states[si];
+    switch (shape.kind) {
+      case model::SystemKind::S1: {
+        trans(si, t) += a;
+        trans(si, si) += 1.0 - a;
+        break;
+      }
+      case model::SystemKind::S0: {
+        const int intact = shape.n_servers - st.count;
+        for (int fall = 0; fall <= intact; ++fall) {
+          double pf = binomial_pmf(intact, a, fall);
+          int total = st.count + fall;
+          if (total >= shape.smr_compromise) {
+            trans(si, t) += pf;
+          } else {
+            trans(si, next_index(st.phase, total)) += pf;
+          }
+        }
+        break;
+      }
+      case model::SystemKind::S2: {
+        const int np = shape.n_proxies;
+        const int intact = np - st.count;
+        for (int fall = 0; fall <= intact; ++fall) {
+          double pf = binomial_pmf(intact, a, fall);
+          int total = st.count + fall;
+          if (total >= np) {
+            trans(si, t) += pf;  // all proxies: compromised outright
+            continue;
+          }
+          // Server routes this step: indirect always; direct if any proxy is
+          // compromised by the end of the step.
+          double server_survives =
+              (1.0 - ka) * (total >= 1 ? (1.0 - a) : 1.0);
+          trans(si, t) += pf * (1.0 - server_survives);
+          trans(si, next_index(st.phase, total)) += pf * server_survives;
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(t);
+  for (const State& st : states) {
+    names.push_back("phase=" + std::to_string(st.phase) +
+                    ",fallen=" + std::to_string(st.count));
+  }
+  return PoChain{AbsorbingChain(std::move(trans), t), 0, std::move(names)};
+}
+
+double expected_lifetime_markov(const model::SystemShape& shape,
+                                const model::AttackParams& params) {
+  PoChain pc = build_po_chain(shape, params);
+  std::vector<double> steps = pc.chain.expected_steps_to_absorption();
+  double el = steps[pc.initial_state] - 1.0;
+  FORTRESS_ENSURES(el >= -1e-9);
+  return el < 0.0 ? 0.0 : el;
+}
+
+S2RouteProbabilities s2_route_probabilities(const model::SystemShape& shape,
+                                            const model::AttackParams& params) {
+  shape.validate();
+  params.validate();
+  FORTRESS_EXPECTS(shape.kind == model::SystemKind::S2);
+  const double a = params.alpha;
+  const double ka = params.kappa * params.alpha;
+  const std::uint32_t period = params.period;
+  const int np = shape.n_proxies;
+
+  // Transient states: (phase, j) with j in 0..np-1; absorbing states:
+  // 0 = indirect, 1 = via-proxy, 2 = all-proxies (offsets from t).
+  const std::size_t t = static_cast<std::size_t>(period) *
+                        static_cast<std::size_t>(np);
+  const std::size_t n = t + 3;
+  Matrix trans(n, n);
+  for (std::size_t abs = t; abs < n; ++abs) trans(abs, abs) = 1.0;
+
+  auto state_index = [&](std::uint32_t phase, int j) {
+    return static_cast<std::size_t>(phase) * static_cast<std::size_t>(np) +
+           static_cast<std::size_t>(j);
+  };
+  auto next_index = [&](std::uint32_t phase, int j) {
+    std::uint32_t next_phase = phase + 1;
+    if (next_phase >= period) return state_index(0, 0);
+    return state_index(next_phase, j);
+  };
+
+  for (std::uint32_t phase = 0; phase < period; ++phase) {
+    for (int j = 0; j < np; ++j) {
+      const std::size_t si = state_index(phase, j);
+      const int intact = np - j;
+      for (int fall = 0; fall <= intact; ++fall) {
+        double pf = binomial_pmf(intact, a, fall);
+        int total = j + fall;
+        if (total >= np) {
+          trans(si, t + 2) += pf;  // all proxies
+          continue;
+        }
+        // Within the step: the indirect route fires with κα; otherwise the
+        // via-proxy route fires with α when a pad exists. This matches the
+        // decomposition 1 - (1-κα)(1-α)^[pad] and the simulator's route
+        // sampling order.
+        const bool pad = total >= 1;
+        double p_indirect = ka;
+        double p_via = pad ? (1.0 - ka) * a : 0.0;
+        double p_survive = 1.0 - p_indirect - p_via;
+        trans(si, t + 0) += pf * p_indirect;
+        trans(si, t + 1) += pf * p_via;
+        trans(si, next_index(phase, total)) += pf * p_survive;
+      }
+    }
+  }
+
+  AbsorbingChain chain(std::move(trans), t);
+  Matrix b = chain.absorption_probabilities();
+  S2RouteProbabilities out;
+  out.server_indirect = b(0, 0);
+  out.server_via_proxy = b(0, 1);
+  out.all_proxies = b(0, 2);
+  return out;
+}
+
+}  // namespace fortress::analysis

@@ -1,0 +1,80 @@
+// matrix.hpp — dense linear algebra for absorbing-Markov-chain analysis.
+//
+// Small, self-contained: row-major dense matrices, LU decomposition with
+// partial pivoting, and linear solves. Sized for the chains this library
+// builds (tens to a few thousand states).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fortress::analysis {
+
+/// Row-major dense matrix of doubles. Value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    FORTRESS_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    FORTRESS_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+
+  /// Multiply by a vector (length == cols()).
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  /// Max-absolute-element norm.
+  double max_abs() const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting (Doolittle). Throws
+/// std::runtime_error on (numerically) singular input.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);
+
+  /// Solve A x = b. Precondition: b.size() == n.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve for multiple right-hand sides (columns of B).
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant (product of U diagonal, signed by the permutation).
+  double determinant() const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// Invert a square matrix via LU. Throws on singular input.
+Matrix inverse(const Matrix& a);
+
+}  // namespace fortress::analysis

@@ -1,0 +1,96 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace fortress {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: non-hex character");
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) * 16 +
+                                            hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_of(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+void append_u64_be(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void append_u32_be(Bytes& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+std::uint64_t read_u64_be(BytesView data, std::size_t offset) {
+  if (offset + 8 > data.size()) {
+    throw std::out_of_range("read_u64_be: buffer too small");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | data[offset + i];
+  }
+  return v;
+}
+
+std::uint32_t read_u32_be(BytesView data, std::size_t offset) {
+  if (offset + 4 > data.size()) {
+    throw std::out_of_range("read_u32_be: buffer too small");
+  }
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v = (v << 8) | data[offset + i];
+  }
+  return v;
+}
+
+void append(Bytes& out, BytesView data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+bool equal_constant_time(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace fortress

@@ -1,0 +1,51 @@
+// bytes.hpp — byte-buffer utilities shared by the crypto and network layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fortress {
+
+/// Raw octet buffer. Value semantics; used for wire messages and digests.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over octets (does not own).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode a buffer as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decode lowercase/uppercase hex into bytes. Throws std::invalid_argument on
+/// odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copy a string's characters into a byte buffer (no encoding change).
+Bytes bytes_of(std::string_view s);
+
+/// Interpret a byte buffer as a string (no encoding change).
+std::string string_of(BytesView data);
+
+/// Append the big-endian encoding of a 64-bit integer to `out`.
+void append_u64_be(Bytes& out, std::uint64_t v);
+
+/// Append the big-endian encoding of a 32-bit integer to `out`.
+void append_u32_be(Bytes& out, std::uint32_t v);
+
+/// Read a big-endian 64-bit integer from `data` at `offset`.
+/// Throws std::out_of_range if fewer than 8 bytes remain.
+std::uint64_t read_u64_be(BytesView data, std::size_t offset);
+
+/// Read a big-endian 32-bit integer from `data` at `offset`.
+/// Throws std::out_of_range if fewer than 4 bytes remain.
+std::uint32_t read_u32_be(BytesView data, std::size_t offset);
+
+/// Append `data` to `out`.
+void append(Bytes& out, BytesView data);
+
+/// Constant-time equality (length leak only); used for MAC comparison.
+bool equal_constant_time(BytesView a, BytesView b);
+
+}  // namespace fortress

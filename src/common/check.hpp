@@ -1,0 +1,52 @@
+// check.hpp — precondition/postcondition/invariant checking.
+//
+// Following the C++ Core Guidelines (I.5/I.7), interface contracts are
+// expressed as executable checks. Violations throw ContractViolation so tests
+// can assert on them; they are never compiled out (the library is a research
+// artifact where catching logic errors early outweighs the branch cost).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fortress {
+
+/// Thrown when a FORTRESS_EXPECTS / FORTRESS_ENSURES / FORTRESS_CHECK fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace fortress
+
+/// Precondition check: argument/state requirements at function entry.
+#define FORTRESS_EXPECTS(cond)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fortress::detail::contract_fail("Precondition", #cond, __FILE__,     \
+                                        __LINE__);                           \
+  } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define FORTRESS_ENSURES(cond)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fortress::detail::contract_fail("Postcondition", #cond, __FILE__,    \
+                                        __LINE__);                           \
+  } while (false)
+
+/// Internal invariant check.
+#define FORTRESS_CHECK(cond)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fortress::detail::contract_fail("Invariant", #cond, __FILE__,        \
+                                        __LINE__);                           \
+  } while (false)

@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace fortress {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& line) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << line << '\n';
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace fortress

@@ -1,0 +1,52 @@
+// log.hpp — minimal leveled logger.
+//
+// The library is a simulation substrate, so logging is off (Warn) by default
+// and deterministic: no timestamps from the wall clock, only the virtual
+// simulation time supplied by the caller.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fortress {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (already formatted) at `level` to stderr.
+void log_line(LogLevel level, const std::string& line);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+
+  LogStream(LogLevel lvl, const char* component) : level(lvl) {
+    os << "[" << log_level_name(lvl) << "] [" << component << "] ";
+  }
+  ~LogStream() { log_line(level, os.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace fortress
+
+#define FORTRESS_LOG(level, component)                        \
+  if (static_cast<int>(level) < static_cast<int>(::fortress::log_level())) { \
+  } else                                                      \
+    ::fortress::detail::LogStream(level, component)
+
+#define FORTRESS_LOG_DEBUG(component) FORTRESS_LOG(::fortress::LogLevel::Debug, component)
+#define FORTRESS_LOG_INFO(component) FORTRESS_LOG(::fortress::LogLevel::Info, component)
+#define FORTRESS_LOG_WARN(component) FORTRESS_LOG(::fortress::LogLevel::Warn, component)
+#define FORTRESS_LOG_ERROR(component) FORTRESS_LOG(::fortress::LogLevel::Error, component)

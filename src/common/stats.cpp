@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fortress {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  FORTRESS_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  FORTRESS_EXPECTS(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::min() const {
+  FORTRESS_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  FORTRESS_EXPECTS(n_ > 0);
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  std::uint64_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) /
+                            static_cast<double>(n);
+  double m2 = m2_ + other.m2_ +
+              delta * delta * static_cast<double>(n_) *
+                  static_cast<double>(other.n_) / static_cast<double>(n);
+  n_ = n;
+  mean_ = mean;
+  m2_ = m2;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+ConfidenceInterval normal_ci(const RunningStats& stats, double level) {
+  FORTRESS_EXPECTS(stats.count() > 1);
+  double z;
+  if (level >= 0.989) {
+    z = 2.5758293035489004;  // 99%
+  } else if (level >= 0.949) {
+    z = 1.959963984540054;  // 95%
+  } else {
+    z = 1.6448536269514722;  // 90%
+  }
+  double half = z * stats.stderr_mean();
+  return ConfidenceInterval{stats.mean() - half, stats.mean() + half, level};
+}
+
+double quantile(std::vector<double> data, double q) {
+  FORTRESS_EXPECTS(!data.empty());
+  FORTRESS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) return data[0];
+  double pos = q * static_cast<double>(data.size() - 1);
+  std::size_t i = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(i);
+  if (i + 1 >= data.size()) return data.back();
+  return data[i] * (1.0 - frac) + data[i + 1] * frac;
+}
+
+double relative_error(double a, double b, double eps) {
+  double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace fortress

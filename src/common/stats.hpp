@@ -1,0 +1,58 @@
+// stats.hpp — summary statistics for Monte-Carlo estimation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fortress {
+
+/// Welford's online mean/variance accumulator. O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  /// Precondition: count() > 0.
+  double mean() const;
+  /// Sample variance (n-1 denominator). Precondition: count() > 1.
+  double variance() const;
+  /// Sample standard deviation. Precondition: count() > 1.
+  double stddev() const;
+  /// Standard error of the mean. Precondition: count() > 1.
+  double stderr_mean() const;
+  double min() const;
+  double max() const;
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi] around a mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+
+  bool contains(double x) const { return lo <= x && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Normal-approximation CI for the mean of `stats` at the given confidence
+/// level (supported levels: 0.90, 0.95, 0.99). Precondition: count() > 1.
+ConfidenceInterval normal_ci(const RunningStats& stats, double level = 0.95);
+
+/// Linear-interpolation quantile of a sample (q in [0,1]). The input vector
+/// is copied and sorted. Precondition: data non-empty.
+double quantile(std::vector<double> data, double q);
+
+/// Relative error |a-b| / max(|a|,|b|, eps).
+double relative_error(double a, double b, double eps = 1e-300);
+
+}  // namespace fortress

@@ -1,0 +1,145 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fortress::core {
+
+using replication::Message;
+using replication::MsgType;
+using replication::RequestId;
+
+Client::Client(sim::Simulator& sim, net::Network& network,
+               const crypto::KeyRegistry& registry, Directory directory,
+               ClientConfig config)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      directory_(std::move(directory)),
+      config_(std::move(config)) {
+  FORTRESS_EXPECTS(directory_.fortified() || !directory_.server_addrs.empty());
+  network_.attach(config_.address, *this);
+}
+
+Client::~Client() { network_.detach(config_.address); }
+
+std::uint64_t Client::submit(Bytes request, ResponseCallback on_response,
+                             TimeoutCallback on_timeout) {
+  std::uint64_t seq = ++next_seq_;
+  Outstanding out;
+  out.request = std::move(request);
+  out.on_response = std::move(on_response);
+  out.on_timeout = std::move(on_timeout);
+  out.submitted_at = sim_.now();
+  outstanding_.emplace(seq, std::move(out));
+  ++stats_.submitted;
+  broadcast_request(seq);
+  schedule_retry(seq);
+  return seq;
+}
+
+void Client::broadcast_request(std::uint64_t seq) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;
+  Message msg;
+  msg.type = MsgType::Request;
+  msg.request_id = RequestId{config_.address, seq};
+  msg.requester = config_.address;
+  msg.payload = it->second.request;
+  Bytes wire = msg.encode();
+  const auto& targets =
+      directory_.fortified() ? directory_.proxies : directory_.server_addrs;
+  for (const net::Address& target : targets) {
+    network_.send(config_.address, target, wire);
+  }
+}
+
+void Client::schedule_retry(std::uint64_t seq) {
+  sim_.schedule_after(config_.retry_interval, [this, seq] {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // already completed
+    if (config_.deadline > 0.0 &&
+        sim_.now() - it->second.submitted_at >= config_.deadline) {
+      ++stats_.expired;
+      auto cb = it->second.on_timeout;
+      outstanding_.erase(it);
+      if (cb) cb(seq);
+      return;
+    }
+    ++stats_.retries;
+    broadcast_request(seq);
+    schedule_retry(seq);
+  });
+}
+
+bool Client::acceptable(const Message& msg, Outstanding& out) {
+  const auto& principals = directory_.server_principals;
+  auto known_server = [&](const std::string& name) {
+    return std::find(principals.begin(), principals.end(), name) !=
+           principals.end();
+  };
+
+  if (directory_.fortified()) {
+    // Double-signature rule: over-signature by a known proxy AND inner
+    // signature by a known server principal.
+    if (msg.type != MsgType::ProxyResponse) return false;
+    if (!msg.signature || !msg.over_signature) return false;
+    if (!known_server(msg.signature->signer.name)) return false;
+    auto proxy_known =
+        std::find(directory_.proxies.begin(), directory_.proxies.end(),
+                  msg.over_signature->signer.name) != directory_.proxies.end();
+    if (!proxy_known) return false;
+    return replication::verify_message(msg, registry_) &&
+           replication::verify_over_signature(msg, registry_);
+  }
+
+  if (msg.type != MsgType::Response) return false;
+  if (!msg.signature || !known_server(msg.signature->signer.name)) {
+    return false;
+  }
+  if (!replication::verify_message(msg, registry_)) return false;
+
+  if (directory_.replication == ReplicationType::PrimaryBackup) {
+    return true;  // one authentic response suffices under the crash model
+  }
+
+  // SMR: collect matching votes from f+1 distinct principals.
+  std::string key = to_hex(msg.payload);
+  out.votes[key].insert(msg.signature->signer.name);
+  out.vote_payloads[key] = msg.payload;
+  return out.votes[key].size() >= directory_.f + 1;
+}
+
+void Client::on_message(const net::Envelope& env) {
+  auto msg = Message::decode(env.payload);
+  if (!msg) return;
+  if (msg->type != MsgType::Response && msg->type != MsgType::ProxyResponse) {
+    return;
+  }
+  if (msg->request_id.client != config_.address) return;
+  auto it = outstanding_.find(msg->request_id.seq);
+  if (it == outstanding_.end()) return;  // duplicate of a completed request
+  if (!acceptable(*msg, it->second)) {
+    ++stats_.rejected_responses;
+    return;
+  }
+  complete(msg->request_id.seq, msg->payload);
+}
+
+void Client::complete(std::uint64_t seq, const Bytes& response) {
+  auto it = outstanding_.find(seq);
+  FORTRESS_EXPECTS(it != outstanding_.end());
+  latency_sum_ += sim_.now() - it->second.submitted_at;
+  ++stats_.completed;
+  auto cb = it->second.on_response;
+  outstanding_.erase(it);
+  if (cb) cb(seq, response);
+}
+
+double Client::mean_latency() const {
+  if (stats_.completed == 0) return 0.0;
+  return latency_sum_ / static_cast<double>(stats_.completed);
+}
+
+}  // namespace fortress::core

@@ -1,0 +1,94 @@
+// client.hpp — the client library (§3 acceptance rules).
+//
+// A client sends each request to all proxies (fortified) or all servers
+// (1-tier) and accepts a response when the deployment's validity rule is
+// met:
+//   * S2/FORTRESS: the response carries TWO authentic signatures — one from
+//     the proxy that forwarded it and one from a known server principal;
+//   * S0/SMR:      f+1 matching responses signed by distinct server
+//                  principals (one is guaranteed correct);
+//   * S1/PB:       one authentic server-signed response (crash model).
+// Unanswered requests are re-sent every retry_interval until the deadline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/directory.hpp"
+#include "crypto/signature.hpp"
+#include "net/network.hpp"
+#include "replication/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::core {
+
+struct ClientConfig {
+  net::Address address = "client";
+  sim::Time retry_interval = 25.0;
+  /// Give up (and report failure) after this long. 0 = never.
+  sim::Time deadline = 0.0;
+};
+
+struct ClientStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rejected_responses = 0;  ///< failed a signature/validity rule
+  std::uint64_t expired = 0;
+};
+
+class Client final : public net::Handler {
+ public:
+  /// `on_response(seq, response)`; `on_timeout(seq)` if a deadline is set.
+  using ResponseCallback = std::function<void(std::uint64_t, const Bytes&)>;
+  using TimeoutCallback = std::function<void(std::uint64_t)>;
+
+  Client(sim::Simulator& sim, net::Network& network,
+         const crypto::KeyRegistry& registry, Directory directory,
+         ClientConfig config);
+  ~Client() override;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submit a request; returns its client-local sequence number.
+  std::uint64_t submit(Bytes request, ResponseCallback on_response,
+                       TimeoutCallback on_timeout = nullptr);
+
+  const ClientStats& stats() const { return stats_; }
+  const net::Address& address() const { return config_.address; }
+
+  /// Latency of completed requests (sum / count), for the overhead bench.
+  double mean_latency() const;
+
+  void on_message(const net::Envelope& env) override;
+
+ private:
+  struct Outstanding {
+    Bytes request;
+    ResponseCallback on_response;
+    TimeoutCallback on_timeout;
+    sim::Time submitted_at = 0.0;
+    /// SMR vote collection: response bytes -> signer principals.
+    std::map<std::string, std::set<std::string>> votes;
+    std::map<std::string, Bytes> vote_payloads;
+  };
+
+  void broadcast_request(std::uint64_t seq);
+  void schedule_retry(std::uint64_t seq);
+  bool acceptable(const replication::Message& msg, Outstanding& out);
+  void complete(std::uint64_t seq, const Bytes& response);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  const crypto::KeyRegistry& registry_;
+  Directory directory_;
+  ClientConfig config_;
+  ClientStats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  double latency_sum_ = 0.0;
+};
+
+}  // namespace fortress::core

@@ -1,0 +1,243 @@
+#include "core/live_system.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fortress::core {
+
+LiveSystem::LiveSystem(sim::Simulator& sim, LiveConfig config)
+    : sim_(sim), config_(config), registry_(config.seed ^ 0xF0F0F0F0ULL) {
+  net::NetworkConfig net_cfg;
+  net_cfg.rng_seed = config.seed ^ 0xABCDULL;
+  network_ = std::make_unique<net::Network>(
+      sim,
+      std::make_unique<net::UniformLatency>(config.latency_lo,
+                                            config.latency_hi),
+      net_cfg);
+  osl::ObfuscationConfig obf_cfg;
+  obf_cfg.step_duration = config.step_duration;
+  obf_cfg.policy = config.policy;
+  obf_cfg.keyspace = config.keyspace;
+  obf_cfg.rng_seed = config.seed ^ 0x5EEDULL;
+  scheduler_ = std::make_unique<osl::ObfuscationScheduler>(sim, obf_cfg);
+}
+
+std::optional<std::uint64_t> LiveSystem::failure_step() const {
+  if (!failure_time_) return std::nullopt;
+  return static_cast<std::uint64_t>(*failure_time_ / config_.step_duration);
+}
+
+void LiveSystem::latch_failure() {
+  if (!failure_time_) failure_time_ = sim_.now();
+}
+
+void LiveSystem::watch(osl::Machine& machine) {
+  machine.add_compromise_listener([this](osl::Machine&) {
+    if (compromise_rule()) latch_failure();
+  });
+}
+
+// --- LiveS1 -----------------------------------------------------------------
+
+LiveS1::LiveS1(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
+               int n_servers, const std::string& prefix)
+    : LiveSystem(sim, config) {
+  FORTRESS_EXPECTS(n_servers >= 1);
+  FORTRESS_EXPECTS(factory != nullptr);
+  std::vector<net::Address> addrs;
+  for (int i = 0; i < n_servers; ++i) {
+    addrs.push_back(prefix + "-server-" + std::to_string(i));
+  }
+  replication::PbConfig pb;
+  pb.replicas = addrs;
+  pb.heartbeat_interval = config.heartbeat_interval;
+  pb.failover_timeout = config.failover_timeout;
+
+  std::vector<osl::Machine*> group;
+  for (int i = 0; i < n_servers; ++i) {
+    auto machine = std::make_unique<osl::Machine>(
+        *network_, osl::MachineConfig{addrs[static_cast<std::size_t>(i)],
+                                      config.keyspace});
+    pb.index = static_cast<std::uint32_t>(i);
+    auto replica = std::make_unique<replication::PbReplica>(
+        sim_, *network_, registry_,
+        factory(static_cast<std::uint32_t>(i)), pb);
+    machine->set_application(replica.get());
+    watch(*machine);
+    group.push_back(machine.get());
+    machines_.push_back(std::move(machine));
+    replicas_.push_back(std::move(replica));
+  }
+  // One shared key for the whole PB tier (§3).
+  scheduler_->add_shared_group(group);
+
+  directory_.replication = ReplicationType::PrimaryBackup;
+  directory_.f = 0;
+  directory_.server_addrs = addrs;
+  directory_.server_principals = addrs;  // principals == addresses
+  nameserver_ = std::make_unique<NameServer>(*network_, registry_, directory_);
+}
+
+void LiveS1::start() {
+  scheduler_->boot_all();
+  for (auto& r : replicas_) r->start();
+  scheduler_->start();
+}
+
+bool LiveS1::compromise_rule() const {
+  for (const auto& m : machines_) {
+    if (m->compromised()) return true;
+  }
+  return false;
+}
+
+// --- LiveS0 -----------------------------------------------------------------
+
+LiveS0::LiveS0(sim::Simulator& sim, LiveConfig config,
+               DeterministicServiceFactory factory, std::uint32_t f,
+               const std::string& prefix)
+    : LiveSystem(sim, config) {
+  FORTRESS_EXPECTS(factory != nullptr);
+  const std::uint32_t n = 3 * f + 1;
+  std::vector<net::Address> addrs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    addrs.push_back(prefix + "-replica-" + std::to_string(i));
+  }
+  replication::SmrConfig smr;
+  smr.f = f;
+  smr.replicas = addrs;
+  smr.heartbeat_interval = config.heartbeat_interval;
+  smr.progress_timeout = config.failover_timeout;
+
+  std::vector<osl::Machine*> batch;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto machine = std::make_unique<osl::Machine>(
+        *network_, osl::MachineConfig{addrs[i], config.keyspace});
+    smr.index = i;
+    auto replica = std::make_unique<replication::SmrReplica>(
+        sim_, *network_, registry_, factory(i), smr);
+    machine->set_application(replica.get());
+    watch(*machine);
+    batch.push_back(machine.get());
+    machines_.push_back(std::move(machine));
+    replicas_.push_back(std::move(replica));
+  }
+  // Distinct keys, staggered reboot batches (Roeder-Schneider).
+  scheduler_->add_staggered_batch(batch);
+
+  directory_.replication = ReplicationType::StateMachine;
+  directory_.f = f;
+  directory_.server_addrs = addrs;
+  directory_.server_principals = addrs;
+  nameserver_ = std::make_unique<NameServer>(*network_, registry_, directory_);
+}
+
+void LiveS0::start() {
+  scheduler_->boot_all();
+  for (auto& r : replicas_) r->start();
+  scheduler_->start();
+}
+
+int LiveS0::currently_compromised() const {
+  int count = 0;
+  for (const auto& m : machines_) {
+    if (m->compromised()) ++count;
+  }
+  return count;
+}
+
+bool LiveS0::compromise_rule() const {
+  // Definition 1: compromised as soon as more than one node is compromised.
+  return currently_compromised() >= 2;
+}
+
+// --- LiveS2 -----------------------------------------------------------------
+
+LiveS2::LiveS2(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
+               int n_servers, int n_proxies, const std::string& prefix)
+    : LiveSystem(sim, config) {
+  FORTRESS_EXPECTS(factory != nullptr);
+  FORTRESS_EXPECTS(n_servers >= 1 && n_proxies >= 1);
+  for (int i = 0; i < n_servers; ++i) {
+    server_addrs_.push_back(prefix + "-server-" + std::to_string(i));
+  }
+  std::vector<net::Address> proxy_addrs;
+  for (int i = 0; i < n_proxies; ++i) {
+    proxy_addrs.push_back(prefix + "-proxy-" + std::to_string(i));
+  }
+
+  replication::PbConfig pb;
+  pb.replicas = server_addrs_;
+  pb.heartbeat_interval = config.heartbeat_interval;
+  pb.failover_timeout = config.failover_timeout;
+
+  std::vector<osl::Machine*> server_group;
+  for (int i = 0; i < n_servers; ++i) {
+    auto machine = std::make_unique<osl::Machine>(
+        *network_,
+        osl::MachineConfig{server_addrs_[static_cast<std::size_t>(i)],
+                           config.keyspace});
+    pb.index = static_cast<std::uint32_t>(i);
+    auto replica = std::make_unique<replication::PbReplica>(
+        sim_, *network_, registry_, factory(static_cast<std::uint32_t>(i)),
+        pb);
+    machine->set_application(replica.get());
+    watch(*machine);
+    server_group.push_back(machine.get());
+    server_machines_.push_back(std::move(machine));
+    replicas_.push_back(std::move(replica));
+  }
+  scheduler_->add_shared_group(server_group);
+
+  proxy::ProxyConfig pxy;
+  pxy.servers = server_addrs_;
+  pxy.blacklist_enabled = config.proxy_blacklist;
+  pxy.detection = config.detection;
+  for (int i = 0; i < n_proxies; ++i) {
+    pxy.address = proxy_addrs[static_cast<std::size_t>(i)];
+    osl::MachineConfig mc{pxy.address, config.keyspace};
+    mc.processes_request_payloads = false;  // proxies do no processing (§3)
+    auto machine = std::make_unique<osl::Machine>(*network_, mc);
+    auto node = std::make_unique<proxy::ProxyNode>(sim_, *network_, registry_,
+                                                   pxy);
+    machine->set_application(node.get());
+    watch(*machine);
+    scheduler_->add_machine(*machine);  // individually distinct proxy keys
+    proxy_machines_.push_back(std::move(machine));
+    proxies_.push_back(std::move(node));
+  }
+
+  // Clients learn proxies' addresses and servers' principal names (indices)
+  // — NOT server addresses (§3).
+  directory_.replication = ReplicationType::PrimaryBackup;
+  directory_.f = 0;
+  directory_.proxies = proxy_addrs;
+  directory_.server_principals = server_addrs_;
+  nameserver_ = std::make_unique<NameServer>(*network_, registry_, directory_);
+}
+
+void LiveS2::start() {
+  scheduler_->boot_all();
+  for (auto& r : replicas_) r->start();
+  for (auto& p : proxies_) p->start();
+  scheduler_->start();
+}
+
+int LiveS2::currently_compromised_proxies() const {
+  int count = 0;
+  for (const auto& m : proxy_machines_) {
+    if (m->compromised()) ++count;
+  }
+  return count;
+}
+
+bool LiveS2::compromise_rule() const {
+  for (const auto& m : server_machines_) {
+    if (m->compromised()) return true;
+  }
+  return currently_compromised_proxies() ==
+         static_cast<int>(proxy_machines_.size());
+}
+
+}  // namespace fortress::core

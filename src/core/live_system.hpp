@@ -1,0 +1,171 @@
+// live_system.hpp — assembled, runnable deployments of the paper's three
+// system classes (Definitions 1-3) on the simulation substrate.
+//
+// Each Live* owns its network, key registry, name-server, randomized
+// machines, replica/proxy applications and obfuscation scheduler, and
+// exposes the class-specific compromise predicate:
+//   LiveS0: 4-replica SMR, distinct keys, staggered recovery; compromised
+//           when >= 2 replicas are simultaneously controlled.
+//   LiveS1: 3-replica primary-backup, one shared key, direct clients;
+//           compromised when any replica is controlled.
+//   LiveS2: FORTRESS — 3 proxies (distinct keys) fronting the LiveS1 server
+//           tier (shared key); compromised when any server is controlled or
+//           all proxies are simultaneously controlled.
+//
+// The compromise predicate is latched: the moment it first holds, failed()
+// becomes true and failure_time() records the simulation time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/directory.hpp"
+#include "core/nameserver.hpp"
+#include "crypto/signature.hpp"
+#include "net/network.hpp"
+#include "osl/machine.hpp"
+#include "osl/obfuscation.hpp"
+#include "proxy/proxy_node.hpp"
+#include "replication/pb_replica.hpp"
+#include "replication/smr_replica.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::core {
+
+struct LiveConfig {
+  std::uint64_t keyspace = 1ull << 16;  ///< χ
+  osl::ObfuscationPolicy policy = osl::ObfuscationPolicy::Rerandomize;
+  sim::Time step_duration = 100.0;  ///< the unit time-step
+  sim::Time latency_lo = 0.1;
+  sim::Time latency_hi = 0.5;
+  std::uint64_t seed = 1;
+  sim::Time heartbeat_interval = 5.0;
+  sim::Time failover_timeout = 20.0;
+  bool proxy_blacklist = true;
+  proxy::DetectionConfig detection{};
+};
+
+/// Factory for the replicated service instance each replica runs.
+using ServiceFactory =
+    std::function<std::unique_ptr<replication::Service>(std::uint32_t index)>;
+using DeterministicServiceFactory =
+    std::function<std::unique_ptr<replication::DeterministicService>(
+        std::uint32_t index)>;
+
+/// Common machinery shared by the three deployments.
+class LiveSystem {
+ public:
+  virtual ~LiveSystem() = default;
+  LiveSystem(const LiveSystem&) = delete;
+  LiveSystem& operator=(const LiveSystem&) = delete;
+
+  net::Network& network() { return *network_; }
+  crypto::KeyRegistry& registry() { return registry_; }
+  const Directory& directory() const { return directory_; }
+  osl::ObfuscationScheduler& scheduler() { return *scheduler_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Boot machines, start applications and the obfuscation clock.
+  virtual void start() = 0;
+
+  /// Latched compromise predicate.
+  bool failed() const { return failure_time_.has_value(); }
+  std::optional<sim::Time> failure_time() const { return failure_time_; }
+  /// Whole unit steps elapsed before compromise (the live EL sample).
+  std::optional<std::uint64_t> failure_step() const;
+
+  std::uint64_t steps_completed() const { return scheduler_->steps_completed(); }
+
+ protected:
+  LiveSystem(sim::Simulator& sim, LiveConfig config);
+
+  void latch_failure();
+  /// Called on every machine compromise; subclasses evaluate their rule.
+  virtual bool compromise_rule() const = 0;
+  void watch(osl::Machine& machine);
+
+  sim::Simulator& sim_;
+  LiveConfig config_;
+  crypto::KeyRegistry registry_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<osl::ObfuscationScheduler> scheduler_;
+  Directory directory_;
+  std::unique_ptr<NameServer> nameserver_;
+  std::optional<sim::Time> failure_time_;
+};
+
+/// S1: 1-tier primary-backup (Definition 2).
+class LiveS1 final : public LiveSystem {
+ public:
+  LiveS1(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
+         int n_servers = 3, const std::string& prefix = "s1");
+
+  void start() override;
+
+  osl::Machine& server_machine(int i) { return *machines_.at(static_cast<std::size_t>(i)); }
+  replication::PbReplica& server(int i) { return *replicas_.at(static_cast<std::size_t>(i)); }
+  int n_servers() const { return static_cast<int>(machines_.size()); }
+
+ private:
+  bool compromise_rule() const override;
+
+  std::vector<std::unique_ptr<osl::Machine>> machines_;
+  std::vector<std::unique_ptr<replication::PbReplica>> replicas_;
+};
+
+/// S0: 1-tier state-machine replication (Definition 1).
+class LiveS0 final : public LiveSystem {
+ public:
+  LiveS0(sim::Simulator& sim, LiveConfig config,
+         DeterministicServiceFactory factory, std::uint32_t f = 1,
+         const std::string& prefix = "s0");
+
+  void start() override;
+
+  osl::Machine& server_machine(int i) { return *machines_.at(static_cast<std::size_t>(i)); }
+  replication::SmrReplica& server(int i) { return *replicas_.at(static_cast<std::size_t>(i)); }
+  int n_servers() const { return static_cast<int>(machines_.size()); }
+  int currently_compromised() const;
+
+ private:
+  bool compromise_rule() const override;
+
+  std::vector<std::unique_ptr<osl::Machine>> machines_;
+  std::vector<std::unique_ptr<replication::SmrReplica>> replicas_;
+};
+
+/// S2: the FORTRESS deployment (Definition 3).
+class LiveS2 final : public LiveSystem {
+ public:
+  LiveS2(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
+         int n_servers = 3, int n_proxies = 3,
+         const std::string& prefix = "s2");
+
+  void start() override;
+
+  osl::Machine& proxy_machine(int i) { return *proxy_machines_.at(static_cast<std::size_t>(i)); }
+  osl::Machine& server_machine(int i) { return *server_machines_.at(static_cast<std::size_t>(i)); }
+  proxy::ProxyNode& proxy(int i) { return *proxies_.at(static_cast<std::size_t>(i)); }
+  replication::PbReplica& server(int i) { return *replicas_.at(static_cast<std::size_t>(i)); }
+  int n_proxies() const { return static_cast<int>(proxy_machines_.size()); }
+  int n_servers() const { return static_cast<int>(server_machines_.size()); }
+  /// The server addresses, which clients never learn (attack code uses them
+  /// only through a compromised proxy's identity).
+  const std::vector<net::Address>& server_addresses() const { return server_addrs_; }
+  int currently_compromised_proxies() const;
+
+ private:
+  bool compromise_rule() const override;
+
+  std::vector<std::unique_ptr<osl::Machine>> proxy_machines_;
+  std::vector<std::unique_ptr<osl::Machine>> server_machines_;
+  std::vector<std::unique_ptr<proxy::ProxyNode>> proxies_;
+  std::vector<std::unique_ptr<replication::PbReplica>> replicas_;
+  std::vector<net::Address> server_addrs_;
+};
+
+}  // namespace fortress::core

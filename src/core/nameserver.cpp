@@ -1,0 +1,31 @@
+#include "core/nameserver.hpp"
+
+#include "replication/message.hpp"
+
+namespace fortress::core {
+
+using replication::Message;
+using replication::MsgType;
+
+NameServer::NameServer(net::Network& network, crypto::KeyRegistry& registry,
+                       Directory directory)
+    : network_(network),
+      key_(registry.enroll(kNameServerAddress)),
+      directory_(std::move(directory)) {
+  network_.attach(kNameServerAddress, *this);
+}
+
+NameServer::~NameServer() { network_.detach(kNameServerAddress); }
+
+void NameServer::on_message(const net::Envelope& env) {
+  auto msg = Message::decode(env.payload);
+  if (!msg || msg->type != MsgType::NsLookup) return;
+  Message reply;
+  reply.type = MsgType::NsReply;
+  reply.requester = env.from;
+  reply.aux = directory_.encode();
+  replication::sign_message(reply, key_);
+  network_.send(kNameServerAddress, env.from, reply.encode());
+}
+
+}  // namespace fortress::core

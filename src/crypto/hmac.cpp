@@ -1,0 +1,39 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace fortress::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  std::array<std::uint8_t, kBlock> key_block{};
+
+  if (key.size() > kBlock) {
+    Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad, opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(message);
+  Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest derive_key(BytesView key, BytesView label) {
+  return hmac_sha256(key, label);
+}
+
+}  // namespace fortress::crypto

@@ -1,0 +1,46 @@
+#include "crypto/signature.hpp"
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace fortress::crypto {
+
+Signature SigningKey::sign(BytesView message) const {
+  Signature sig;
+  sig.signer = id_;
+  sig.tag = hmac_sha256(BytesView(secret_.data(), secret_.size()), message);
+  return sig;
+}
+
+KeyRegistry::KeyRegistry(std::uint64_t master_seed) {
+  Bytes seed_bytes;
+  append_u64_be(seed_bytes, master_seed);
+  master_ = Sha256::hash(seed_bytes);
+}
+
+Digest KeyRegistry::secret_for(const std::string& name) const {
+  Bytes label = bytes_of("fortress-principal:");
+  append(label, bytes_of(name));
+  return hmac_sha256(BytesView(master_.data(), master_.size()), label);
+}
+
+SigningKey KeyRegistry::enroll(const std::string& name) {
+  Digest secret = secret_for(name);
+  secrets_[name] = secret;
+  return SigningKey(PrincipalId{name}, secret);
+}
+
+bool KeyRegistry::verify(BytesView message, const Signature& sig) const {
+  auto it = secrets_.find(sig.signer.name);
+  if (it == secrets_.end()) return false;
+  Digest expected =
+      hmac_sha256(BytesView(it->second.data(), it->second.size()), message);
+  return equal_constant_time(BytesView(expected.data(), expected.size()),
+                             BytesView(sig.tag.data(), sig.tag.size()));
+}
+
+bool KeyRegistry::is_enrolled(const std::string& name) const {
+  return secrets_.contains(name);
+}
+
+}  // namespace fortress::crypto

@@ -1,0 +1,98 @@
+// signature.hpp — principal identities, signatures, and the trusted key
+// registry.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the paper assumes a conventional PKI
+// (clients know proxies' and servers' public keys through a trusted read-only
+// name-server). The protocol properties FORTRESS needs from signatures are
+// (a) a verifier can bind a message to the signer's identity and (b) nobody
+// without the signer's secret can forge. We realize both with HMAC-SHA256
+// under per-principal secrets held by a process-local trusted KeyRegistry,
+// which plays the role of the CA/PKI. Verification is mediated by the
+// registry exactly the way certificate validation is mediated by trusted
+// roots. No number-theoretic assumption in the paper's analysis depends on
+// the signature implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace fortress::crypto {
+
+/// Identity of a signing principal (client, proxy, server, name-server).
+/// Value type; ordered so it can key maps.
+struct PrincipalId {
+  std::string name;
+
+  auto operator<=>(const PrincipalId&) const = default;
+};
+
+/// A signature: signer identity + 32-byte tag over the message.
+struct Signature {
+  PrincipalId signer;
+  Digest tag{};
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Private signing capability for one principal. Move-only handle obtained
+/// from KeyRegistry::enroll(); holding it is what "knowing the private key"
+/// means in this substrate.
+class SigningKey {
+ public:
+  SigningKey(const SigningKey&) = delete;
+  SigningKey& operator=(const SigningKey&) = delete;
+  SigningKey(SigningKey&&) = default;
+  SigningKey& operator=(SigningKey&&) = default;
+
+  const PrincipalId& id() const { return id_; }
+
+  /// Sign `message` as this principal.
+  Signature sign(BytesView message) const;
+
+ private:
+  friend class KeyRegistry;
+  SigningKey(PrincipalId id, Digest secret) : id_(std::move(id)), secret_(secret) {}
+
+  PrincipalId id_;
+  Digest secret_;
+};
+
+/// The trusted root: generates per-principal secrets and verifies signatures.
+///
+/// One registry instance exists per simulated deployment (it stands in for
+/// the PKI/CA infrastructure plus the trusted name-server's key directory).
+/// It is deliberately NOT reachable by the simulated attacker: the paper's
+/// attack model targets randomization keys, not the signature scheme.
+class KeyRegistry {
+ public:
+  /// Create a registry with a master seed; all principal secrets derive
+  /// deterministically from it.
+  explicit KeyRegistry(std::uint64_t master_seed);
+
+  /// Enroll a principal, returning its private signing key. Enrolling the
+  /// same name twice returns a key with the same secret (idempotent).
+  SigningKey enroll(const std::string& name);
+
+  /// True iff `sig` is a valid signature by `sig.signer` over `message` and
+  /// the signer is enrolled.
+  bool verify(BytesView message, const Signature& sig) const;
+
+  /// True iff a principal with this name has been enrolled.
+  bool is_enrolled(const std::string& name) const;
+
+  std::size_t enrolled_count() const { return secrets_.size(); }
+
+ private:
+  Digest secret_for(const std::string& name) const;
+
+  Digest master_;
+  std::map<std::string, Digest> secrets_;
+};
+
+}  // namespace fortress::crypto

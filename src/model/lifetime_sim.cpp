@@ -1,0 +1,462 @@
+#include "model/lifetime_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "model/step_model.hpp"
+
+namespace fortress::model {
+
+const char* to_string(CompromiseRoute route) {
+  switch (route) {
+    case CompromiseRoute::None: return "none";
+    case CompromiseRoute::SharedKey: return "shared-key";
+    case CompromiseRoute::SmrQuorum: return "smr-quorum";
+    case CompromiseRoute::ServerIndirect: return "server-indirect";
+    case CompromiseRoute::ServerViaProxy: return "server-via-proxy";
+    case CompromiseRoute::AllProxies: return "all-proxies";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// ---------------------------------------------------------------------------
+// Startup-only obfuscation: keys sit at fixed positions in the attacker's
+// candidate order; lifetimes are order-statistic arithmetic.
+// ---------------------------------------------------------------------------
+
+LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
+                           Rng& rng, std::uint64_t max_steps) {
+  const std::uint64_t chi = params.chi;
+  const std::uint64_t omega = params.omega();
+  LifetimeResult out;
+
+  switch (shape.kind) {
+    case SystemKind::S1: {
+      std::uint64_t pos = rng.below(chi) + 1;  // 1..chi
+      std::uint64_t t = ceil_div(pos, omega);
+      if (t - 1 >= max_steps) {
+        out.censored = true;
+        out.whole_steps = max_steps;
+      } else {
+        out.whole_steps = t - 1;
+        out.route = CompromiseRoute::SharedKey;
+      }
+      return out;
+    }
+    case SystemKind::S0: {
+      auto positions = rng.sample_without_replacement(
+          chi, static_cast<std::uint64_t>(shape.n_servers));
+      std::sort(positions.begin(), positions.end());
+      // smr_compromise-th smallest position, 1-based candidates.
+      std::uint64_t pos = positions[static_cast<std::size_t>(
+                              shape.smr_compromise - 1)] + 1;
+      std::uint64_t t = ceil_div(pos, omega);
+      if (t - 1 >= max_steps) {
+        out.censored = true;
+        out.whole_steps = max_steps;
+      } else {
+        out.whole_steps = t - 1;
+        out.route = CompromiseRoute::SmrQuorum;
+      }
+      return out;
+    }
+    case SystemKind::S2: {
+      // Proxy keys: distinct positions in the shared direct candidate order.
+      auto proxy_pos = rng.sample_without_replacement(
+          chi, static_cast<std::uint64_t>(shape.n_proxies));
+      std::sort(proxy_pos.begin(), proxy_pos.end());
+      const double first_proxy = static_cast<double>(proxy_pos.front() + 1);
+      const std::uint64_t t_all =
+          ceil_div(proxy_pos.back() + 1, omega);  // all-proxies route
+
+      // Server key position in its own candidate order.
+      const double v = static_cast<double>(rng.below(chi) + 1);
+
+      // Coverage of the server keyspace over continuous step time s:
+      // indirect at rate κω until τ* (first proxy falls), then direct at ω.
+      const double w = static_cast<double>(omega);
+      const double kw = params.kappa * w;
+      const double tau_star = first_proxy / w;  // in step units
+
+      double t_server_real;
+      if (kw > 0.0 && v <= kw * tau_star) {
+        t_server_real = v / kw;  // found during the indirect phase
+      } else {
+        // Needs the direct phase: coverage(s) = kw*tau* + w*(s - tau*).
+        t_server_real = tau_star + (v - kw * tau_star) / w;
+      }
+      std::uint64_t t_server =
+          static_cast<std::uint64_t>(std::ceil(t_server_real - 1e-12));
+      if (t_server == 0) t_server = 1;
+
+      std::uint64_t t;
+      CompromiseRoute route;
+      if (t_all <= t_server) {
+        t = t_all;
+        route = CompromiseRoute::AllProxies;
+      } else {
+        t = t_server;
+        route = (t_server_real <= tau_star + 1e-12)
+                    ? CompromiseRoute::ServerIndirect
+                    : CompromiseRoute::ServerViaProxy;
+      }
+      if (params.kappa == 0.0 && route == CompromiseRoute::ServerIndirect) {
+        route = CompromiseRoute::ServerViaProxy;
+      }
+      if (t - 1 >= max_steps) {
+        out.censored = true;
+        out.whole_steps = max_steps;
+      } else {
+        out.whole_steps = t - 1;
+        out.route = route;
+      }
+      return out;
+    }
+  }
+  FORTRESS_CHECK(false);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Proactive obfuscation, step granularity: geometric fast-forward with the
+// closed-form per-step probability; the compromise-step composition is then
+// sampled conditioned on compromise (for route attribution).
+// ---------------------------------------------------------------------------
+
+CompromiseRoute sample_route_s2_step(const SystemShape& shape,
+                                     const AttackParams& params, Rng& rng) {
+  // Rejection-sample the compromise-step outcome; the acceptance probability
+  // is the per-step compromise probability, so cap iterations defensively.
+  const double a = params.alpha;
+  for (int iter = 0; iter < 100000; ++iter) {
+    int fallen = 0;
+    for (int j = 0; j < shape.n_proxies; ++j) {
+      if (rng.bernoulli(a)) ++fallen;
+    }
+    if (fallen == shape.n_proxies) return CompromiseRoute::AllProxies;
+    if (rng.bernoulli(params.kappa * a)) return CompromiseRoute::ServerIndirect;
+    if (fallen >= 1 && rng.bernoulli(a)) return CompromiseRoute::ServerViaProxy;
+  }
+  // Vanishingly unlikely; attribute to the dominant route.
+  return (params.kappa > 0.0) ? CompromiseRoute::ServerIndirect
+                              : CompromiseRoute::ServerViaProxy;
+}
+
+LifetimeResult simulate_po_step(const SystemShape& shape,
+                                const AttackParams& params, Rng& rng,
+                                std::uint64_t max_steps) {
+  const double p = per_step_compromise_probability(shape, params);
+  LifetimeResult out;
+  if (p <= 0.0) {
+    out.censored = true;
+    out.whole_steps = max_steps;
+    return out;
+  }
+  std::uint64_t steps = rng.geometric(p);
+  if (steps >= max_steps) {
+    out.censored = true;
+    out.whole_steps = max_steps;
+    return out;
+  }
+  out.whole_steps = steps;
+  switch (shape.kind) {
+    case SystemKind::S0: out.route = CompromiseRoute::SmrQuorum; break;
+    case SystemKind::S1: out.route = CompromiseRoute::SharedKey; break;
+    case SystemKind::S2: out.route = sample_route_s2_step(shape, params, rng); break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Proactive obfuscation, probe granularity: exact skip-ahead simulation.
+// ---------------------------------------------------------------------------
+
+// Per-channel event probabilities within one step:
+//  * proxy / S0-node channel:  q  = omega / chi  (key among first ω candidates)
+//  * server channel (S2):      qs = omega / chi  (coverage can reach ω when a
+//    launch pad appears; whether the key is actually reached depends on the
+//    realized coverage C <= ω, checked per event step).
+LifetimeResult simulate_po_probe(const SystemShape& shape,
+                                 const AttackParams& params, Rng& rng,
+                                 std::uint64_t max_steps) {
+  const std::uint64_t chi = params.chi;
+  const std::uint64_t omega = params.omega();
+  const double q = static_cast<double>(omega) / static_cast<double>(chi);
+  LifetimeResult out;
+
+  const int nchan = (shape.kind == SystemKind::S2)
+                        ? shape.n_proxies + 1   // proxies + server
+                        : shape.n_servers;      // S0 nodes / S1 single channel
+  const int eff_nchan = (shape.kind == SystemKind::S1) ? 1 : nchan;
+
+  // Probability that nothing happens on any channel this step.
+  const double p_quiet = std::pow(1.0 - q, eff_nchan);
+  const double p_event = 1.0 - p_quiet;
+  if (p_event <= 0.0) {
+    out.censored = true;
+    out.whole_steps = max_steps;
+    return out;
+  }
+
+  std::uint64_t steps_elapsed = 0;
+  while (true) {
+    // Skip quiet steps.
+    std::uint64_t quiet = rng.geometric(p_event);
+    if (steps_elapsed + quiet >= max_steps) {
+      out.censored = true;
+      out.whole_steps = max_steps;
+      return out;
+    }
+    steps_elapsed += quiet;
+    // This step has at least one channel event. Sample the event pattern
+    // conditioned on "not all channels quiet": first the number of events
+    // k ~ Bin(n, q) | k >= 1 by inverse transform over the truncated pmf,
+    // then a uniformly random k-subset of channels.
+    std::array<bool, 8> hit{};
+    FORTRESS_CHECK(eff_nchan <= 8);
+    {
+      double u = rng.uniform01() * p_event;  // mass within the k>=1 region
+      int k = 1;
+      double cum = 0.0;
+      for (; k < eff_nchan; ++k) {
+        double coeff = 1.0;
+        for (int i = 0; i < k; ++i) {
+          coeff *= static_cast<double>(eff_nchan - i) /
+                   static_cast<double>(i + 1);
+        }
+        cum += coeff * std::pow(q, k) * std::pow(1.0 - q, eff_nchan - k);
+        if (u < cum) break;
+      }
+      auto chosen = rng.sample_without_replacement(
+          static_cast<std::uint64_t>(eff_nchan),
+          static_cast<std::uint64_t>(k));
+      for (auto c : chosen) hit[static_cast<std::size_t>(c)] = true;
+    }
+
+    switch (shape.kind) {
+      case SystemKind::S1:
+        out.whole_steps = steps_elapsed;
+        out.route = CompromiseRoute::SharedKey;
+        return out;
+      case SystemKind::S0: {
+        int fallen = 0;
+        for (int c = 0; c < eff_nchan; ++c) {
+          if (hit[static_cast<std::size_t>(c)]) ++fallen;
+        }
+        if (fallen >= shape.smr_compromise) {
+          out.whole_steps = steps_elapsed;
+          out.route = CompromiseRoute::SmrQuorum;
+          return out;
+        }
+        break;  // not enough hits; PO resets — continue
+      }
+      case SystemKind::S2: {
+        const int np = shape.n_proxies;
+        int fallen = 0;
+        double first_fraction = 2.0;  // > 1 means "no proxy fell"
+        for (int c = 0; c < np; ++c) {
+          if (!hit[static_cast<std::size_t>(c)]) continue;
+          ++fallen;
+          // Find position within the step: uniform over {1..ω} given a hit.
+          double f = (static_cast<double>(rng.below(omega)) + 1.0) /
+                     static_cast<double>(omega);
+          first_fraction = std::min(first_fraction, f);
+        }
+        if (fallen == np) {
+          out.whole_steps = steps_elapsed;
+          out.route = CompromiseRoute::AllProxies;
+          return out;
+        }
+        const bool server_channel_event = hit[static_cast<std::size_t>(np)];
+        if (server_channel_event) {
+          // Server key lies among the first ω candidates; realized coverage
+          // this step: κω alone, or κω·f* + ω·(1-f*) with a launch pad.
+          const double w = static_cast<double>(omega);
+          const double kw = params.kappa * w;
+          double coverage = kw;
+          if (first_fraction <= 1.0) {
+            coverage = kw * first_fraction + w * (1.0 - first_fraction);
+          }
+          const double v = static_cast<double>(rng.below(omega)) + 1.0;
+          if (v <= coverage) {
+            out.whole_steps = steps_elapsed;
+            // Attribute: reached during the indirect phase iff v <= κω·f*
+            // (no pad: iff v <= κω).
+            const double indirect_cap =
+                (first_fraction <= 1.0) ? kw * first_fraction : kw;
+            out.route = (v <= indirect_cap)
+                            ? CompromiseRoute::ServerIndirect
+                            : CompromiseRoute::ServerViaProxy;
+            if (first_fraction > 1.0) out.route = CompromiseRoute::ServerIndirect;
+            return out;
+          }
+        }
+        break;  // survived the event step; PO resets
+      }
+    }
+
+    ++steps_elapsed;  // the event step itself elapsed without compromise
+    if (steps_elapsed >= max_steps) {
+      out.censored = true;
+      out.whole_steps = max_steps;
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+LifetimeResult simulate_lifetime(const SystemShape& shape,
+                                 const AttackParams& params, Obfuscation obf,
+                                 Granularity gran, Rng& rng,
+                                 std::uint64_t max_steps) {
+  shape.validate();
+  params.validate();
+  FORTRESS_EXPECTS(max_steps > 0);
+  if (obf == Obfuscation::StartupOnly) {
+    return simulate_so(shape, params, rng, max_steps);
+  }
+  if (gran == Granularity::Step) {
+    return simulate_po_step(shape, params, rng, max_steps);
+  }
+  return simulate_po_probe(shape, params, rng, max_steps);
+}
+
+LifetimeResult simulate_lifetime_po_naive(const SystemShape& shape,
+                                          const AttackParams& params, Rng& rng,
+                                          std::uint64_t max_steps) {
+  shape.validate();
+  params.validate();
+  const double a = params.alpha;
+  LifetimeResult out;
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    switch (shape.kind) {
+      case SystemKind::S1:
+        if (rng.bernoulli(a)) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::SharedKey;
+          return out;
+        }
+        break;
+      case SystemKind::S0: {
+        int fallen = 0;
+        for (int n = 0; n < shape.n_servers; ++n) {
+          if (rng.bernoulli(a)) ++fallen;
+        }
+        if (fallen >= shape.smr_compromise) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::SmrQuorum;
+          return out;
+        }
+        break;
+      }
+      case SystemKind::S2: {
+        int fallen = 0;
+        for (int n = 0; n < shape.n_proxies; ++n) {
+          if (rng.bernoulli(a)) ++fallen;
+        }
+        if (fallen == shape.n_proxies) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::AllProxies;
+          return out;
+        }
+        if (rng.bernoulli(params.kappa * a)) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::ServerIndirect;
+          return out;
+        }
+        if (fallen >= 1 && rng.bernoulli(a)) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::ServerViaProxy;
+          return out;
+        }
+        break;
+      }
+    }
+  }
+  out.censored = true;
+  out.whole_steps = max_steps;
+  return out;
+}
+
+LifetimeResult simulate_lifetime_po_period_naive(const SystemShape& shape,
+                                                 const AttackParams& params,
+                                                 Rng& rng,
+                                                 std::uint64_t max_steps) {
+  shape.validate();
+  params.validate();
+  const double a = params.alpha;
+  const std::uint32_t period = params.period;
+  LifetimeResult out;
+
+  // Persistent compromise state between re-randomization boundaries.
+  int fallen_servers = 0;  // S0
+  int fallen_proxies = 0;  // S2
+
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    // Boundary BEFORE this step's attacks when step is a multiple of P
+    // (step 0 starts freshly randomized).
+    if (step % period == 0) {
+      fallen_servers = 0;
+      fallen_proxies = 0;
+    }
+    switch (shape.kind) {
+      case SystemKind::S1:
+        // One shared memoryless channel; persistence does not apply (any
+        // hit is immediate compromise).
+        if (rng.bernoulli(a)) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::SharedKey;
+          return out;
+        }
+        break;
+      case SystemKind::S0: {
+        int intact = shape.n_servers - fallen_servers;
+        for (int n = 0; n < intact; ++n) {
+          if (rng.bernoulli(a)) ++fallen_servers;
+        }
+        if (fallen_servers >= shape.smr_compromise) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::SmrQuorum;
+          return out;
+        }
+        break;
+      }
+      case SystemKind::S2: {
+        int intact = shape.n_proxies - fallen_proxies;
+        for (int n = 0; n < intact; ++n) {
+          if (rng.bernoulli(a)) ++fallen_proxies;
+        }
+        if (fallen_proxies == shape.n_proxies) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::AllProxies;
+          return out;
+        }
+        if (rng.bernoulli(params.kappa * a)) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::ServerIndirect;
+          return out;
+        }
+        if (fallen_proxies >= 1 && rng.bernoulli(a)) {
+          out.whole_steps = step;
+          out.route = CompromiseRoute::ServerViaProxy;
+          return out;
+        }
+        break;
+      }
+    }
+  }
+  out.censored = true;
+  out.whole_steps = max_steps;
+  return out;
+}
+
+}  // namespace fortress::model

@@ -1,0 +1,76 @@
+// lifetime_sim.hpp — single-trial lifetime simulation for every system class
+// under both obfuscation policies (the Monte-Carlo kernel of §5).
+//
+// A trial returns the number of WHOLE unit time-steps elapsed before the
+// step in which the system was compromised (the paper's EL sample), plus the
+// compromise route for attribution.
+//
+// Policy/granularity matrix:
+//  * StartupOnly (SO): keys are fixed positions in the attacker's candidate
+//    order; lifetimes follow directly from order statistics — granularity
+//    does not apply (the process is inherently probe-based).
+//  * Proactive (PO) + Step: per-step compromise is memoryless with the
+//    closed-form probability of step_model; sampled via a geometric
+//    fast-forward (exactly the same distribution as a step loop).
+//  * Proactive (PO) + Probe: the attacker's ω probes are sequential within
+//    each step; a proxy falling at probe fraction f* redirects the remaining
+//    (1-f*)·ω probes at the server key (launch-pad rule). Implemented with
+//    an exact skip-ahead: steps in which no channel event occurs are skipped
+//    geometrically, and event steps sample the joint outcome conditioned on
+//    "at least one channel event".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "model/params.hpp"
+
+namespace fortress::model {
+
+/// Which route compromised the system (for S2 attribution; other systems use
+/// SharedKey / SmrQuorum).
+enum class CompromiseRoute {
+  None,            ///< censored — no compromise within the step budget
+  SharedKey,       ///< S1: the single server key was uncovered/guessed
+  SmrQuorum,       ///< S0: smr_compromise-th replica fell
+  ServerIndirect,  ///< S2: server fell to an indirect (through-proxy) attack
+  ServerViaProxy,  ///< S2: server fell to a direct attack from a compromised proxy
+  AllProxies,      ///< S2: every proxy compromised
+};
+
+const char* to_string(CompromiseRoute route);
+
+/// Outcome of one lifetime trial.
+struct LifetimeResult {
+  /// Whole steps elapsed before the compromise step (valid iff !censored).
+  std::uint64_t whole_steps = 0;
+  bool censored = false;
+  CompromiseRoute route = CompromiseRoute::None;
+};
+
+/// Simulate one lifetime. `max_steps` caps the simulation; trials that
+/// survive longer are returned censored with whole_steps = max_steps.
+LifetimeResult simulate_lifetime(const SystemShape& shape,
+                                 const AttackParams& params, Obfuscation obf,
+                                 Granularity gran, Rng& rng,
+                                 std::uint64_t max_steps);
+
+/// Reference implementation: a literal per-step, per-node Bernoulli loop for
+/// PO at step granularity. O(max_steps) — only usable for large α; exists so
+/// tests can cross-validate the geometric fast-forward.
+LifetimeResult simulate_lifetime_po_naive(const SystemShape& shape,
+                                          const AttackParams& params, Rng& rng,
+                                          std::uint64_t max_steps);
+
+/// Reference implementation for re-randomization periods P >= 1: nodes
+/// compromised mid-period stay controlled until the next boundary (steps
+/// divisible by params.period), matching the semantics of
+/// analysis::build_po_chain. O(max_steps); used to cross-validate the
+/// absorbing-Markov-chain lifetimes at P > 1.
+LifetimeResult simulate_lifetime_po_period_naive(const SystemShape& shape,
+                                                 const AttackParams& params,
+                                                 Rng& rng,
+                                                 std::uint64_t max_steps);
+
+}  // namespace fortress::model

@@ -1,0 +1,165 @@
+#include "model/step_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fortress::model {
+
+namespace {
+
+double binomial_pmf(int n, double p, int k) {
+  // Exact for the tiny n (<= 8) used in this library.
+  double coeff = 1.0;
+  for (int i = 0; i < k; ++i) {
+    coeff *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return coeff * std::pow(p, k) * std::pow(1.0 - p, n - k);
+}
+
+}  // namespace
+
+double binomial_tail(int n, double p, int k) {
+  FORTRESS_EXPECTS(n >= 0 && k >= 0);
+  if (k > n) return 0.0;
+  if (k <= 0) return 1.0;
+  // Sum the complement for numerical stability when p is small.
+  double below = 0.0;
+  for (int i = 0; i < k; ++i) below += binomial_pmf(n, p, i);
+  double tail = 1.0 - below;
+  return tail < 0.0 ? 0.0 : tail;
+}
+
+double per_step_compromise_probability(const SystemShape& shape,
+                                       const AttackParams& params) {
+  shape.validate();
+  params.validate();
+  const double a = params.alpha;
+  switch (shape.kind) {
+    case SystemKind::S0:
+      return binomial_tail(shape.n_servers, a, shape.smr_compromise);
+    case SystemKind::S1:
+      return a;
+    case SystemKind::S2: {
+      const int np = shape.n_proxies;
+      const double k = params.kappa;
+      double p = 0.0;
+      for (int j = 0; j <= np; ++j) {
+        double pj = binomial_pmf(np, a, j);
+        if (j == np) {
+          p += pj;  // all proxies fell: compromised outright
+        } else {
+          double server_survives = (1.0 - k * a) * (j >= 1 ? (1.0 - a) : 1.0);
+          p += pj * (1.0 - server_survives);
+        }
+      }
+      return p;
+    }
+  }
+  FORTRESS_CHECK(false);
+  return 0.0;
+}
+
+double geometric_expected_lifetime(double p) {
+  FORTRESS_EXPECTS(p > 0.0 && p <= 1.0);
+  return (1.0 - p) / p;
+}
+
+double expected_lifetime_po(const SystemShape& shape,
+                            const AttackParams& params) {
+  return geometric_expected_lifetime(
+      per_step_compromise_probability(shape, params));
+}
+
+double expected_lifetime_s1_so(const AttackParams& params) {
+  params.validate();
+  const double chi = static_cast<double>(params.chi);
+  const std::uint64_t omega = params.omega();
+  // EL = sum over steps s of (s-1) * P(ceil(U/omega) == s), U ~ U{1..chi}.
+  // Positions in step s: ((s-1)*omega, min(s*omega, chi)].
+  double el = 0.0;
+  std::uint64_t s = 1;
+  for (std::uint64_t covered = 0; covered < params.chi; ++s) {
+    std::uint64_t hi = covered + omega;
+    if (hi > params.chi) hi = params.chi;
+    double mass = static_cast<double>(hi - covered) / chi;
+    el += static_cast<double>(s - 1) * mass;
+    covered = hi;
+  }
+  return el;
+}
+
+double expected_lifetime_s0_so(const SystemShape& shape,
+                               const AttackParams& params) {
+  shape.validate();
+  params.validate();
+  FORTRESS_EXPECTS(shape.kind == SystemKind::S0);
+  const std::uint64_t chi = params.chi;
+  const std::uint64_t omega = params.omega();
+  const int nk = shape.n_servers;      // distinct keys hidden in the space
+  const int need = shape.smr_compromise;  // uncovering this many = compromise
+
+  // EL = sum_{s>=1} P(T > s); T > s iff at most (need-1) of the nk key
+  // positions lie within the first m = min(s*omega, chi) candidates.
+  // Hypergeometric survival computed with running products.
+  auto survival = [&](std::uint64_t m) {
+    if (m >= chi) return 0.0;
+    double total = 0.0;
+    // P(exactly j of nk keys among first m) =
+    //   C(m, j) * C(chi - m, nk - j) / C(chi, nk)
+    for (int j = 0; j < need; ++j) {
+      double term = 1.0;
+      // C(m, j) / C(chi, j)-ish — compute via sequential ratio products to
+      // stay in double range: term = C(m,j)*C(chi-m,nk-j)/C(chi,nk).
+      // Build as prod_{i=0..j-1} (m-i)/(j-i)! etc. Use lgamma for clarity.
+      auto lchoose = [](double n, double k) {
+        if (k < 0 || k > n) return -1e300;
+        return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+      };
+      double lterm = lchoose(static_cast<double>(m), j) +
+                     lchoose(static_cast<double>(chi - m), nk - j) -
+                     lchoose(static_cast<double>(chi), nk);
+      if (lterm > -700.0) term = std::exp(lterm);
+      else term = 0.0;
+      total += term;
+    }
+    return total > 1.0 ? 1.0 : total;
+  };
+
+  double el = 0.0;
+  std::uint64_t max_steps = (chi + omega - 1) / omega + 1;
+  for (std::uint64_t s = 1; s <= max_steps; ++s) {
+    std::uint64_t m = s * omega;
+    if (m > chi) m = chi;
+    double surv = survival(m);
+    el += surv;
+    if (surv == 0.0) break;
+  }
+  return el;
+}
+
+double s2_vs_s1_kappa_crossover(const AttackParams& params, int n_proxies) {
+  AttackParams p2 = params;
+  SystemShape s2 = SystemShape::s2(n_proxies);
+  const double p1 = params.alpha;  // S1PO per-step probability
+
+  auto diff = [&](double kappa) {
+    p2.kappa = kappa;
+    return per_step_compromise_probability(s2, p2) - p1;
+  };
+
+  if (diff(1.0) <= 0.0) return 1.0;  // S2PO never worse even at kappa = 1
+  if (diff(0.0) >= 0.0) return 0.0;  // S2PO never better
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (diff(mid) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace fortress::model

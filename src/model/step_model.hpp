@@ -1,0 +1,57 @@
+// step_model.hpp — closed-form per-step compromise probabilities and
+// expected lifetimes (EL) for the paper's system classes.
+//
+// EL convention (Definition 7 + DESIGN.md §3): EL is the expected number of
+// WHOLE unit time-steps elapsed before the step during which the system is
+// compromised. For a memoryless per-step compromise probability p this is
+// the geometric mean E[failures before first success] = (1-p)/p.
+#pragma once
+
+#include <cstdint>
+
+#include "model/params.hpp"
+
+namespace fortress::model {
+
+/// P(Binomial(n, p) >= k), computed exactly for the small n used here.
+double binomial_tail(int n, double p, int k);
+
+/// Per-step compromise probability of a PROACTIVELY obfuscated system with
+/// re-randomization period 1, at step granularity:
+///   S0: P(Bin(n_servers, α) >= smr_compromise)   (>=2 hits in one window)
+///   S1: α                                        (one shared key channel)
+///   S2: condition on j ~ Bin(np, α) proxies falling this step;
+///       j = np          -> compromised (all-proxies route),
+///       otherwise       -> 1 - (1-κα)·(1-α)^[j>=1]
+///       (indirect route always open; direct-through-proxy route open when
+///       at least one proxy fell — step-granular launch-pad rule).
+double per_step_compromise_probability(const SystemShape& shape,
+                                       const AttackParams& params);
+
+/// EL of a memoryless system with per-step compromise probability p:
+/// (1-p)/p. Precondition: 0 < p <= 1.
+double geometric_expected_lifetime(double p);
+
+/// Closed-form EL of S*PO (period 1, step granularity): combines the two
+/// functions above.
+double expected_lifetime_po(const SystemShape& shape,
+                            const AttackParams& params);
+
+/// Exact EL of S1SO: the single shared key occupies a uniform position
+/// U ∈ {1..χ}; the attacker eliminates ω candidates per step; compromise
+/// during step ceil(U/ω). EL = E[ceil(U/ω)] - 1 evaluated exactly.
+double expected_lifetime_s1_so(const AttackParams& params);
+
+/// Exact EL of S0SO: 4 distinct keys at uniform distinct positions; the
+/// system falls when the SECOND key is uncovered (smr_compromise-th order
+/// statistic in general). EL = Σ_{s>=1} P(T > s) with the hypergeometric
+/// survival P(at most smr_compromise-1 keys among the first s·ω candidates).
+double expected_lifetime_s0_so(const SystemShape& shape,
+                               const AttackParams& params);
+
+/// The κ value at which S2PO and S1PO have equal per-step compromise
+/// probability (the Trend-3 crossover), found by bisection on κ ∈ [0,1].
+/// Returns 1.0 if S2PO beats S1PO even at κ=1.
+double s2_vs_s1_kappa_crossover(const AttackParams& params, int n_proxies = 3);
+
+}  // namespace fortress::model

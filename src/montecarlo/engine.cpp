@@ -1,0 +1,104 @@
+#include "montecarlo/engine.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fortress::montecarlo {
+
+double McResult::route_fraction(model::CompromiseRoute route) const {
+  std::uint64_t total = 0;
+  for (const auto& [r, c] : route_counts) {
+    if (r != model::CompromiseRoute::None) total += c;
+  }
+  if (total == 0) return 0.0;
+  auto it = route_counts.find(route);
+  if (it == route_counts.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+namespace {
+
+struct Shard {
+  RunningStats stats;
+  std::uint64_t censored = 0;
+  std::map<model::CompromiseRoute, std::uint64_t> route_counts;
+};
+
+void run_shard(const model::SystemShape& shape,
+               const model::AttackParams& params, model::Obfuscation obf,
+               model::Granularity gran, const McConfig& config,
+               std::uint64_t first_trial, std::uint64_t last_trial,
+               Shard& out) {
+  for (std::uint64_t t = first_trial; t < last_trial; ++t) {
+    Rng rng = Rng::substream(config.seed, t);
+    model::LifetimeResult r =
+        model::simulate_lifetime(shape, params, obf, gran, rng,
+                                 config.max_steps);
+    out.stats.add(static_cast<double>(r.whole_steps));
+    if (r.censored) ++out.censored;
+    ++out.route_counts[r.route];
+  }
+}
+
+}  // namespace
+
+McResult estimate_lifetime(const model::SystemShape& shape,
+                           const model::AttackParams& params,
+                           model::Obfuscation obf, model::Granularity gran,
+                           const McConfig& config) {
+  FORTRESS_EXPECTS(config.trials >= 2);
+  FORTRESS_EXPECTS(config.threads >= 1);
+  shape.validate();
+  params.validate();
+
+  unsigned threads = config.threads;
+  if (threads > config.trials) {
+    threads = static_cast<unsigned>(config.trials);
+  }
+
+  std::vector<Shard> shards(threads);
+  if (threads == 1) {
+    run_shard(shape, params, obf, gran, config, 0, config.trials, shards[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    std::uint64_t per = config.trials / threads;
+    std::uint64_t extra = config.trials % threads;
+    std::uint64_t start = 0;
+    for (unsigned i = 0; i < threads; ++i) {
+      std::uint64_t count = per + (i < extra ? 1 : 0);
+      std::uint64_t end = start + count;
+      workers.emplace_back([&, i, start, end] {
+        run_shard(shape, params, obf, gran, config, start, end, shards[i]);
+      });
+      start = end;
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  McResult result;
+  for (const auto& shard : shards) {
+    result.stats.merge(shard.stats);
+    result.censored += shard.censored;
+    for (const auto& [route, count] : shard.route_counts) {
+      result.route_counts[route] += count;
+    }
+  }
+  result.ci = normal_ci(result.stats, config.ci_level);
+  return result;
+}
+
+bool mc_feasible(double predicted_el, const McConfig& config,
+                 double budget_events) {
+  if (predicted_el < 0) return false;
+  // Each trial costs O(1) for SO/PO-step and O(expected event count) for
+  // PO-probe; use the conservative O(1 + EL-dependent) proxy: a trial is
+  // charged ~1 event per 1e3 lifetime steps (skip-ahead) plus a constant.
+  double per_trial = 10.0 + predicted_el / 1e3;
+  return per_trial * static_cast<double>(config.trials) <= budget_events &&
+         predicted_el < static_cast<double>(config.max_steps) / 10.0;
+}
+
+}  // namespace fortress::montecarlo

@@ -1,0 +1,58 @@
+// engine.hpp — Monte-Carlo expected-lifetime estimation (§5 of the paper).
+//
+// Runs N independent lifetime trials (model::simulate_lifetime) on
+// deterministic per-trial substreams, optionally across threads, and reduces
+// them to an EL estimate with a confidence interval plus per-route
+// attribution. Censoring is reported, never silently dropped: a censored
+// trial contributes its cap as a lower bound and marks the estimate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "model/lifetime_sim.hpp"
+#include "model/params.hpp"
+
+namespace fortress::montecarlo {
+
+/// Configuration for an estimation run.
+struct McConfig {
+  std::uint64_t trials = 10000;
+  std::uint64_t seed = 42;
+  /// Per-trial step cap; survivors are censored.
+  std::uint64_t max_steps = 100'000'000;
+  /// Worker threads (1 = sequential). Results are independent of the thread
+  /// count because each trial gets its own substream.
+  unsigned threads = 1;
+  double ci_level = 0.95;
+};
+
+/// Result of an estimation run.
+struct McResult {
+  RunningStats stats;             ///< lifetime samples (censored at cap)
+  ConfidenceInterval ci{};        ///< CI for the mean (normal approx.)
+  std::uint64_t censored = 0;     ///< trials that hit max_steps
+  std::map<model::CompromiseRoute, std::uint64_t> route_counts;
+
+  double expected_lifetime() const { return stats.mean(); }
+  bool any_censored() const { return censored > 0; }
+  /// Fraction of (uncensored) compromises via `route`.
+  double route_fraction(model::CompromiseRoute route) const;
+};
+
+/// Estimate the expected lifetime of (shape, params, obf, gran).
+McResult estimate_lifetime(const model::SystemShape& shape,
+                           const model::AttackParams& params,
+                           model::Obfuscation obf, model::Granularity gran,
+                           const McConfig& config);
+
+/// Convenience: decide whether Monte-Carlo is feasible for a predicted EL —
+/// i.e., whether `trials` trials are expected to complete within roughly
+/// `budget_events` sampled events. Used by benches to fall back to analytic
+/// methods for very long-lived systems.
+bool mc_feasible(double predicted_el, const McConfig& config,
+                 double budget_events = 5e8);
+
+}  // namespace fortress::montecarlo

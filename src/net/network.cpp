@@ -1,0 +1,141 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace fortress::net {
+
+const char* to_string(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::PeerClosed: return "peer-closed";
+    case CloseReason::PeerCrashed: return "peer-crashed";
+    case CloseReason::LocalDetach: return "local-detach";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
+                 NetworkConfig config)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      config_(config),
+      rng_(config.rng_seed) {
+  FORTRESS_EXPECTS(latency_ != nullptr);
+}
+
+void Network::attach(const Address& addr, Handler& handler) {
+  FORTRESS_EXPECTS(!hosts_.contains(addr));
+  hosts_[addr] = &handler;
+}
+
+void Network::detach(const Address& addr, CloseReason reason) {
+  auto it = hosts_.find(addr);
+  if (it == hosts_.end()) return;
+  hosts_.erase(it);
+
+  // Close every connection with this endpoint; notify the surviving peer.
+  std::vector<std::pair<ConnectionId, Address>> to_notify;
+  for (auto conn_it = connections_.begin(); conn_it != connections_.end();) {
+    const auto& [id, conn] = *conn_it;
+    if (conn.a == addr || conn.b == addr) {
+      const Address peer = (conn.a == addr) ? conn.b : conn.a;
+      to_notify.emplace_back(id, peer);
+      conn_it = connections_.erase(conn_it);
+    } else {
+      ++conn_it;
+    }
+  }
+  for (const auto& [id, peer] : to_notify) {
+    notify_closed(peer, id, addr, reason);
+  }
+}
+
+bool Network::attached(const Address& addr) const {
+  return hosts_.contains(addr);
+}
+
+void Network::deliver(Envelope env) {
+  sim::Time delay = latency_->sample(rng_);
+  sim_.schedule_after(delay, [this, env = std::move(env)]() mutable {
+    auto it = hosts_.find(env.to);
+    if (it == hosts_.end()) return;  // host gone before delivery
+    if (env.connection &&
+        !connections_.contains(*env.connection)) {
+      return;  // connection torn down in flight
+    }
+    ++delivered_;
+    it->second->on_message(env);
+  });
+}
+
+void Network::send(const Address& from, const Address& to, Bytes payload) {
+  // A detached host has no network presence: traffic from an application
+  // whose machine crashed or is mid-reboot is dropped at the source.
+  if (!hosts_.contains(from)) return;
+  if (config_.drop_probability > 0 &&
+      rng_.bernoulli(config_.drop_probability)) {
+    return;
+  }
+  deliver(Envelope{from, to, std::move(payload), std::nullopt});
+}
+
+std::optional<ConnectionId> Network::connect(const Address& from,
+                                             const Address& to) {
+  // Refused if either end lacks network presence (caller mid-reboot, or
+  // callee down).
+  if (!hosts_.contains(from)) return std::nullopt;
+  if (!hosts_.contains(to)) return std::nullopt;
+  ConnectionId id = next_conn_++;
+  connections_[id] = Conn{from, to};
+  sim::Time delay = latency_->sample(rng_);
+  sim_.schedule_after(delay, [this, id, from, to] {
+    auto conn_it = connections_.find(id);
+    if (conn_it == connections_.end()) return;
+    auto host_it = hosts_.find(to);
+    if (host_it == hosts_.end()) return;
+    host_it->second->on_connection_opened(id, from);
+  });
+  return id;
+}
+
+bool Network::send_on(ConnectionId id, const Address& from, Bytes payload) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return false;
+  const Conn& conn = it->second;
+  if (conn.a != from && conn.b != from) return false;
+  const Address to = (conn.a == from) ? conn.b : conn.a;
+  Envelope env{from, to, std::move(payload), id};
+  deliver(std::move(env));
+  return true;
+}
+
+void Network::close(ConnectionId id, const Address& closer) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Conn conn = it->second;
+  FORTRESS_EXPECTS(conn.a == closer || conn.b == closer);
+  connections_.erase(it);
+  const Address peer = (conn.a == closer) ? conn.b : conn.a;
+  notify_closed(peer, id, closer, CloseReason::PeerClosed);
+}
+
+void Network::abort(ConnectionId id, const Address& crasher) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Conn conn = it->second;
+  FORTRESS_EXPECTS(conn.a == crasher || conn.b == crasher);
+  connections_.erase(it);
+  const Address peer = (conn.a == crasher) ? conn.b : conn.a;
+  notify_closed(peer, id, crasher, CloseReason::PeerCrashed);
+}
+
+void Network::notify_closed(const Address& endpoint, ConnectionId id,
+                            const Address& peer, CloseReason reason) {
+  sim::Time delay = latency_->sample(rng_);
+  sim_.schedule_after(delay, [this, endpoint, id, peer, reason] {
+    auto it = hosts_.find(endpoint);
+    if (it == hosts_.end()) return;
+    it->second->on_connection_closed(id, peer, reason);
+  });
+}
+
+}  // namespace fortress::net

@@ -1,0 +1,186 @@
+// network.hpp — simulated message network with observable connections.
+//
+// Models exactly the network behaviour the paper's attack analysis relies
+// on:
+//  * datagram-style delivery with a pluggable latency model;
+//  * TCP-like connections: when the process behind one endpoint crashes or
+//    closes, the peer receives a Closed notification. This closure signal is
+//    the side channel that de-randomization attacks [Shacham04, Sovarel05]
+//    use to observe remote crashes, and what FORTRESS's proxy tier removes.
+//
+// Hosts attach to the network at an Address and implement net::Handler.
+// Detaching a host (process crash) drops in-flight messages addressed to it
+// and closes all its connections.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::net {
+
+/// Network address of a host ("proxy-0", "server-2", "attacker", ...).
+using Address = std::string;
+
+/// Identifier of an established connection (shared by both endpoints).
+using ConnectionId = std::uint64_t;
+
+/// A delivered message.
+struct Envelope {
+  Address from;
+  Address to;
+  Bytes payload;
+  /// Set when the message arrived over a connection.
+  std::optional<ConnectionId> connection;
+};
+
+/// Why a connection went away — the attacker distinguishes these.
+enum class CloseReason {
+  PeerClosed,   ///< the remote application closed the connection
+  PeerCrashed,  ///< the remote process crashed (the probe side channel)
+  LocalDetach,  ///< this endpoint's own host detached
+};
+
+const char* to_string(CloseReason reason);
+
+/// Callbacks a host implements to use the network.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+
+  /// A datagram or connection message arrived.
+  virtual void on_message(const Envelope& env) = 0;
+
+  /// A connection this host participated in was closed.
+  virtual void on_connection_closed(ConnectionId id, const Address& peer,
+                                    CloseReason reason) {
+    (void)id;
+    (void)peer;
+    (void)reason;
+  }
+
+  /// An inbound connection was accepted (after the initiator's connect()).
+  virtual void on_connection_opened(ConnectionId id, const Address& peer) {
+    (void)id;
+    (void)peer;
+  }
+};
+
+/// Latency model for message delivery.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual sim::Time sample(Rng& rng) = 0;
+};
+
+/// Constant latency.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(sim::Time latency) : latency_(latency) {
+    FORTRESS_EXPECTS(latency >= 0);
+  }
+  sim::Time sample(Rng&) override { return latency_; }
+
+ private:
+  sim::Time latency_;
+};
+
+/// Uniform latency in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(sim::Time lo, sim::Time hi) : lo_(lo), hi_(hi) {
+    FORTRESS_EXPECTS(lo >= 0 && hi >= lo);
+  }
+  sim::Time sample(Rng& rng) override {
+    return lo_ + (hi_ - lo_) * rng.uniform01();
+  }
+
+ private:
+  sim::Time lo_;
+  sim::Time hi_;
+};
+
+/// Network configuration.
+struct NetworkConfig {
+  /// Probability an individual datagram is dropped (connections are
+  /// reliable; drops model UDP-style client traffic).
+  double drop_probability = 0.0;
+  std::uint64_t rng_seed = 1;
+};
+
+/// The simulated network.
+class Network {
+ public:
+  Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
+          NetworkConfig config = {});
+
+  /// Attach a host at `addr`. Precondition: the address is free.
+  /// The handler must stay alive until detach.
+  void attach(const Address& addr, Handler& handler);
+
+  /// Detach the host at `addr` (process exit/crash). All its connections
+  /// close; `reason` tells peers whether this looked like a crash.
+  /// No-op if the address is not attached.
+  void detach(const Address& addr, CloseReason reason = CloseReason::PeerClosed);
+
+  /// True if a host is currently attached at `addr`.
+  bool attached(const Address& addr) const;
+
+  /// Send a datagram. Silently dropped if `to` is not attached at delivery
+  /// time or the drop coin fires.
+  void send(const Address& from, const Address& to, Bytes payload);
+
+  /// Open a connection from `from` to `to`. Returns the connection id; the
+  /// acceptor learns about it via on_connection_opened after one latency.
+  /// Returns nullopt if `to` is not attached (connection refused).
+  std::optional<ConnectionId> connect(const Address& from, const Address& to);
+
+  /// Send on an established connection (reliable, ordered by delivery time).
+  /// Returns false if the connection is gone or `from` is not an endpoint.
+  bool send_on(ConnectionId id, const Address& from, Bytes payload);
+
+  /// Close a connection from one side; the peer is notified (PeerClosed).
+  void close(ConnectionId id, const Address& closer);
+
+  /// Tear down a connection because the process (child) behind `crasher`
+  /// crashed; the peer is notified with PeerCrashed — the observable signal
+  /// a de-randomization attacker relies on.
+  void abort(ConnectionId id, const Address& crasher);
+
+  /// Number of live connections (diagnostics).
+  std::size_t open_connections() const { return connections_.size(); }
+
+  /// Total messages delivered (diagnostics).
+  std::uint64_t delivered_count() const { return delivered_; }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct Conn {
+    Address a;  // initiator
+    Address b;  // acceptor
+  };
+
+  void deliver(Envelope env);
+  void notify_closed(const Address& endpoint, ConnectionId id,
+                     const Address& peer, CloseReason reason);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::map<Address, Handler*> hosts_;
+  std::map<ConnectionId, Conn> connections_;
+  ConnectionId next_conn_ = 1;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace fortress::net

@@ -1,0 +1,144 @@
+#include "osl/machine.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fortress::osl {
+
+Machine::Machine(net::Network& network, MachineConfig config)
+    : network_(network), config_(std::move(config)) {
+  FORTRESS_EXPECTS(config_.keyspace >= 2);
+  FORTRESS_EXPECTS(!config_.address.empty());
+}
+
+Machine::~Machine() {
+  if (booted_) network_.detach(config_.address, net::CloseReason::LocalDetach);
+}
+
+void Machine::boot(RandKey key) {
+  FORTRESS_EXPECTS(!booted_);
+  FORTRESS_EXPECTS(key < config_.keyspace);
+  key_ = key;
+  booted_ = true;
+  compromised_ = false;
+  network_.attach(config_.address, *this);
+}
+
+void Machine::shutdown() {
+  if (!booted_) return;
+  network_.detach(config_.address, net::CloseReason::PeerClosed);
+  booted_ = false;
+}
+
+void Machine::reboot_common() {
+  FORTRESS_EXPECTS(booted_);
+  // Reboot: all connections drop (clean close — peers see an orderly
+  // restart, not a child crash), attacker sessions die with them.
+  network_.detach(config_.address, net::CloseReason::PeerClosed);
+  compromised_ = false;
+  attacker_conns_.clear();  // the implant and its sessions die with the reboot
+  network_.attach(config_.address, *this);
+  if (app_ != nullptr) app_->handle_reboot();
+}
+
+void Machine::rerandomize(RandKey fresh_key) {
+  FORTRESS_EXPECTS(fresh_key < config_.keyspace);
+  key_ = fresh_key;
+  reboot_common();
+}
+
+void Machine::recover() { reboot_common(); }
+
+void Machine::handle_probe(const net::Envelope& env, RandKey guess) {
+  if (compromised_ || guess == key_) {
+    if (!compromised_) {
+      compromised_ = true;
+      ++times_compromised_;
+      FORTRESS_LOG_INFO("machine")
+          << config_.address << " COMPROMISED by " << env.from
+          << " (key=" << key_ << ")";
+      for (const auto& listener : compromise_listeners_) listener(*this);
+    }
+    Bytes ack = encode_owned_ack(key_);
+    if (env.connection) {
+      network_.send_on(*env.connection, config_.address, std::move(ack));
+    } else {
+      network_.send(config_.address, env.from, std::move(ack));
+    }
+    return;
+  }
+  // Wrong guess: the forked child serving this request crashes. Only the
+  // connection it served is affected; the forking daemon respawns the child,
+  // so the machine stays attached and other sessions continue.
+  ++child_crashes_;
+  if (env.connection) {
+    network_.abort(*env.connection, config_.address);
+  }
+  // A datagram probe produces no observable reaction at all.
+}
+
+void Machine::on_message(const net::Envelope& env) {
+  // Replies on attacker-opened connections go to the attacker's tap.
+  if (env.connection && attacker_conns_.contains(*env.connection)) {
+    if (tap_message_) tap_message_(env);
+    return;
+  }
+  // Direct attack: a raw probe on the wire.
+  if (auto guess = decode_probe(env.payload)) {
+    handle_probe(env, *guess);
+    return;
+  }
+  // Indirect attack: a probe smuggled inside a service request (the exploit
+  // fires while the child parses the request, before any application logic
+  // can inspect it). Only machines that actually process request payloads
+  // are vulnerable — proxies forward without parsing (§3).
+  if (config_.processes_request_payloads) {
+    if (auto embedded = probe_inside_request(env.payload)) {
+      handle_probe(env, *embedded);
+      return;
+    }
+  }
+  if (app_ != nullptr) app_->handle_message(env);
+}
+
+void Machine::on_connection_opened(net::ConnectionId id,
+                                   const net::Address& peer) {
+  if (app_ != nullptr) app_->handle_connection_opened(id, peer);
+}
+
+void Machine::on_connection_closed(net::ConnectionId id,
+                                   const net::Address& peer,
+                                   net::CloseReason reason) {
+  if (attacker_conns_.erase(id) > 0) {
+    if (tap_closed_) tap_closed_(id, reason);
+    return;
+  }
+  if (app_ != nullptr) app_->handle_connection_closed(id, peer, reason);
+}
+
+std::optional<net::ConnectionId> Machine::attacker_connect(
+    const net::Address& to) {
+  FORTRESS_EXPECTS(compromised_);
+  auto conn = network_.connect(config_.address, to);
+  if (conn) attacker_conns_.insert(*conn);
+  return conn;
+}
+
+void Machine::set_attacker_taps(
+    std::function<void(const net::Envelope&)> on_message,
+    std::function<void(net::ConnectionId, net::CloseReason)> on_closed) {
+  tap_message_ = std::move(on_message);
+  tap_closed_ = std::move(on_closed);
+}
+
+bool Machine::attacker_send_on(net::ConnectionId id, Bytes payload) {
+  FORTRESS_EXPECTS(compromised_);
+  return network_.send_on(id, config_.address, std::move(payload));
+}
+
+void Machine::attacker_send(const net::Address& to, Bytes payload) {
+  FORTRESS_EXPECTS(compromised_);
+  network_.send(config_.address, to, std::move(payload));
+}
+
+}  // namespace fortress::osl

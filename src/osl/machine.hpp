@@ -1,0 +1,149 @@
+// machine.hpp — a simulated machine running an address-space-randomized
+// server process behind a forking daemon.
+//
+// This is the OS-level substrate of the live FORTRESS stack (DESIGN.md §2):
+//  * the process holds a randomization key drawn from {0..chi-1};
+//  * a probe carrying the wrong key crashes the forked child serving that
+//    connection (the connection aborts with PeerCrashed; the daemon respawns
+//    the child implicitly, so the service stays up and other connections are
+//    unaffected) — the behaviour [Shacham04] §2.1 exploits;
+//  * a probe carrying the right key compromises the machine: the attacker
+//    receives an acknowledgement and controls the node until the next
+//    re-randomization (rerandomize()) or recovery (recover());
+//  * reboot-class operations drop all of the machine's connections.
+//
+// Application logic (replica, proxy) plugs in via osl::Application and never
+// sees probe traffic — probes are absorbed at this layer, exactly as a
+// memory-error exploit is invisible to correct application code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/network.hpp"
+#include "osl/probe.hpp"
+
+namespace fortress::osl {
+
+/// Application callbacks; implemented by replicas/proxies running on a
+/// Machine. Mirrors net::Handler but is routed through the machine, which
+/// filters attack traffic.
+class Application {
+ public:
+  virtual ~Application() = default;
+  virtual void handle_message(const net::Envelope& env) = 0;
+  virtual void handle_connection_opened(net::ConnectionId id,
+                                        const net::Address& peer) {
+    (void)id;
+    (void)peer;
+  }
+  virtual void handle_connection_closed(net::ConnectionId id,
+                                        const net::Address& peer,
+                                        net::CloseReason reason) {
+    (void)id;
+    (void)peer;
+    (void)reason;
+  }
+  /// The machine rebooted (recover/rerandomize): connections are gone.
+  /// Durable service state survives; volatile sessions do not.
+  virtual void handle_reboot() {}
+};
+
+struct MachineConfig {
+  net::Address address;
+  std::uint64_t keyspace = 1ull << 16;  ///< χ
+  /// Whether this machine's process parses request payloads. Servers do —
+  /// so an exploit embedded in a forwarded request fires there. Proxies do
+  /// NOT ("proxies do not do any processing", §3): an embedded probe passes
+  /// through them harmlessly; only raw probes against the proxy's own
+  /// network-facing code can compromise a proxy.
+  bool processes_request_payloads = true;
+};
+
+/// A machine node. Non-copyable; lifetime must cover the simulation.
+class Machine final : public net::Handler {
+ public:
+  Machine(net::Network& network, MachineConfig config);
+  ~Machine() override;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Attach to the network with the given randomization key.
+  /// Precondition: not already booted.
+  void boot(RandKey key);
+
+  /// Detach permanently (machine removed from service).
+  void shutdown();
+
+  /// Reboot with a fresh key (proactive obfuscation). Cleanses compromise,
+  /// drops all connections. Precondition: booted.
+  void rerandomize(RandKey fresh_key);
+
+  /// Reboot with the SAME key (proactive recovery). Cleanses the attacker's
+  /// live control (sessions die) but an attacker who knows the key can
+  /// instantly re-compromise. Precondition: booted.
+  void recover();
+
+  bool booted() const { return booted_; }
+  RandKey key() const { return key_; }
+  bool compromised() const { return compromised_; }
+  std::uint64_t child_crashes() const { return child_crashes_; }
+  std::uint64_t times_compromised() const { return times_compromised_; }
+  const net::Address& address() const { return config_.address; }
+
+  void set_application(Application* app) { app_ = app; }
+
+  /// Register a callback fired (synchronously) when a probe with the
+  /// correct key lands. Multiple listeners are supported (the system's
+  /// compromise latch and the attacker's bookkeeping both subscribe).
+  void add_compromise_listener(std::function<void(Machine&)> listener) {
+    compromise_listeners_.push_back(std::move(listener));
+  }
+
+  // --- attacker-side capabilities -----------------------------------------
+  // Once compromised, the attacker wields this machine's network identity.
+  // Contract-checked: calling these on an uncompromised machine throws.
+
+  std::optional<net::ConnectionId> attacker_connect(const net::Address& to);
+  bool attacker_send_on(net::ConnectionId id, Bytes payload);
+  void attacker_send(const net::Address& to, Bytes payload);
+
+  /// Install the attacker's observation taps: traffic and closure events on
+  /// connections the attacker opened through this machine are routed to the
+  /// taps instead of the application (the attacker sees what its implant
+  /// sees). Reboots sever all such connections and clear the live set.
+  void set_attacker_taps(
+      std::function<void(const net::Envelope&)> on_message,
+      std::function<void(net::ConnectionId, net::CloseReason)> on_closed);
+
+  // --- net::Handler --------------------------------------------------------
+  void on_message(const net::Envelope& env) override;
+  void on_connection_opened(net::ConnectionId id,
+                            const net::Address& peer) override;
+  void on_connection_closed(net::ConnectionId id, const net::Address& peer,
+                            net::CloseReason reason) override;
+
+ private:
+  void reboot_common();
+  void handle_probe(const net::Envelope& env, RandKey guess);
+
+  net::Network& network_;
+  MachineConfig config_;
+  Application* app_ = nullptr;
+  RandKey key_ = 0;
+  bool booted_ = false;
+  bool compromised_ = false;
+  std::uint64_t child_crashes_ = 0;
+  std::uint64_t times_compromised_ = 0;
+  std::vector<std::function<void(Machine&)>> compromise_listeners_;
+  std::set<net::ConnectionId> attacker_conns_;
+  std::function<void(const net::Envelope&)> tap_message_;
+  std::function<void(net::ConnectionId, net::CloseReason)> tap_closed_;
+};
+
+}  // namespace fortress::osl

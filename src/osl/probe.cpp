@@ -1,0 +1,41 @@
+#include "osl/probe.hpp"
+
+namespace fortress::osl {
+
+Bytes encode_probe(RandKey guess) {
+  Bytes out;
+  append_u32_be(out, kProbeMagic);
+  append_u64_be(out, guess);
+  return out;
+}
+
+std::optional<RandKey> decode_probe(BytesView payload) {
+  if (payload.size() != 12) return std::nullopt;
+  if (read_u32_be(payload, 0) != kProbeMagic) return std::nullopt;
+  return read_u64_be(payload, 4);
+}
+
+bool is_probe(BytesView payload) { return decode_probe(payload).has_value(); }
+
+std::optional<RandKey> probe_inside_request(BytesView payload) {
+  if (payload.size() < 12) return std::nullopt;
+  for (std::size_t off = 0; off + 12 <= payload.size(); ++off) {
+    if (read_u32_be(payload, off) == kProbeMagic) {
+      return read_u64_be(payload, off + 4);
+    }
+  }
+  return std::nullopt;
+}
+
+Bytes encode_owned_ack(RandKey key) {
+  Bytes out;
+  append_u32_be(out, kProbeOwnedMagic);
+  append_u64_be(out, key);
+  return out;
+}
+
+bool is_owned_ack(BytesView payload) {
+  return payload.size() == 12 && read_u32_be(payload, 0) == kProbeOwnedMagic;
+}
+
+}  // namespace fortress::osl

@@ -1,0 +1,44 @@
+#include "proxy/probe_log.hpp"
+
+namespace fortress::proxy {
+
+void ProbeLog::record(const net::Address& source, Suspicion kind,
+                      sim::Time now) {
+  auto& events = events_[source];
+  events.push_back(Event{now, kind});
+  expire(events, now);
+  ++totals_[source];
+}
+
+void ProbeLog::expire(std::deque<Event>& events, sim::Time now) const {
+  while (!events.empty() && events.front().at < now - config_.window) {
+    events.pop_front();
+  }
+}
+
+std::uint32_t ProbeLog::score(const net::Address& source,
+                              sim::Time now) const {
+  auto it = events_.find(source);
+  if (it == events_.end()) return 0;
+  expire(it->second, now);
+  return static_cast<std::uint32_t>(it->second.size());
+}
+
+bool ProbeLog::flagged(const net::Address& source, sim::Time now) const {
+  return score(source, now) >= config_.threshold;
+}
+
+std::vector<net::Address> ProbeLog::flagged_sources(sim::Time now) const {
+  std::vector<net::Address> out;
+  for (const auto& [source, events] : events_) {
+    if (flagged(source, now)) out.push_back(source);
+  }
+  return out;
+}
+
+std::uint64_t ProbeLog::total_events(const net::Address& source) const {
+  auto it = totals_.find(source);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+}  // namespace fortress::proxy

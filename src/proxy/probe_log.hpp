@@ -1,0 +1,72 @@
+// probe_log.hpp — per-source observation logging and de-randomization
+// attack detection (§2.2).
+//
+// "Since proxies do not do processing (unlike servers), they can be used for
+// logging their observations on client behavior for longer periods which can
+// be used for identifying sources suspected of launching de-randomization
+// probes." A source accumulates suspicion from (a) malformed/invalid
+// requests and (b) server child crashes that correlate with its forwarded
+// requests. When the suspicion count inside the sliding window reaches the
+// threshold, the source is flagged (and, in the proxy, blacklisted).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::proxy {
+
+struct DetectionConfig {
+  /// Sliding window length in simulation time units.
+  sim::Time window = 500.0;
+  /// Suspicious events within the window that trigger the flag.
+  std::uint32_t threshold = 5;
+};
+
+/// Kinds of suspicious observations a proxy can log.
+enum class Suspicion {
+  MalformedRequest,   ///< request failed protocol decoding
+  CorrelatedCrash,    ///< a server child crashed serving this source's request
+};
+
+/// Sliding-window per-source suspicion tracker.
+class ProbeLog {
+ public:
+  explicit ProbeLog(DetectionConfig config) : config_(config) {}
+
+  /// Record a suspicious event from `source` at time `now`.
+  void record(const net::Address& source, Suspicion kind, sim::Time now);
+
+  /// Number of in-window suspicious events for `source` at time `now`.
+  std::uint32_t score(const net::Address& source, sim::Time now) const;
+
+  /// True when `source` meets the detection threshold at time `now`.
+  bool flagged(const net::Address& source, sim::Time now) const;
+
+  /// All sources currently at or above the threshold.
+  std::vector<net::Address> flagged_sources(sim::Time now) const;
+
+  /// Lifetime (non-windowed) totals, for reporting.
+  std::uint64_t total_events(const net::Address& source) const;
+
+  const DetectionConfig& config() const { return config_; }
+
+ private:
+  struct Event {
+    sim::Time at;
+    Suspicion kind;
+  };
+
+  void expire(std::deque<Event>& events, sim::Time now) const;
+
+  DetectionConfig config_;
+  mutable std::map<net::Address, std::deque<Event>> events_;
+  std::map<net::Address, std::uint64_t> totals_;
+};
+
+}  // namespace fortress::proxy

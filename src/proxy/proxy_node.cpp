@@ -1,0 +1,180 @@
+#include "proxy/proxy_node.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fortress::proxy {
+
+using replication::Message;
+using replication::MsgType;
+
+ProxyNode::ProxyNode(sim::Simulator& sim, net::Network& network,
+                     crypto::KeyRegistry& registry, ProxyConfig config)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      key_(registry.enroll(config.address)),
+      config_(std::move(config)),
+      log_(config_.detection) {
+  FORTRESS_EXPECTS(!config_.servers.empty());
+}
+
+void ProxyNode::start() {
+  started_ = true;
+  for (const net::Address& server : config_.servers) {
+    dial_server(server);
+  }
+}
+
+void ProxyNode::dial_server(const net::Address& server) {
+  if (!started_) return;
+  if (server_conns_.contains(server)) return;
+  auto conn = network_.connect(config_.address, server);
+  if (!conn) {
+    // Server down (rebooting): retry after the configured delay.
+    sim_.schedule_after(config_.reconnect_delay,
+                        [this, server] { dial_server(server); });
+    return;
+  }
+  server_conns_[server] = *conn;
+  conn_servers_[*conn] = server;
+}
+
+bool ProxyNode::blacklisted(const net::Address& source) const {
+  return blacklist_.contains(source);
+}
+
+void ProxyNode::handle_message(const net::Envelope& env) {
+  auto msg = Message::decode(env.payload);
+  if (!msg) {
+    // Not protocol traffic at all: log the sender as having submitted an
+    // invalid request (this is how failed DIRECT probes at the proxy appear
+    // to the application layer — although raw probes never reach here, any
+    // other malformed bytes do).
+    ++stats_.malformed_requests;
+    log_.record(env.from, Suspicion::MalformedRequest, sim_.now());
+    if (config_.blacklist_enabled && log_.flagged(env.from, sim_.now())) {
+      blacklist_.insert(env.from);
+    }
+    return;
+  }
+  switch (msg->type) {
+    case MsgType::Request:
+      handle_client_request(env, *msg);
+      break;
+    case MsgType::Response:
+      handle_server_response(env, std::move(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void ProxyNode::handle_client_request(const net::Envelope& env,
+                                      const Message& msg) {
+  if (blacklist_.contains(env.from)) {
+    ++stats_.requests_from_blacklisted;
+    return;  // identified attacker: drop silently
+  }
+  PendingRequest& pending = pending_[msg.request_id];
+  const bool first_time = pending.clients.empty();
+  pending.clients.insert(env.from);
+
+  // Re-forward on duplicates too (the earlier copy may have died with a
+  // crashed child); servers dedup by request id.
+  Message fwd = msg;
+  fwd.requester = config_.address;
+  (void)first_time;
+  forward(fwd);
+
+  // Remember whom to blame if a server child now crashes.
+  for (const auto& [server, conn] : server_conns_) {
+    last_forwarded_source_[conn] = env.from;
+  }
+}
+
+void ProxyNode::forward(const Message& msg) {
+  Bytes wire = msg.encode();
+  for (const net::Address& server : config_.servers) {
+    auto it = server_conns_.find(server);
+    if (it != server_conns_.end()) {
+      if (network_.send_on(it->second, config_.address, wire)) {
+        ++stats_.requests_forwarded;
+        continue;
+      }
+      // Connection died under us; fall through to datagram + redial.
+      server_conns_.erase(server);
+    }
+    network_.send(config_.address, server, wire);
+    ++stats_.requests_forwarded;
+    dial_server(server);
+  }
+}
+
+void ProxyNode::handle_server_response(const net::Envelope& env,
+                                       Message msg) {
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) return;  // response to a request we never saw
+  if (!replication::verify_message(msg, registry_)) {
+    ++stats_.invalid_signatures;
+    log_.record(env.from, Suspicion::MalformedRequest, sim_.now());
+    return;
+  }
+  // Over-sign this authentic response and deliver to every client that has
+  // not been answered yet (§3: "a proxy over-signs any ONE of the authentic
+  // responses").
+  PendingRequest& pending = it->second;
+  Message out = std::move(msg);
+  out.type = MsgType::ProxyResponse;
+  for (const net::Address& client : pending.clients) {
+    if (pending.answered.contains(client)) continue;
+    out.requester = client;
+    out.over_signature.reset();
+    replication::over_sign_message(out, key_);
+    network_.send(config_.address, client, out.encode());
+    pending.answered.insert(client);
+    ++stats_.responses_delivered;
+  }
+}
+
+void ProxyNode::handle_connection_closed(net::ConnectionId id,
+                                         const net::Address& /*peer*/,
+                                         net::CloseReason reason) {
+  auto it = conn_servers_.find(id);
+  if (it == conn_servers_.end()) return;
+  const net::Address server = it->second;
+  conn_servers_.erase(it);
+  server_conns_.erase(server);
+
+  if (reason == net::CloseReason::PeerCrashed) {
+    // A server child crashed serving something we forwarded: the §2.2
+    // observation only a proxy can make. Attribute it to the last source
+    // forwarded on that connection.
+    ++stats_.server_crashes_observed;
+    auto src = last_forwarded_source_.find(id);
+    if (src != last_forwarded_source_.end()) {
+      log_.record(src->second, Suspicion::CorrelatedCrash, sim_.now());
+      if (config_.blacklist_enabled && log_.flagged(src->second, sim_.now())) {
+        if (blacklist_.insert(src->second).second) {
+          FORTRESS_LOG_INFO("proxy")
+              << config_.address << " blacklists " << src->second;
+        }
+      }
+    }
+  }
+  last_forwarded_source_.erase(id);
+  sim_.schedule_after(config_.reconnect_delay,
+                      [this, server] { dial_server(server); });
+}
+
+void ProxyNode::handle_reboot() {
+  // Connections died with the reboot; volatile pending state is lost
+  // (clients retry). Blacklist and logs are durable (written to disk).
+  server_conns_.clear();
+  conn_servers_.clear();
+  last_forwarded_source_.clear();
+  pending_.clear();
+  for (const net::Address& server : config_.servers) dial_server(server);
+}
+
+}  // namespace fortress::proxy

@@ -1,0 +1,104 @@
+// proxy_node.hpp — the FORTRESS proxy tier (§2.2, §3).
+//
+// Proxies are the only processes clients can reach. A proxy:
+//   * forwards every well-formed client request to every server over its
+//     own proxy->server connections (so that a server child crash is
+//     observable by the PROXY, never by the client);
+//   * collects server responses, verifies the server signature, over-signs
+//     the first authentic one, and returns the doubly-signed response to the
+//     client (§3's double-signature rule);
+//   * logs malformed requests and correlates server child crashes with the
+//     forwarding source, blacklisting sources that exceed the detection
+//     threshold (§2.2's frequency analysis) when detection is enabled.
+//
+// Proxies do no processing of request payloads and never talk to each other.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "crypto/signature.hpp"
+#include "net/network.hpp"
+#include "osl/machine.hpp"
+#include "proxy/probe_log.hpp"
+#include "replication/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::proxy {
+
+struct ProxyConfig {
+  net::Address address;
+  std::vector<net::Address> servers;
+  /// Delay before re-dialing a server whose connection dropped.
+  sim::Time reconnect_delay = 1.0;
+  /// Attack detection; when disabled the proxy only logs.
+  bool blacklist_enabled = true;
+  DetectionConfig detection;
+};
+
+/// Counters exposed for experiments.
+struct ProxyStats {
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t requests_from_blacklisted = 0;
+  std::uint64_t malformed_requests = 0;
+  std::uint64_t server_crashes_observed = 0;
+  std::uint64_t responses_delivered = 0;
+  std::uint64_t invalid_signatures = 0;
+};
+
+class ProxyNode final : public osl::Application {
+ public:
+  ProxyNode(sim::Simulator& sim, net::Network& network,
+            crypto::KeyRegistry& registry, ProxyConfig config);
+
+  /// Dial the server tier. Call after this proxy's machine is booted.
+  void start();
+
+  const ProxyStats& stats() const { return stats_; }
+  const ProbeLog& probe_log() const { return log_; }
+  bool blacklisted(const net::Address& source) const;
+  const net::Address& address() const { return config_.address; }
+
+  // osl::Application:
+  void handle_message(const net::Envelope& env) override;
+  void handle_connection_closed(net::ConnectionId id, const net::Address& peer,
+                                net::CloseReason reason) override;
+  void handle_reboot() override;
+
+ private:
+  void handle_client_request(const net::Envelope& env,
+                             const replication::Message& msg);
+  void handle_server_response(const net::Envelope& env,
+                              replication::Message msg);
+  void dial_server(const net::Address& server);
+  void forward(const replication::Message& msg);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  crypto::KeyRegistry& registry_;
+  crypto::SigningKey key_;
+  ProxyConfig config_;
+  ProxyStats stats_;
+  ProbeLog log_;
+
+  /// Open connection per server (absent while redialing).
+  std::map<net::Address, net::ConnectionId> server_conns_;
+  /// Reverse index for closure handling.
+  std::map<net::ConnectionId, net::Address> conn_servers_;
+  /// Last source whose request was forwarded on each connection — used to
+  /// attribute a child crash to a client (§2.2 correlation heuristic).
+  std::map<net::ConnectionId, net::Address> last_forwarded_source_;
+
+  struct PendingRequest {
+    std::set<net::Address> clients;       ///< who asked
+    std::set<net::Address> answered;      ///< who already got a response
+  };
+  std::map<replication::RequestId, PendingRequest> pending_;
+  std::set<net::Address> blacklist_;
+  bool started_ = false;
+};
+
+}  // namespace fortress::proxy

@@ -1,0 +1,189 @@
+#include "replication/message.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace fortress::replication {
+
+namespace {
+
+constexpr std::uint32_t kWireMagic = 0x46544d47;  // "FTMG"
+
+void append_string(Bytes& out, const std::string& s) {
+  append_u64_be(out, s.size());
+  append(out, bytes_of(s));
+}
+
+void append_bytes_field(Bytes& out, const Bytes& b) {
+  append_u64_be(out, b.size());
+  append(out, b);
+}
+
+void append_signature(Bytes& out, const std::optional<crypto::Signature>& sig) {
+  out.push_back(sig.has_value() ? 1 : 0);
+  if (!sig) return;
+  append_string(out, sig->signer.name);
+  append(out, BytesView(sig->tag.data(), sig->tag.size()));
+}
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+
+  std::uint32_t u32() {
+    if (!require(4)) return 0;
+    std::uint32_t v = read_u32_be(data_, off_);
+    off_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!require(8)) return 0;
+    std::uint64_t v = read_u64_be(data_, off_);
+    off_ += 8;
+    return v;
+  }
+
+  std::uint8_t byte() {
+    if (!require(1)) return 0;
+    return data_[off_++];
+  }
+
+  std::string str() {
+    std::uint64_t len = u64();
+    if (!require(len)) return {};
+    std::string s(data_.begin() + static_cast<std::ptrdiff_t>(off_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(off_ + len));
+    off_ += len;
+    return s;
+  }
+
+  Bytes blob() {
+    std::uint64_t len = u64();
+    if (!require(len)) return {};
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(off_),
+            data_.begin() + static_cast<std::ptrdiff_t>(off_ + len));
+    off_ += len;
+    return b;
+  }
+
+  std::optional<crypto::Signature> signature() {
+    std::uint8_t present = byte();
+    if (!ok_ || present == 0) return std::nullopt;
+    crypto::Signature sig;
+    sig.signer.name = str();
+    if (!require(sig.tag.size())) return std::nullopt;
+    std::memcpy(sig.tag.data(), data_.data() + off_, sig.tag.size());
+    off_ += sig.tag.size();
+    return sig;
+  }
+
+  bool exhausted() const { return off_ == data_.size(); }
+
+ private:
+  bool require(std::uint64_t n) {
+    // Compare against the REMAINING length: `off_ + n` would wrap for the
+    // huge length fields a hostile sender can craft.
+    if (!ok_ || n > data_.size() - off_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  BytesView data_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+Bytes encode_core(const Message& m) {
+  Bytes out;
+  append_u32_be(out, kWireMagic);
+  append_u32_be(out, static_cast<std::uint32_t>(m.type));
+  append_u64_be(out, m.view);
+  append_u64_be(out, m.seq);
+  append_u32_be(out, m.sender_index);
+  append_string(out, m.request_id.client);
+  append_u64_be(out, m.request_id.seq);
+  append_string(out, m.requester);
+  append_bytes_field(out, m.payload);
+  append_bytes_field(out, m.aux);
+  return out;
+}
+
+}  // namespace
+
+Bytes Message::signing_bytes() const {
+  // Signatures cover the semantic content, not routing metadata:
+  //  * `requester` is rewritten at each forwarding hop (server -> proxy ->
+  //    client), so it is excluded (blanked);
+  //  * a ProxyResponse is the same server-signed object as a Response with
+  //    an endorsement stapled on, so the type is normalized — the server's
+  //    signature survives the proxy relabeling. All other type pairs remain
+  //    distinct, so protocol messages cannot be re-purposed across planes.
+  Message canonical = *this;
+  canonical.requester.clear();
+  if (canonical.type == MsgType::ProxyResponse) {
+    canonical.type = MsgType::Response;
+  }
+  return encode_core(canonical);
+}
+
+Bytes Message::over_signing_bytes() const {
+  FORTRESS_EXPECTS(signature.has_value());
+  Bytes out = signing_bytes();
+  append_signature(out, signature);
+  return out;
+}
+
+Bytes Message::encode() const {
+  Bytes out = encode_core(*this);
+  append_signature(out, signature);
+  append_signature(out, over_signature);
+  return out;
+}
+
+std::optional<Message> Message::decode(BytesView data) {
+  Reader r(data);
+  if (r.u32() != kWireMagic) return std::nullopt;
+  Message m;
+  std::uint32_t type = r.u32();
+  m.type = static_cast<MsgType>(type);
+  m.view = r.u64();
+  m.seq = r.u64();
+  m.sender_index = r.u32();
+  m.request_id.client = r.str();
+  m.request_id.seq = r.u64();
+  m.requester = r.str();
+  m.payload = r.blob();
+  m.aux = r.blob();
+  m.signature = r.signature();
+  m.over_signature = r.signature();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void sign_message(Message& msg, const crypto::SigningKey& key) {
+  msg.signature = key.sign(msg.signing_bytes());
+}
+
+void over_sign_message(Message& msg, const crypto::SigningKey& key) {
+  FORTRESS_EXPECTS(msg.signature.has_value());
+  msg.over_signature = key.sign(msg.over_signing_bytes());
+}
+
+bool verify_message(const Message& msg, const crypto::KeyRegistry& registry) {
+  if (!msg.signature) return false;
+  return registry.verify(msg.signing_bytes(), *msg.signature);
+}
+
+bool verify_over_signature(const Message& msg,
+                           const crypto::KeyRegistry& registry) {
+  if (!msg.signature || !msg.over_signature) return false;
+  return registry.verify(msg.over_signing_bytes(), *msg.over_signature);
+}
+
+}  // namespace fortress::replication

@@ -1,0 +1,94 @@
+// message.hpp — wire format of the replication and FORTRESS protocols.
+//
+// One self-describing record type covers every protocol message (client
+// request, primary-backup state update, SMR ordering traffic, signed
+// responses, name-server lookups). Fields unused by a message type are left
+// empty; encode/decode round-trips all fields. Signatures sign the encoding
+// WITHOUT the signature fields (signing_bytes()).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/signature.hpp"
+
+namespace fortress::replication {
+
+/// Message types. Numeric values are part of the wire format.
+enum class MsgType : std::uint32_t {
+  // Client/proxy plane.
+  Request = 1,        ///< client/proxy -> servers: execute `payload`
+  Response = 2,       ///< server -> requester: signed result
+  ProxyResponse = 3,  ///< proxy -> client: over-signed server response
+
+  // Primary-backup plane.
+  StateUpdate = 10,  ///< primary -> backups: executed request + new state
+  Heartbeat = 11,    ///< primary -> backups: liveness
+  ViewChange = 12,   ///< replica -> all: move to view `view`
+
+  // SMR ordering plane.
+  PrePrepare = 20,  ///< leader -> replicas: order (view, seq) = payload
+  PrepareAck = 21,  ///< replica -> replicas: endorse (view, seq, digest)
+  NewView = 22,     ///< new leader -> replicas: adopt view, re-propose
+
+  // State transfer (SMR proactive recovery; §2.3).
+  StateRequest = 30,  ///< rejoining replica -> all: send me your state
+  StateReply = 31,    ///< replica -> rejoiner: seq + snapshot
+
+  // Name-server plane.
+  NsLookup = 40,  ///< client -> NS: directory request
+  NsReply = 41,   ///< NS -> client: directory contents
+};
+
+/// Identity of a client request: (client name, client-local sequence).
+struct RequestId {
+  std::string client;
+  std::uint64_t seq = 0;
+
+  auto operator<=>(const RequestId&) const = default;
+  std::string to_string() const { return client + "#" + std::to_string(seq); }
+};
+
+/// The universal protocol record.
+struct Message {
+  MsgType type = MsgType::Request;
+  std::uint64_t view = 0;      ///< view/epoch number
+  std::uint64_t seq = 0;       ///< order sequence / state version
+  std::uint32_t sender_index = 0;  ///< replica index of the sender (if any)
+  RequestId request_id;        ///< request being carried/answered
+  std::string requester;       ///< network address to answer to
+  Bytes payload;               ///< request body / response body
+  Bytes aux;                   ///< snapshot / digest / directory blob
+  std::optional<crypto::Signature> signature;        ///< server signature
+  std::optional<crypto::Signature> over_signature;   ///< proxy over-signature
+
+  /// Full wire encoding (including signatures).
+  Bytes encode() const;
+
+  /// The byte string a signature covers: everything except the signature
+  /// fields. An over-signature covers signing_bytes() PLUS the inner
+  /// signature (so the proxy endorses a specific server-signed response).
+  Bytes signing_bytes() const;
+  Bytes over_signing_bytes() const;
+
+  /// Decode; nullopt on malformed input (never throws on hostile bytes).
+  static std::optional<Message> decode(BytesView data);
+};
+
+/// Sign `msg` in place as a server response (sets msg.signature).
+void sign_message(Message& msg, const crypto::SigningKey& key);
+
+/// Over-sign `msg` in place as a proxy (sets msg.over_signature).
+/// Precondition: msg.signature already present.
+void over_sign_message(Message& msg, const crypto::SigningKey& key);
+
+/// Verify the server signature against `registry`.
+bool verify_message(const Message& msg, const crypto::KeyRegistry& registry);
+
+/// Verify the proxy over-signature (and require the inner one to be present).
+bool verify_over_signature(const Message& msg,
+                           const crypto::KeyRegistry& registry);
+
+}  // namespace fortress::replication

@@ -1,0 +1,206 @@
+#include "replication/pb_replica.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fortress::replication {
+
+PbReplica::PbReplica(sim::Simulator& sim, net::Network& network,
+                     crypto::KeyRegistry& registry,
+                     std::unique_ptr<Service> service, PbConfig config)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      key_(registry.enroll(config.replicas.at(config.index))),
+      service_(std::move(service)),
+      config_(std::move(config)),
+      heartbeat_timer_(sim, config_.heartbeat_interval,
+                       [this] { send_heartbeat(); }),
+      failover_timer_(sim, config_.failover_timeout / 4.0,
+                      [this] { check_failover(); }) {
+  FORTRESS_EXPECTS(service_ != nullptr);
+  FORTRESS_EXPECTS(!config_.replicas.empty());
+  FORTRESS_EXPECTS(config_.index < config_.replicas.size());
+  FORTRESS_EXPECTS(config_.heartbeat_interval > 0);
+  FORTRESS_EXPECTS(config_.failover_timeout > config_.heartbeat_interval);
+}
+
+PbReplica::~PbReplica() { stop(); }
+
+void PbReplica::start() {
+  FORTRESS_EXPECTS(!running_);
+  running_ = true;
+  last_primary_sign_of_life_ = sim_.now();
+  heartbeat_timer_.start();
+  failover_timer_.start();
+}
+
+void PbReplica::stop() {
+  if (!running_) return;
+  running_ = false;
+  heartbeat_timer_.stop();
+  failover_timer_.stop();
+}
+
+void PbReplica::broadcast(const Message& msg) {
+  Bytes wire = msg.encode();
+  for (std::uint32_t i = 0; i < config_.replicas.size(); ++i) {
+    if (i == config_.index) continue;
+    network_.send(address(), config_.replicas[i], wire);
+  }
+}
+
+void PbReplica::send_to(const net::Address& to, const Message& msg) {
+  network_.send(address(), to, msg.encode());
+}
+
+void PbReplica::handle_message(const net::Envelope& env) {
+  auto msg = Message::decode(env.payload);
+  if (!msg) return;  // not protocol traffic; ignore
+  switch (msg->type) {
+    case MsgType::Request:
+      handle_request(env, *msg);
+      break;
+    case MsgType::StateUpdate:
+      handle_state_update(*msg);
+      break;
+    case MsgType::Heartbeat:
+      handle_heartbeat(*msg);
+      break;
+    case MsgType::ViewChange:
+      handle_view_change(*msg);
+      break;
+    default:
+      break;  // other planes (SMR/NS) are not ours
+  }
+}
+
+void PbReplica::handle_request(const net::Envelope& env, const Message& msg) {
+  const RequestId& rid = msg.request_id;
+  requesters_[rid].insert(env.from);
+
+  if (auto it = responses_.find(rid); it != responses_.end()) {
+    send_response(rid, env.from);  // duplicate: re-reply from cache
+    return;
+  }
+  if (!is_primary()) return;  // backups wait for the state update
+
+  // Execute (the service may be non-deterministic; only the primary runs it).
+  Bytes response = service_->execute(msg.payload);
+  ++applied_seq_;
+  ++executed_count_;
+  responses_[rid] = response;
+
+  Message update;
+  update.type = MsgType::StateUpdate;
+  update.view = view_;
+  update.seq = applied_seq_;
+  update.sender_index = config_.index;
+  update.request_id = rid;
+  update.requester = env.from;
+  update.payload = response;
+  update.aux = service_->snapshot();
+  broadcast(update);
+
+  respond_to_all(rid);
+}
+
+void PbReplica::handle_state_update(const Message& msg) {
+  if (msg.view < view_) return;  // stale primary
+  if (msg.view > view_) adopt_view(msg.view);
+  if (msg.sender_index != msg.view % config_.replicas.size()) return;
+  last_primary_sign_of_life_ = sim_.now();
+  if (msg.seq <= applied_seq_) {
+    // Duplicate/old update; still make sure the requester gets an answer.
+    if (responses_.contains(msg.request_id) && !msg.requester.empty()) {
+      send_response(msg.request_id, msg.requester);
+    }
+    return;
+  }
+  service_->restore(msg.aux);
+  applied_seq_ = msg.seq;
+  responses_[msg.request_id] = msg.payload;
+  if (!msg.requester.empty()) requesters_[msg.request_id].insert(msg.requester);
+  respond_to_all(msg.request_id);
+}
+
+void PbReplica::send_response(const RequestId& rid, const net::Address& to) {
+  auto it = responses_.find(rid);
+  FORTRESS_EXPECTS(it != responses_.end());
+  Message resp;
+  resp.type = MsgType::Response;
+  resp.view = view_;
+  resp.seq = applied_seq_;
+  resp.sender_index = config_.index;
+  resp.request_id = rid;
+  resp.requester = to;
+  resp.payload = it->second;
+  sign_message(resp, key_);
+  send_to(to, resp);
+}
+
+void PbReplica::respond_to_all(const RequestId& rid) {
+  auto it = requesters_.find(rid);
+  if (it == requesters_.end()) return;
+  for (const net::Address& requester : it->second) {
+    send_response(rid, requester);
+  }
+}
+
+void PbReplica::send_heartbeat() {
+  if (!is_primary()) return;
+  Message hb;
+  hb.type = MsgType::Heartbeat;
+  hb.view = view_;
+  hb.sender_index = config_.index;
+  broadcast(hb);
+}
+
+void PbReplica::handle_heartbeat(const Message& msg) {
+  if (msg.view < view_) return;
+  if (msg.view > view_) adopt_view(msg.view);
+  if (msg.sender_index == msg.view % config_.replicas.size()) {
+    last_primary_sign_of_life_ = sim_.now();
+  }
+}
+
+void PbReplica::check_failover() {
+  if (is_primary()) return;
+  if (sim_.now() - last_primary_sign_of_life_ < config_.failover_timeout) {
+    return;
+  }
+  // Primary presumed crashed: move to the next view. PB tolerates crash
+  // faults only, so an unilateral, gossiped view bump suffices.
+  std::uint64_t next = view_ + 1;
+  FORTRESS_LOG_INFO("pb") << address() << " suspects primary of view "
+                          << view_ << "; moving to view " << next;
+  Message vc;
+  vc.type = MsgType::ViewChange;
+  vc.view = next;
+  vc.sender_index = config_.index;
+  broadcast(vc);
+  adopt_view(next);
+}
+
+void PbReplica::handle_view_change(const Message& msg) {
+  if (msg.view > view_) adopt_view(msg.view);
+}
+
+void PbReplica::adopt_view(std::uint64_t view) {
+  FORTRESS_EXPECTS(view > view_);
+  view_ = view;
+  last_primary_sign_of_life_ = sim_.now();
+  if (is_primary()) {
+    FORTRESS_LOG_INFO("pb") << address() << " is primary of view " << view_;
+    send_heartbeat();
+  }
+}
+
+void PbReplica::handle_reboot() {
+  // Durable state (service_, responses_) survives; only liveness bookkeeping
+  // resets so a freshly rebooted backup does not instantly suspect the
+  // primary it has not heard from while down.
+  last_primary_sign_of_life_ = sim_.now();
+}
+
+}  // namespace fortress::replication

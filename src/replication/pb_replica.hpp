@@ -1,0 +1,96 @@
+// pb_replica.hpp — classical primary-backup replication (§1, §3).
+//
+// One primary executes requests and ships (response, state snapshot) updates
+// to the backups; every replica — primary and backups alike — signs the
+// response together with its index and returns it to the requester, exactly
+// as §3 prescribes for the FORTRESS server tier. Because backups apply the
+// primary's state instead of re-executing, the replicated service may be
+// arbitrarily non-deterministic.
+//
+// Crash-fault tolerance only (that is PB's contract): primary liveness is
+// monitored with heartbeats; on silence the next replica index takes over
+// (view v -> primary index v mod n). Service state survives reboots (stable
+// storage assumption of crash-tolerant replication).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "net/network.hpp"
+#include "osl/machine.hpp"
+#include "replication/message.hpp"
+#include "replication/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::replication {
+
+struct PbConfig {
+  std::uint32_t index = 0;  ///< this replica's index (0-based)
+  std::vector<net::Address> replicas;  ///< addresses by index
+  sim::Time heartbeat_interval = 5.0;
+  sim::Time failover_timeout = 20.0;
+};
+
+/// A primary-backup replica. Plug into an osl::Machine via set_application().
+class PbReplica final : public osl::Application {
+ public:
+  PbReplica(sim::Simulator& sim, net::Network& network,
+            crypto::KeyRegistry& registry, std::unique_ptr<Service> service,
+            PbConfig config);
+  ~PbReplica() override;
+
+  /// Start heartbeat/failover timers. Call after the machine is booted.
+  void start();
+  void stop();
+
+  std::uint64_t view() const { return view_; }
+  bool is_primary() const { return view_ % config_.replicas.size() == config_.index; }
+  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::uint64_t executed_requests() const { return executed_count_; }
+  const Service& service() const { return *service_; }
+  const net::Address& address() const { return config_.replicas[config_.index]; }
+
+  // osl::Application:
+  void handle_message(const net::Envelope& env) override;
+  void handle_reboot() override;
+
+ private:
+  void handle_request(const net::Envelope& env, const Message& msg);
+  void handle_state_update(const Message& msg);
+  void handle_heartbeat(const Message& msg);
+  void handle_view_change(const Message& msg);
+  void send_response(const RequestId& rid, const net::Address& to);
+  void respond_to_all(const RequestId& rid);
+  void broadcast(const Message& msg);
+  void send_to(const net::Address& to, const Message& msg);
+  void check_failover();
+  void send_heartbeat();
+  void adopt_view(std::uint64_t view);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  crypto::KeyRegistry& registry_;
+  crypto::SigningKey key_;
+  std::unique_ptr<Service> service_;
+  PbConfig config_;
+
+  std::uint64_t view_ = 0;
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t executed_count_ = 0;
+  sim::Time last_primary_sign_of_life_ = 0.0;
+
+  /// Completed requests and their responses (dedup + re-reply cache).
+  std::map<RequestId, Bytes> responses_;
+  /// Who asked for each request (every proxy sends every request).
+  std::map<RequestId, std::set<net::Address>> requesters_;
+
+  sim::PeriodicTimer heartbeat_timer_;
+  sim::PeriodicTimer failover_timer_;
+  bool running_ = false;
+};
+
+}  // namespace fortress::replication

@@ -1,0 +1,149 @@
+#include "replication/service.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace fortress::replication {
+
+namespace {
+
+std::vector<std::string> tokenize(BytesView request) {
+  std::istringstream in(string_of(request));
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+Bytes reply(const std::string& s) { return bytes_of(s); }
+
+// Snapshot format shared by the map-based services:
+// u64 count, then per entry: u64 klen, key bytes, u64 vlen, value bytes.
+Bytes serialize_map(const std::map<std::string, std::string>& m) {
+  Bytes out;
+  append_u64_be(out, m.size());
+  for (const auto& [k, v] : m) {
+    append_u64_be(out, k.size());
+    append(out, bytes_of(k));
+    append_u64_be(out, v.size());
+    append(out, bytes_of(v));
+  }
+  return out;
+}
+
+std::map<std::string, std::string> deserialize_map(BytesView data) {
+  std::map<std::string, std::string> m;
+  std::size_t off = 0;
+  std::uint64_t count = read_u64_be(data, off);
+  off += 8;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t klen = read_u64_be(data, off);
+    off += 8;
+    if (klen > data.size() - off) throw std::out_of_range("bad snapshot");
+    std::string k(data.begin() + static_cast<std::ptrdiff_t>(off),
+                  data.begin() + static_cast<std::ptrdiff_t>(off + klen));
+    off += klen;
+    std::uint64_t vlen = read_u64_be(data, off);
+    off += 8;
+    if (vlen > data.size() - off) throw std::out_of_range("bad snapshot");
+    std::string v(data.begin() + static_cast<std::ptrdiff_t>(off),
+                  data.begin() + static_cast<std::ptrdiff_t>(off + vlen));
+    off += vlen;
+    m.emplace(std::move(k), std::move(v));
+  }
+  return m;
+}
+
+}  // namespace
+
+Bytes KvService::execute(BytesView request) {
+  auto tokens = tokenize(request);
+  if (tokens.empty()) return reply("ERR empty");
+  const std::string& cmd = tokens[0];
+  if (cmd == "PUT" && tokens.size() >= 3) {
+    data_[tokens[1]] = tokens[2];
+    return reply("OK");
+  }
+  if (cmd == "GET" && tokens.size() >= 2) {
+    auto it = data_.find(tokens[1]);
+    if (it == data_.end()) return reply("NOTFOUND");
+    return reply("VALUE " + it->second);
+  }
+  if (cmd == "DEL" && tokens.size() >= 2) {
+    return reply(data_.erase(tokens[1]) > 0 ? "OK" : "NOTFOUND");
+  }
+  if (cmd == "SIZE") {
+    return reply("SIZE " + std::to_string(data_.size()));
+  }
+  return reply("ERR bad-command");
+}
+
+Bytes KvService::snapshot() const { return serialize_map(data_); }
+
+void KvService::restore(BytesView snapshot) {
+  data_ = deserialize_map(snapshot);
+}
+
+Bytes CounterService::execute(BytesView request) {
+  auto tokens = tokenize(request);
+  if (tokens.empty()) return reply("ERR empty");
+  const std::string& cmd = tokens[0];
+  if (cmd == "INC") {
+    ++value_;
+    return reply("COUNT " + std::to_string(value_));
+  }
+  if (cmd == "ADD" && tokens.size() >= 2) {
+    value_ += std::stoll(tokens[1]);
+    return reply("COUNT " + std::to_string(value_));
+  }
+  if (cmd == "GET") {
+    return reply("COUNT " + std::to_string(value_));
+  }
+  return reply("ERR bad-command");
+}
+
+Bytes CounterService::snapshot() const {
+  Bytes out;
+  append_u64_be(out, static_cast<std::uint64_t>(value_));
+  return out;
+}
+
+void CounterService::restore(BytesView snapshot) {
+  value_ = static_cast<std::int64_t>(read_u64_be(snapshot, 0));
+}
+
+Bytes SessionTokenService::execute(BytesView request) {
+  auto tokens = tokenize(request);
+  if (tokens.empty()) return reply("ERR empty");
+  const std::string& cmd = tokens[0];
+  if (cmd == "TOKEN" && tokens.size() >= 2) {
+    // Non-deterministic: mints a fresh random token. A backup re-executing
+    // this request would mint a DIFFERENT token; only state shipping keeps
+    // replicas consistent.
+    Bytes raw;
+    append_u64_be(raw, rng_.bits());
+    append_u64_be(raw, rng_.bits());
+    std::string token = to_hex(raw);
+    tokens_[tokens[1]] = token;
+    return reply("TOKEN " + token);
+  }
+  if (cmd == "CHECK" && tokens.size() >= 3) {
+    auto it = tokens_.find(tokens[1]);
+    if (it == tokens_.end()) return reply("NOTFOUND");
+    return reply(it->second == tokens[2] ? "VALID" : "INVALID");
+  }
+  if (cmd == "GET" && tokens.size() >= 2) {
+    auto it = tokens_.find(tokens[1]);
+    if (it == tokens_.end()) return reply("NOTFOUND");
+    return reply("TOKEN " + it->second);
+  }
+  return reply("ERR bad-command");
+}
+
+Bytes SessionTokenService::snapshot() const { return serialize_map(tokens_); }
+
+void SessionTokenService::restore(BytesView snapshot) {
+  tokens_ = deserialize_map(snapshot);
+}
+
+}  // namespace fortress::replication

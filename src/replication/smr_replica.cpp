@@ -1,0 +1,332 @@
+#include "replication/smr_replica.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fortress::replication {
+
+SmrReplica::SmrReplica(sim::Simulator& sim, net::Network& network,
+                       crypto::KeyRegistry& registry,
+                       std::unique_ptr<DeterministicService> service,
+                       SmrConfig config)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      key_(registry.enroll(config.replicas.at(config.index))),
+      service_(std::move(service)),
+      config_(std::move(config)),
+      heartbeat_timer_(sim, config_.heartbeat_interval,
+                       [this] {
+                         if (is_leader() && !stale_) {
+                           Message hb;
+                           hb.type = MsgType::Heartbeat;
+                           hb.view = view_;
+                           hb.sender_index = config_.index;
+                           broadcast(hb);
+                         }
+                       }),
+      progress_timer_(sim, config_.progress_timeout / 4.0,
+                      [this] { check_progress(); }) {
+  FORTRESS_EXPECTS(service_ != nullptr);
+  FORTRESS_EXPECTS(config_.f >= 1);
+  FORTRESS_EXPECTS(config_.replicas.size() == 3 * config_.f + 1);
+  FORTRESS_EXPECTS(config_.index < config_.replicas.size());
+}
+
+SmrReplica::~SmrReplica() { stop(); }
+
+void SmrReplica::start() {
+  FORTRESS_EXPECTS(!running_);
+  running_ = true;
+  last_progress_ = sim_.now();
+  heartbeat_timer_.start();
+  progress_timer_.start();
+}
+
+void SmrReplica::stop() {
+  if (!running_) return;
+  running_ = false;
+  heartbeat_timer_.stop();
+  progress_timer_.stop();
+}
+
+crypto::Digest SmrReplica::digest_of(const RequestId& rid, BytesView request) {
+  crypto::Sha256 h;
+  h.update(bytes_of(rid.to_string()));
+  h.update(request);
+  return h.finish();
+}
+
+void SmrReplica::broadcast(const Message& msg) {
+  Bytes wire = msg.encode();
+  for (std::uint32_t i = 0; i < config_.replicas.size(); ++i) {
+    if (i == config_.index) continue;
+    network_.send(address(), config_.replicas[i], wire);
+  }
+}
+
+void SmrReplica::send_to(const net::Address& to, const Message& msg) {
+  network_.send(address(), to, msg.encode());
+}
+
+void SmrReplica::handle_message(const net::Envelope& env) {
+  auto msg = Message::decode(env.payload);
+  if (!msg) return;
+  switch (msg->type) {
+    case MsgType::Request:
+      handle_request(env, *msg);
+      break;
+    case MsgType::PrePrepare:
+      if (verify_message(*msg, registry_)) handle_pre_prepare(*msg);
+      break;
+    case MsgType::PrepareAck:
+      if (verify_message(*msg, registry_)) handle_prepare_ack(*msg);
+      break;
+    case MsgType::ViewChange:
+      if (verify_message(*msg, registry_)) handle_view_change(*msg);
+      break;
+    case MsgType::Heartbeat:
+      if (msg->view >= view_) {
+        if (msg->view > view_) adopt_view(msg->view);
+        if (msg->sender_index == msg->view % config_.replicas.size()) {
+          last_progress_ = sim_.now();
+        }
+      }
+      break;
+    case MsgType::StateRequest:
+      handle_state_request(*msg);
+      break;
+    case MsgType::StateReply:
+      handle_state_reply(*msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void SmrReplica::handle_request(const net::Envelope& env, const Message& msg) {
+  const RequestId& rid = msg.request_id;
+  requesters_[rid].insert(env.from);
+  if (auto it = responses_.find(rid); it != responses_.end()) {
+    respond(rid, env.from);
+    return;
+  }
+  if (stale_) return;
+  if (is_leader()) {
+    if (!proposed_.contains(rid)) propose(rid, msg.payload);
+  } else {
+    pending_[rid] = msg.payload;  // kept for re-proposal after view change
+  }
+}
+
+void SmrReplica::propose(const RequestId& rid, const Bytes& request) {
+  std::uint64_t seq = std::max(next_seq_, executed_seq_) + 1;
+  next_seq_ = seq;
+  proposed_[rid] = seq;
+
+  Message pp;
+  pp.type = MsgType::PrePrepare;
+  pp.view = view_;
+  pp.seq = seq;
+  pp.sender_index = config_.index;
+  pp.request_id = rid;
+  pp.payload = request;
+  sign_message(pp, key_);
+  broadcast(pp);
+  // Process our own pre-prepare locally.
+  handle_pre_prepare(pp);
+}
+
+void SmrReplica::handle_pre_prepare(const Message& msg) {
+  if (msg.view != view_ || stale_) return;
+  if (msg.sender_index != view_ % config_.replicas.size()) return;
+  Slot& slot = slots_[msg.seq];
+  if (slot.pre_prepared) return;  // already have a proposal for this slot
+  slot.pre_prepared = true;
+  slot.rid = msg.request_id;
+  slot.request = msg.payload;
+  slot.digest = digest_of(msg.request_id, msg.payload);
+  pending_.erase(msg.request_id);
+
+  Message ack;
+  ack.type = MsgType::PrepareAck;
+  ack.view = view_;
+  ack.seq = msg.seq;
+  ack.sender_index = config_.index;
+  ack.request_id = msg.request_id;
+  ack.aux = crypto::digest_bytes(slot.digest);
+  sign_message(ack, key_);
+  broadcast(ack);
+  // Count our own endorsement.
+  slot.acks.insert(config_.index);
+  if (slot.acks.size() >= quorum()) slot.committed = true;
+  try_execute();
+}
+
+void SmrReplica::handle_prepare_ack(const Message& msg) {
+  if (msg.view != view_ || stale_) return;
+  Slot& slot = slots_[msg.seq];
+  // Acks may arrive before the pre-prepare; buffer them against the digest.
+  if (slot.pre_prepared &&
+      msg.aux != crypto::digest_bytes(slot.digest)) {
+    return;  // endorsement of a different proposal; drop
+  }
+  slot.acks.insert(msg.sender_index);
+  if (slot.pre_prepared && slot.acks.size() >= quorum()) {
+    slot.committed = true;
+    try_execute();
+  }
+}
+
+void SmrReplica::try_execute() {
+  while (true) {
+    auto it = slots_.find(executed_seq_ + 1);
+    if (it == slots_.end() || !it->second.committed || it->second.executed) {
+      break;
+    }
+    Slot& slot = it->second;
+    Bytes response = service_->execute(slot.request);
+    slot.executed = true;
+    ++executed_seq_;
+    last_progress_ = sim_.now();
+    responses_[slot.rid] = response;
+    for (const net::Address& requester : requesters_[slot.rid]) {
+      respond(slot.rid, requester);
+    }
+  }
+}
+
+void SmrReplica::respond(const RequestId& rid, const net::Address& to) {
+  auto it = responses_.find(rid);
+  FORTRESS_EXPECTS(it != responses_.end());
+  Message resp;
+  resp.type = MsgType::Response;
+  resp.view = view_;
+  resp.seq = executed_seq_;
+  resp.sender_index = config_.index;
+  resp.request_id = rid;
+  resp.requester = to;
+  resp.payload = it->second;
+  sign_message(resp, key_);
+  send_to(to, resp);
+}
+
+void SmrReplica::check_progress() {
+  if (stale_) {
+    request_state();  // keep retrying until f+1 matching offers arrive
+    return;
+  }
+  // Only suspect the leader when there is work it should be doing.
+  bool work_pending = !pending_.empty();
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.executed) work_pending = true;
+  }
+  if (!work_pending) {
+    last_progress_ = sim_.now();
+    return;
+  }
+  if (sim_.now() - last_progress_ < config_.progress_timeout) return;
+  if (is_leader()) return;  // the leader cannot vote itself out
+
+  std::uint64_t next = view_ + 1;
+  Message vc;
+  vc.type = MsgType::ViewChange;
+  vc.view = next;
+  vc.sender_index = config_.index;
+  sign_message(vc, key_);
+  broadcast(vc);
+  view_votes_[next].insert(config_.index);
+  last_progress_ = sim_.now();  // give the vote time to gather
+  if (view_votes_[next].size() >= quorum()) adopt_view(next);
+}
+
+void SmrReplica::handle_view_change(const Message& msg) {
+  if (msg.view <= view_) return;
+  view_votes_[msg.view].insert(msg.sender_index);
+  if (view_votes_[msg.view].size() >= quorum()) {
+    adopt_view(msg.view);
+  }
+}
+
+void SmrReplica::adopt_view(std::uint64_t view) {
+  FORTRESS_EXPECTS(view > view_);
+  view_ = view;
+  last_progress_ = sim_.now();
+  // Un-executed slots from the old view are abandoned; their requests fall
+  // back into the pending buffer for re-proposal.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (!it->second.executed) {
+      pending_[it->second.rid] = it->second.request;
+      proposed_.erase(it->second.rid);
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  next_seq_ = executed_seq_;
+  if (is_leader() && !stale_) {
+    FORTRESS_LOG_INFO("smr") << address() << " leads view " << view_;
+    // Re-propose everything outstanding.
+    auto pend = pending_;
+    for (const auto& [rid, request] : pend) {
+      if (!responses_.contains(rid)) propose(rid, request);
+    }
+  }
+}
+
+void SmrReplica::request_state() {
+  Message req;
+  req.type = MsgType::StateRequest;
+  req.view = view_;
+  req.sender_index = config_.index;
+  broadcast(req);
+}
+
+void SmrReplica::handle_state_request(const Message& msg) {
+  if (stale_) return;  // cannot vouch for state we are still fetching
+  Message reply;
+  reply.type = MsgType::StateReply;
+  reply.view = view_;
+  reply.seq = executed_seq_;
+  reply.sender_index = config_.index;
+  reply.aux = service_->snapshot();
+  sign_message(reply, key_);
+  send_to(config_.replicas[msg.sender_index], reply);
+}
+
+void SmrReplica::handle_state_reply(const Message& msg) {
+  if (!stale_) return;
+  if (!verify_message(msg, registry_)) return;
+  if (msg.seq < executed_seq_) return;  // older than what we already have
+  crypto::Digest d = crypto::Sha256::hash(msg.aux);
+  auto key = std::make_pair(msg.seq, to_hex(BytesView(d.data(), d.size())));
+  StateOffer& offer = state_offers_[key];
+  offer.senders.insert(msg.sender_index);
+  offer.snapshot = msg.aux;
+  // f+1 identical offers guarantee at least one comes from a correct
+  // replica (n = 3f+1, at most f faulty).
+  if (offer.senders.size() >= config_.f + 1) {
+    service_->restore(offer.snapshot);
+    executed_seq_ = msg.seq;
+    next_seq_ = std::max(next_seq_, executed_seq_);
+    stale_ = false;
+    state_offers_.clear();
+    last_progress_ = sim_.now();
+    FORTRESS_LOG_INFO("smr") << address() << " restored state at seq "
+                             << executed_seq_;
+  }
+}
+
+void SmrReplica::handle_reboot() {
+  // Proactive recovery: the executable was replaced; treat local state as
+  // untrusted and rejoin via state transfer (Roeder-Schneider §2.3).
+  stale_ = true;
+  slots_.clear();
+  proposed_.clear();
+  view_votes_.clear();
+  state_offers_.clear();
+  last_progress_ = sim_.now();
+  request_state();
+}
+
+}  // namespace fortress::replication

@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+namespace fortress::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  FORTRESS_EXPECTS(at >= now_);
+  FORTRESS_EXPECTS(fn != nullptr);
+  EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  FORTRESS_EXPECTS(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  ++cancelled_count_;
+  return true;
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) {
+      // Cancelled tombstone.
+      FORTRESS_CHECK(cancelled_count_ > 0);
+      --cancelled_count_;
+      continue;
+    }
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.at;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(Time until) {
+  std::uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    // Skip tombstones to look at the real next event time.
+    while (!queue_.empty() && !handlers_.contains(queue_.top().id)) {
+      queue_.pop();
+      --cancelled_count_;
+    }
+    if (queue_.empty()) break;
+    if (queue_.top().at > until) break;
+    if (pop_and_run()) ++executed;
+  }
+  if (now_ < until && !stop_requested_) now_ = until;
+  return executed;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && pop_and_run()) ++executed;
+  return executed;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+bool Simulator::idle() const { return handlers_.empty(); }
+
+void PeriodicTimer::arm(Time delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm(period_);
+  });
+}
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(Time first_delay) {
+  FORTRESS_EXPECTS(!running_);
+  running_ = true;
+  arm(first_delay);
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+}  // namespace fortress::sim

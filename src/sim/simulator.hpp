@@ -1,0 +1,126 @@
+// simulator.hpp — deterministic discrete-event simulation kernel.
+//
+// All live-protocol experiments (FORTRESS request flow, primary-backup
+// failover, SMR ordering, de-randomization attacks) run on this kernel.
+// Virtual time is a double in abstract "time units"; the paper's unit
+// time-step (the re-randomization period) maps to a configurable number of
+// these units. Determinism: events at equal times fire in insertion order
+// (FIFO tie-break by sequence number), and all randomness is injected via
+// fortress::Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fortress::sim {
+
+/// Virtual simulation time, in abstract units.
+using Time = double;
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+/// The event-driven simulator. Single-threaded by construction: handlers run
+/// to completion and may schedule further events.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` (>= 0) from now.
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  /// Cancel a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty or `until` is reached (events at
+  /// exactly `until` are executed). Returns the number of events executed.
+  std::uint64_t run_until(Time until);
+
+  /// Run until the queue drains. Returns events executed.
+  std::uint64_t run();
+
+  /// Execute at most one event. Returns false if the queue is empty.
+  bool step();
+
+  /// True when nothing is pending.
+  bool idle() const;
+
+  /// Number of scheduled-but-not-yet-executed events (including cancelled
+  /// tombstones not yet popped).
+  std::size_t pending() const { return queue_.size() - cancelled_count_; }
+
+  /// Request that run()/run_until() return after the current handler.
+  void request_stop() { stop_requested_ = true; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  bool stop_requested_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Handlers and cancellation flags keyed by EventId. Entries are erased
+  // when popped.
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::size_t cancelled_count_ = 0;
+};
+
+/// Periodic timer helper: reschedules itself every `period` until stopped.
+/// Lifetime: the timer object must outlive the simulation or be stopped.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {
+    FORTRESS_EXPECTS(period > 0);
+  }
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Start ticking; first fire at now + period (or `first_delay` if given).
+  void start();
+  void start_after(Time first_delay);
+
+  /// Stop ticking; safe to call repeatedly.
+  void stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void arm(Time delay);
+
+  Simulator& sim_;
+  Time period_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace fortress::sim

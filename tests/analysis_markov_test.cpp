@@ -1,0 +1,224 @@
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "model/lifetime_sim.hpp"
+#include "model/step_model.hpp"
+
+namespace fortress::analysis {
+namespace {
+
+using model::AttackParams;
+using model::SystemShape;
+
+AttackParams params(double alpha, double kappa = 0.5,
+                    std::uint32_t period = 1) {
+  AttackParams p;
+  p.alpha = alpha;
+  p.kappa = kappa;
+  p.period = period;
+  return p;
+}
+
+TEST(AbsorbingChainTest, SimpleGeometricChain) {
+  // One transient state, absorption probability 0.25 per step:
+  // expected steps to absorption = 4.
+  Matrix t(2, 2);
+  t(0, 0) = 0.75;
+  t(0, 1) = 0.25;
+  t(1, 1) = 1.0;
+  AbsorbingChain chain(t, 1);
+  auto steps = chain.expected_steps_to_absorption();
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_NEAR(steps[0], 4.0, 1e-12);
+}
+
+TEST(AbsorbingChainTest, TwoPhaseChain) {
+  // 0 -> 1 (always), 1 -> absorbed (p=0.5) or back to 0.
+  // E0 = 1 + E1; E1 = 1 + 0.5*E0 -> E0 = 4, E1 = 3.
+  Matrix t(3, 3);
+  t(0, 1) = 1.0;
+  t(1, 0) = 0.5;
+  t(1, 2) = 0.5;
+  t(2, 2) = 1.0;
+  AbsorbingChain chain(t, 2);
+  auto steps = chain.expected_steps_to_absorption();
+  EXPECT_NEAR(steps[0], 4.0, 1e-12);
+  EXPECT_NEAR(steps[1], 3.0, 1e-12);
+}
+
+TEST(AbsorbingChainTest, AbsorptionProbabilitiesSumToOne) {
+  // Two absorbing states; from state 0: 0.3 to A, 0.2 to B, 0.5 stay.
+  Matrix t(3, 3);
+  t(0, 0) = 0.5;
+  t(0, 1) = 0.3;
+  t(0, 2) = 0.2;
+  t(1, 1) = 1.0;
+  t(2, 2) = 1.0;
+  AbsorbingChain chain(t, 1);
+  Matrix b = chain.absorption_probabilities();
+  EXPECT_NEAR(b(0, 0), 0.6, 1e-12);  // 0.3 / 0.5
+  EXPECT_NEAR(b(0, 1), 0.4, 1e-12);
+  EXPECT_NEAR(b(0, 0) + b(0, 1), 1.0, 1e-12);
+}
+
+TEST(AbsorbingChainTest, FundamentalMatrixVisits) {
+  // Single transient state with self-loop 0.9: expected visits = 10.
+  Matrix t(2, 2);
+  t(0, 0) = 0.9;
+  t(0, 1) = 0.1;
+  t(1, 1) = 1.0;
+  AbsorbingChain chain(t, 1);
+  Matrix n = chain.fundamental_matrix();
+  EXPECT_NEAR(n(0, 0), 10.0, 1e-9);
+}
+
+TEST(AbsorbingChainTest, NonStochasticRowViolatesContract) {
+  Matrix t(2, 2);
+  t(0, 0) = 0.5;
+  t(0, 1) = 0.4;  // row sums to 0.9
+  t(1, 1) = 1.0;
+  EXPECT_THROW(AbsorbingChain(t, 1), ContractViolation);
+}
+
+TEST(AbsorbingChainTest, NegativeEntryViolatesContract) {
+  Matrix t(2, 2);
+  t(0, 0) = 1.1;
+  t(0, 1) = -0.1;
+  t(1, 1) = 1.0;
+  EXPECT_THROW(AbsorbingChain(t, 1), ContractViolation);
+}
+
+// --- chain builders -------------------------------------------------------
+
+TEST(PoChainTest, PeriodOneMatchesClosedFormS1) {
+  auto p = params(0.01);
+  EXPECT_NEAR(expected_lifetime_markov(SystemShape::s1(), p),
+              model::expected_lifetime_po(SystemShape::s1(), p), 1e-9);
+}
+
+TEST(PoChainTest, PeriodOneMatchesClosedFormS0) {
+  auto p = params(0.01);
+  EXPECT_NEAR(expected_lifetime_markov(SystemShape::s0(), p) /
+                  model::expected_lifetime_po(SystemShape::s0(), p),
+              1.0, 1e-9);
+}
+
+TEST(PoChainTest, PeriodOneMatchesClosedFormS2) {
+  for (double kappa : {0.0, 0.3, 0.9, 1.0}) {
+    auto p = params(0.005, kappa);
+    EXPECT_NEAR(expected_lifetime_markov(SystemShape::s2(), p) /
+                    model::expected_lifetime_po(SystemShape::s2(), p),
+                1.0, 1e-9)
+        << "kappa=" << kappa;
+  }
+}
+
+TEST(PoChainTest, StateSpaceSizes) {
+  auto p1 = params(0.01, 0.5, 1);
+  PoChain c1 = build_po_chain(SystemShape::s2(), p1);
+  EXPECT_EQ(c1.chain.transient_count(), 3u);  // phases=1 x j in {0,1,2}
+
+  auto p4 = params(0.01, 0.5, 4);
+  PoChain c4 = build_po_chain(SystemShape::s2(), p4);
+  EXPECT_EQ(c4.chain.transient_count(), 12u);  // 4 phases x 3 proxy counts
+  EXPECT_EQ(c4.state_names.size(), 12u);
+
+  PoChain s1 = build_po_chain(SystemShape::s1(), p4);
+  EXPECT_EQ(s1.chain.transient_count(), 1u);  // S1 is memoryless
+}
+
+TEST(PoChainTest, LongerPeriodShortensLifetime) {
+  // Less frequent re-randomization lets compromised proxies persist, so EL
+  // must be non-increasing in the period (strictly decreasing for S2/S0).
+  for (auto shape : {SystemShape::s0(), SystemShape::s2()}) {
+    double prev = 1e300;
+    for (std::uint32_t period : {1u, 2u, 4u, 8u}) {
+      auto p = params(0.01, 0.5, period);
+      double el = expected_lifetime_markov(shape, p);
+      EXPECT_LT(el, prev) << model::to_string(shape.kind)
+                          << " period=" << period;
+      prev = el;
+    }
+  }
+}
+
+TEST(PoChainTest, S1LifetimeIndependentOfPeriod) {
+  auto p1 = params(0.01, 0.5, 1);
+  auto p8 = params(0.01, 0.5, 8);
+  EXPECT_NEAR(expected_lifetime_markov(SystemShape::s1(), p1),
+              expected_lifetime_markov(SystemShape::s1(), p8), 1e-9);
+}
+
+TEST(PoChainTest, HugePeriodApproachesStartupOnlyBehaviourDirectionally) {
+  // As the period grows, S0's EL falls toward the "keys persist" regime —
+  // it must stay above the memoryless two-hits bound scaled down and below
+  // the period-1 value.
+  auto p1 = params(0.02, 0.5, 1);
+  auto p64 = params(0.02, 0.5, 64);
+  double el1 = expected_lifetime_markov(SystemShape::s0(), p1);
+  double el64 = expected_lifetime_markov(SystemShape::s0(), p64);
+  EXPECT_LT(el64, el1 / 5.0);
+  EXPECT_GT(el64, 0.0);
+}
+
+TEST(PoChainTest, AbsorptionIsCertain) {
+  auto p = params(0.01, 0.5, 3);
+  PoChain pc = build_po_chain(SystemShape::s2(), p);
+  Matrix b = pc.chain.absorption_probabilities();
+  for (std::size_t i = 0; i < pc.chain.transient_count(); ++i) {
+    EXPECT_NEAR(b(i, 0), 1.0, 1e-9);
+  }
+}
+
+TEST(PoChainTest, StateNamesAreLabelled) {
+  auto p = params(0.01, 0.5, 2);
+  PoChain pc = build_po_chain(SystemShape::s0(), p);
+  ASSERT_FALSE(pc.state_names.empty());
+  EXPECT_EQ(pc.state_names[0], "phase=0,fallen=0");
+}
+
+// The decisive P > 1 check: the chain's EL matches a literal per-step
+// Monte-Carlo loop with persistent compromise between boundaries.
+struct PeriodCase {
+  model::SystemKind kind;
+  std::uint32_t period;
+};
+
+class PeriodChainVsMc : public ::testing::TestWithParam<PeriodCase> {};
+
+TEST_P(PeriodChainVsMc, ChainMatchesNaiveSimulation) {
+  auto c = GetParam();
+  SystemShape shape = c.kind == model::SystemKind::S0 ? SystemShape::s0()
+                      : c.kind == model::SystemKind::S1
+                          ? SystemShape::s1()
+                          : SystemShape::s2();
+  auto p = params(0.05, 0.5, c.period);  // large alpha keeps the loop cheap
+  double chain_el = expected_lifetime_markov(shape, p);
+
+  RunningStats stats;
+  for (std::uint64_t t = 0; t < 40000; ++t) {
+    Rng rng = Rng::substream(4242, t);
+    auto r = model::simulate_lifetime_po_period_naive(shape, p, rng, 1u << 22);
+    ASSERT_FALSE(r.censored);
+    stats.add(static_cast<double>(r.whole_steps));
+  }
+  ConfidenceInterval ci = normal_ci(stats, 0.99);
+  double tol = std::max(ci.width() / 2.0, 0.02 * chain_el);
+  EXPECT_NEAR(stats.mean(), chain_el, tol)
+      << model::to_string(c.kind) << " P=" << c.period;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PeriodChainVsMc,
+    ::testing::Values(PeriodCase{model::SystemKind::S0, 1},
+                      PeriodCase{model::SystemKind::S0, 2},
+                      PeriodCase{model::SystemKind::S0, 5},
+                      PeriodCase{model::SystemKind::S1, 4},
+                      PeriodCase{model::SystemKind::S2, 2},
+                      PeriodCase{model::SystemKind::S2, 6}));
+
+}  // namespace
+}  // namespace fortress::analysis

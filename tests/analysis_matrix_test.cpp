@@ -1,0 +1,167 @@
+#include "analysis/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fortress::analysis {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(MatrixTest, OutOfBoundsViolatesContract) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 2), ContractViolation);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  }
+  EXPECT_EQ(a * Matrix::identity(3), a);
+  EXPECT_EQ(Matrix::identity(3) * a, a);
+}
+
+TEST(MatrixTest, KnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, DimensionMismatchViolatesContract) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, ContractViolation);
+  Matrix c(2, 2), d(3, 3);
+  EXPECT_THROW(c + d, ContractViolation);
+}
+
+TEST(MatrixTest, AddSubtract) {
+  Matrix a(1, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  Matrix b(1, 2);
+  b(0, 0) = 10; b(0, 1) = 20;
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 11);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 1), 18);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  std::vector<double> v{1.0, 0.0, -1.0};
+  auto r = a * v;
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], -2.0);
+  EXPECT_DOUBLE_EQ(r[1], -2.0);
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  LuDecomposition lu(a);
+  auto x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;
+  LuDecomposition lu(a);
+  auto x = lu.solve(std::vector<double>{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuDecomposition{a}, std::runtime_error);
+}
+
+TEST(LuTest, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 1; a(1, 0) = 4; a(1, 1) = 2;
+  LuDecomposition lu(a);
+  EXPECT_NEAR(lu.determinant(), 2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantSignWithPivot) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;  // det = -1
+  LuDecomposition lu(a);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, RandomSystemsSolveAccurately) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(30));
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        a(i, j) = rng.uniform01() * 2.0 - 1.0;
+      }
+      a(i, i) += static_cast<double>(n);  // diagonally dominant: nonsingular
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform01() * 10.0 - 5.0;
+    std::vector<double> b = a * x_true;
+    LuDecomposition lu(a);
+    auto x = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(LuTest, MultiRhsSolve) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0; a(1, 0) = 0; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 2; b(0, 1) = 4; b(1, 0) = 8; b(1, 1) = 12;
+  LuDecomposition lu(a);
+  Matrix x = lu.solve(b);
+  EXPECT_DOUBLE_EQ(x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(x(1, 1), 3.0);
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  Rng rng(9);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform01();
+    a(i, i) += 10.0;
+  }
+  Matrix prod = a * inverse(a);
+  Matrix err = prod - Matrix::identity(n);
+  EXPECT_LT(err.max_abs(), 1e-10);
+}
+
+}  // namespace
+}  // namespace fortress::analysis

@@ -1,0 +1,103 @@
+// Route-resolved absorption analysis for the FORTRESS system: the chain's
+// split absorbing states must (a) be a probability distribution, (b) track
+// kappa the way §4 argues, and (c) agree with the Monte-Carlo route
+// attribution.
+#include <gtest/gtest.h>
+
+#include "analysis/markov.hpp"
+#include "common/check.hpp"
+#include "montecarlo/engine.hpp"
+
+namespace fortress::analysis {
+namespace {
+
+using model::AttackParams;
+using model::SystemShape;
+
+AttackParams params(double alpha, double kappa) {
+  AttackParams p;
+  p.alpha = alpha;
+  p.kappa = kappa;
+  return p;
+}
+
+TEST(S2RoutesTest, RequiresS2) {
+  EXPECT_THROW(s2_route_probabilities(SystemShape::s1(), params(0.01, 0.5)),
+               ContractViolation);
+}
+
+TEST(S2RoutesTest, ProbabilitiesSumToOne) {
+  for (double kappa : {0.0, 0.3, 0.7, 1.0}) {
+    auto r = s2_route_probabilities(SystemShape::s2(), params(0.01, kappa));
+    EXPECT_NEAR(r.server_indirect + r.server_via_proxy + r.all_proxies, 1.0,
+                1e-9)
+        << "kappa=" << kappa;
+  }
+}
+
+TEST(S2RoutesTest, KappaZeroKillsIndirectRoute) {
+  auto r = s2_route_probabilities(SystemShape::s2(), params(0.01, 0.0));
+  EXPECT_DOUBLE_EQ(r.server_indirect, 0.0);
+  EXPECT_GT(r.server_via_proxy, 0.0);
+  EXPECT_GT(r.all_proxies, 0.0);
+}
+
+TEST(S2RoutesTest, IndirectDominatesAtSmallAlphaAndPositiveKappa) {
+  // Indirect fires at kappa*alpha per step; the other routes are O(alpha^2)
+  // per step, so the indirect share approaches 1 as alpha -> 0.
+  auto r = s2_route_probabilities(SystemShape::s2(), params(1e-4, 0.5));
+  EXPECT_GT(r.server_indirect, 0.99);
+}
+
+TEST(S2RoutesTest, IndirectShareGrowsWithKappa) {
+  double prev = -1.0;
+  for (double kappa : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto r = s2_route_probabilities(SystemShape::s2(), params(0.02, kappa));
+    EXPECT_GT(r.server_indirect, prev) << "kappa=" << kappa;
+    prev = r.server_indirect;
+  }
+}
+
+TEST(S2RoutesTest, MoreProxiesShrinkAllProxiesRoute) {
+  auto r3 = s2_route_probabilities(SystemShape::s2(3), params(0.05, 0.0));
+  auto r5 = s2_route_probabilities(SystemShape::s2(5), params(0.05, 0.0));
+  EXPECT_GT(r3.all_proxies, r5.all_proxies);
+}
+
+struct RouteVsMcCase {
+  double alpha;
+  double kappa;
+};
+
+class RoutesVsMc : public ::testing::TestWithParam<RouteVsMcCase> {};
+
+TEST_P(RoutesVsMc, ChainMatchesMonteCarloAttribution) {
+  auto c = GetParam();
+  auto p = params(c.alpha, c.kappa);
+  auto chain = s2_route_probabilities(SystemShape::s2(), p);
+
+  montecarlo::McConfig cfg;
+  cfg.trials = 60000;
+  cfg.seed = 555;
+  cfg.threads = 4;
+  cfg.max_steps = 1ull << 40;
+  auto mc = montecarlo::estimate_lifetime(SystemShape::s2(), p,
+                                          model::Obfuscation::Proactive,
+                                          model::Granularity::Step, cfg);
+  // Binomial standard error on 60k trials ~ 0.2%; allow 1% absolute.
+  EXPECT_NEAR(mc.route_fraction(model::CompromiseRoute::ServerIndirect),
+              chain.server_indirect, 0.01);
+  EXPECT_NEAR(mc.route_fraction(model::CompromiseRoute::ServerViaProxy),
+              chain.server_via_proxy, 0.01);
+  EXPECT_NEAR(mc.route_fraction(model::CompromiseRoute::AllProxies),
+              chain.all_proxies, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RoutesVsMc,
+                         ::testing::Values(RouteVsMcCase{0.01, 0.5},
+                                           RouteVsMcCase{0.01, 0.0},
+                                           RouteVsMcCase{0.05, 0.2},
+                                           RouteVsMcCase{0.02, 1.0}));
+
+}  // namespace
+}  // namespace fortress::analysis

@@ -1,0 +1,90 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fortress {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data{0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  EXPECT_EQ(from_hex(hex), data);
+}
+
+TEST(BytesTest, HexEmptyInput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, FromHexAcceptsUppercase) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(BytesTest, StringConversionRoundTrip) {
+  std::string s = "fortress";
+  Bytes b = bytes_of(s);
+  EXPECT_EQ(b.size(), s.size());
+  EXPECT_EQ(string_of(b), s);
+}
+
+TEST(BytesTest, U64BigEndianRoundTrip) {
+  Bytes buf;
+  append_u64_be(buf, 0x0123456789abcdefULL);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+  EXPECT_EQ(read_u64_be(buf, 0), 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, U32BigEndianRoundTrip) {
+  Bytes buf;
+  append_u32_be(buf, 0xdeadbeef);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(read_u32_be(buf, 0), 0xdeadbeefu);
+}
+
+TEST(BytesTest, ReadPastEndThrows) {
+  Bytes buf{1, 2, 3};
+  EXPECT_THROW(read_u64_be(buf, 0), std::out_of_range);
+  EXPECT_THROW(read_u32_be(buf, 1), std::out_of_range);
+}
+
+TEST(BytesTest, ReadAtOffset) {
+  Bytes buf;
+  append_u32_be(buf, 1);
+  append_u64_be(buf, 42);
+  EXPECT_EQ(read_u64_be(buf, 4), 42u);
+}
+
+TEST(BytesTest, AppendConcatenates) {
+  Bytes a{1, 2};
+  Bytes b{3, 4};
+  append(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a{1, 2, 3};
+  Bytes b{1, 2, 3};
+  Bytes c{1, 2, 4};
+  Bytes d{1, 2};
+  EXPECT_TRUE(equal_constant_time(a, b));
+  EXPECT_FALSE(equal_constant_time(a, c));
+  EXPECT_FALSE(equal_constant_time(a, d));
+  EXPECT_TRUE(equal_constant_time(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace fortress

@@ -1,0 +1,61 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fortress {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(LogTest, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::Info), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::Off), "OFF");
+}
+
+TEST(LogTest, MacroBelowThresholdDoesNotEvaluateStream) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  FORTRESS_LOG_DEBUG("test") << count();
+  EXPECT_EQ(evaluations, 0);  // suppressed level short-circuits
+  FORTRESS_LOG_ERROR("test") << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, LogLineRespectsThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Nothing observable to assert beyond "does not crash"; exercised for
+  // coverage of the drop path.
+  log_line(LogLevel::Error, "dropped");
+}
+
+}  // namespace
+}  // namespace fortress

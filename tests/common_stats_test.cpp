@@ -1,0 +1,128 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fortress {
+namespace {
+
+TEST(RunningStatsTest, EmptyPreconditions) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_THROW(s.variance(), ContractViolation);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform01() * 10;
+    all.add(x);
+    if (i % 2 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(ConfidenceIntervalTest, CoversTrueMeanApproximately) {
+  // 95% CI should contain the true mean in ~95% of repetitions.
+  int covered = 0;
+  constexpr int kReps = 400;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng rng(1000 + rep);
+    RunningStats s;
+    for (int i = 0; i < 200; ++i) s.add(rng.uniform01());
+    ConfidenceInterval ci = normal_ci(s, 0.95);
+    if (ci.contains(0.5)) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / kReps;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(ConfidenceIntervalTest, WiderAtHigherLevel) {
+  RunningStats s;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) s.add(rng.uniform01());
+  EXPECT_LT(normal_ci(s, 0.90).width(), normal_ci(s, 0.95).width());
+  EXPECT_LT(normal_ci(s, 0.95).width(), normal_ci(s, 0.99).width());
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> data{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 9.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  // Sorted: 0, 10. q=0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(QuantileTest, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 110.0), 10.0 / 110.0);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(-5.0, 5.0), 2.0);
+}
+
+}  // namespace
+}  // namespace fortress

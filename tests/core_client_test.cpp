@@ -1,0 +1,271 @@
+// Client acceptance rules (§3): the client is the last line of validation —
+// these tests hand it forged, partial and replayed responses directly.
+#include "core/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/directory.hpp"
+#include "net/network.hpp"
+#include "replication/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::core {
+namespace {
+
+using replication::Message;
+using replication::MsgType;
+using replication::RequestId;
+
+/// A handler standing in for a (possibly malicious) server or proxy.
+class Responder : public net::Handler {
+ public:
+  Responder(net::Network& net, net::Address addr)
+      : net_(net), addr_(std::move(addr)) {
+    net_.attach(addr_, *this);
+  }
+  ~Responder() override { net_.detach(addr_); }
+
+  void on_message(const net::Envelope& env) override {
+    auto msg = Message::decode(env.payload);
+    if (msg && msg->type == MsgType::Request) {
+      requests.push_back(*msg);
+      last_from = env.from;
+    }
+  }
+
+  void send(const net::Address& to, const Message& msg) {
+    net_.send(addr_, to, msg.encode());
+  }
+
+  std::vector<Message> requests;
+  net::Address last_from;
+
+ private:
+  net::Network& net_;
+  net::Address addr_;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : net_(sim_, std::make_unique<net::FixedLatency>(0.5)) {}
+
+  Directory fortified_directory() {
+    Directory d;
+    d.replication = ReplicationType::PrimaryBackup;
+    d.proxies = {"proxy-0", "proxy-1"};
+    d.server_principals = {"server-0", "server-1"};
+    return d;
+  }
+
+  Directory smr_directory() {
+    Directory d;
+    d.replication = ReplicationType::StateMachine;
+    d.f = 1;
+    d.server_addrs = {"server-0", "server-1", "server-2", "server-3"};
+    d.server_principals = d.server_addrs;
+    return d;
+  }
+
+  Message response_for(const RequestId& rid, const std::string& body) {
+    Message m;
+    m.type = MsgType::Response;
+    m.request_id = rid;
+    m.payload = bytes_of(body);
+    return m;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  crypto::KeyRegistry registry_{11};
+};
+
+TEST_F(ClientTest, FortifiedRequiresBothSignatures) {
+  Responder proxy0(net_, "proxy-0");
+  Responder proxy1(net_, "proxy-1");
+  crypto::SigningKey server_key = registry_.enroll("server-0");
+  crypto::SigningKey proxy_key = registry_.enroll("proxy-0");
+
+  Client client(sim_, net_, registry_, fortified_directory(),
+                ClientConfig{"client"});
+  std::string got;
+  client.submit(bytes_of("GET x"),
+                [&](std::uint64_t, const Bytes& r) { got = string_of(r); });
+  sim_.run_until(2.0);
+  ASSERT_EQ(proxy0.requests.size(), 1u);
+  RequestId rid = proxy0.requests[0].request_id;
+
+  // Server-signed only (no over-signature): rejected.
+  Message only_server = response_for(rid, "VALUE 1");
+  only_server.type = MsgType::ProxyResponse;
+  replication::sign_message(only_server, server_key);
+  proxy0.send("client", only_server);
+  sim_.run_until(4.0);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(client.stats().rejected_responses, 1u);
+
+  // Properly doubly-signed: accepted.
+  Message good = response_for(rid, "VALUE 1");
+  good.type = MsgType::ProxyResponse;
+  replication::sign_message(good, server_key);
+  replication::over_sign_message(good, proxy_key);
+  proxy0.send("client", good);
+  sim_.run_until(6.0);
+  EXPECT_EQ(got, "VALUE 1");
+}
+
+TEST_F(ClientTest, FortifiedRejectsUnknownProxyOverSignature) {
+  Responder proxy0(net_, "proxy-0");
+  crypto::SigningKey server_key = registry_.enroll("server-0");
+  crypto::SigningKey rogue_key = registry_.enroll("rogue-proxy");
+
+  Client client(sim_, net_, registry_, fortified_directory(),
+                ClientConfig{"client"});
+  bool answered = false;
+  client.submit(bytes_of("GET x"),
+                [&](std::uint64_t, const Bytes&) { answered = true; });
+  sim_.run_until(2.0);
+  RequestId rid = proxy0.requests.at(0).request_id;
+
+  // Over-signed by an enrolled-but-not-a-proxy principal: rejected even
+  // though both signatures verify cryptographically.
+  Message m = response_for(rid, "VALUE 1");
+  m.type = MsgType::ProxyResponse;
+  replication::sign_message(m, server_key);
+  replication::over_sign_message(m, rogue_key);
+  proxy0.send("client", m);
+  sim_.run_until(4.0);
+  EXPECT_FALSE(answered);
+  EXPECT_GE(client.stats().rejected_responses, 1u);
+}
+
+TEST_F(ClientTest, FortifiedRejectsUnknownServerPrincipal) {
+  Responder proxy0(net_, "proxy-0");
+  crypto::SigningKey impostor = registry_.enroll("server-99");  // not in dir
+  crypto::SigningKey proxy_key = registry_.enroll("proxy-0");
+
+  Client client(sim_, net_, registry_, fortified_directory(),
+                ClientConfig{"client"});
+  bool answered = false;
+  client.submit(bytes_of("GET x"),
+                [&](std::uint64_t, const Bytes&) { answered = true; });
+  sim_.run_until(2.0);
+  RequestId rid = proxy0.requests.at(0).request_id;
+
+  Message m = response_for(rid, "VALUE 1");
+  m.type = MsgType::ProxyResponse;
+  replication::sign_message(m, impostor);
+  replication::over_sign_message(m, proxy_key);
+  proxy0.send("client", m);
+  sim_.run_until(4.0);
+  EXPECT_FALSE(answered);
+}
+
+TEST_F(ClientTest, SmrNeedsFPlusOneMatchingVotes) {
+  std::vector<std::unique_ptr<Responder>> servers;
+  for (const auto& a : smr_directory().server_addrs) {
+    servers.push_back(std::make_unique<Responder>(net_, a));
+  }
+  crypto::SigningKey k0 = registry_.enroll("server-0");
+  crypto::SigningKey k1 = registry_.enroll("server-1");
+
+  Client client(sim_, net_, registry_, smr_directory(),
+                ClientConfig{"client"});
+  std::string got;
+  client.submit(bytes_of("GET x"),
+                [&](std::uint64_t, const Bytes& r) { got = string_of(r); });
+  sim_.run_until(2.0);
+  RequestId rid = servers[0]->requests.at(0).request_id;
+
+  // One vote: not enough (f = 1 needs 2).
+  Message v0 = response_for(rid, "VALUE 1");
+  replication::sign_message(v0, k0);
+  servers[0]->send("client", v0);
+  sim_.run_until(4.0);
+  EXPECT_TRUE(got.empty());
+
+  // A SECOND vote from the same signer must not count twice.
+  servers[0]->send("client", v0);
+  sim_.run_until(6.0);
+  EXPECT_TRUE(got.empty());
+
+  // A mismatching vote from another server doesn't complete it either.
+  Message bad = response_for(rid, "VALUE 666");
+  replication::sign_message(bad, k1);
+  servers[1]->send("client", bad);
+  sim_.run_until(8.0);
+  EXPECT_TRUE(got.empty());
+
+  // Matching second vote: accepted.
+  Message v1 = response_for(rid, "VALUE 1");
+  replication::sign_message(v1, k1);
+  servers[1]->send("client", v1);
+  sim_.run_until(10.0);
+  EXPECT_EQ(got, "VALUE 1");
+}
+
+TEST_F(ClientTest, RetriesUntilDeadlineThenTimesOut) {
+  Responder proxy0(net_, "proxy-0");
+  Responder proxy1(net_, "proxy-1");
+  ClientConfig cfg;
+  cfg.address = "client";
+  cfg.retry_interval = 10.0;
+  cfg.deadline = 45.0;
+  Client client(sim_, net_, registry_, fortified_directory(), cfg);
+
+  bool timed_out = false;
+  client.submit(
+      bytes_of("GET x"), [](std::uint64_t, const Bytes&) { FAIL(); },
+      [&](std::uint64_t) { timed_out = true; });
+  sim_.run_until(200.0);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(client.stats().expired, 1u);
+  // Initial send + retries at 10,20,30,40 => proxy saw 5 copies.
+  EXPECT_EQ(proxy0.requests.size(), 5u);
+  EXPECT_GE(client.stats().retries, 4u);
+}
+
+TEST_F(ClientTest, LateDuplicateResponseIgnored) {
+  Responder proxy0(net_, "proxy-0");
+  Responder proxy1(net_, "proxy-1");
+  crypto::SigningKey server_key = registry_.enroll("server-0");
+  crypto::SigningKey proxy_key = registry_.enroll("proxy-0");
+  Client client(sim_, net_, registry_, fortified_directory(),
+                ClientConfig{"client"});
+
+  int calls = 0;
+  client.submit(bytes_of("GET x"),
+                [&](std::uint64_t, const Bytes&) { ++calls; });
+  sim_.run_until(2.0);
+  RequestId rid = proxy0.requests.at(0).request_id;
+  Message good = response_for(rid, "VALUE 1");
+  good.type = MsgType::ProxyResponse;
+  replication::sign_message(good, server_key);
+  replication::over_sign_message(good, proxy_key);
+  proxy0.send("client", good);
+  proxy0.send("client", good);  // duplicate (e.g. from the other proxy)
+  sim_.run_until(10.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(client.stats().completed, 1u);
+}
+
+TEST_F(ClientTest, RequestsGoToAllProxiesNotServers) {
+  Responder proxy0(net_, "proxy-0");
+  Responder proxy1(net_, "proxy-1");
+  Client client(sim_, net_, registry_, fortified_directory(),
+                ClientConfig{"client"});
+  client.submit(bytes_of("GET x"), [](std::uint64_t, const Bytes&) {});
+  sim_.run_until(2.0);
+  EXPECT_EQ(proxy0.requests.size(), 1u);
+  EXPECT_EQ(proxy1.requests.size(), 1u);
+}
+
+TEST_F(ClientTest, DirectoryWithNoTargetsViolatesContract) {
+  Directory empty;
+  EXPECT_THROW(Client(sim_, net_, registry_, empty, ClientConfig{"client"}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace fortress::core

@@ -1,0 +1,58 @@
+#include "core/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fortress::core {
+namespace {
+
+Directory sample() {
+  Directory d;
+  d.replication = ReplicationType::StateMachine;
+  d.f = 1;
+  d.proxies = {"proxy-0", "proxy-1"};
+  d.server_principals = {"server-0", "server-1", "server-2"};
+  d.server_addrs = {};
+  return d;
+}
+
+TEST(DirectoryTest, EncodeDecodeRoundTrip) {
+  Directory d = sample();
+  auto decoded = Directory::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, d);
+}
+
+TEST(DirectoryTest, EmptyListsRoundTrip) {
+  Directory d;
+  auto decoded = Directory::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, d);
+}
+
+TEST(DirectoryTest, FortifiedPredicate) {
+  Directory d = sample();
+  EXPECT_TRUE(d.fortified());
+  d.proxies.clear();
+  EXPECT_FALSE(d.fortified());
+}
+
+TEST(DirectoryTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Directory::decode(bytes_of("nope")).has_value());
+  EXPECT_FALSE(Directory::decode(Bytes{}).has_value());
+}
+
+TEST(DirectoryTest, DecodeRejectsTruncation) {
+  Bytes wire = sample().encode();
+  for (std::size_t cut = 1; cut < wire.size(); cut += 7) {
+    EXPECT_FALSE(Directory::decode(BytesView(wire.data(), cut)).has_value());
+  }
+}
+
+TEST(DirectoryTest, DecodeRejectsTrailingBytes) {
+  Bytes wire = sample().encode();
+  wire.push_back(1);
+  EXPECT_FALSE(Directory::decode(wire).has_value());
+}
+
+}  // namespace
+}  // namespace fortress::core

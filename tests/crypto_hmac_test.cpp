@@ -1,0 +1,106 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace fortress::crypto {
+namespace {
+
+std::string hmac_hex(BytesView key, BytesView msg) {
+  Digest d = hmac_sha256(key, msg);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(key, bytes_of("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: short key "Jefe".
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(
+      hmac_hex(bytes_of("Jefe"), bytes_of("what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50 bytes of 0xdd data.
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 4: incrementing key, 50 bytes of 0xcd.
+TEST(HmacTest, Rfc4231Case4) {
+  Bytes key;
+  for (std::uint8_t b = 0x01; b <= 0x19; ++b) key.push_back(b);
+  Bytes data(50, 0xcd);
+  EXPECT_EQ(hmac_hex(key, data),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+// RFC 4231 test case 6: 131-byte key (longer than block size).
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_hex(key, bytes_of("Test Using Larger Than Block-Size Key - "
+                                   "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 4231 test case 7: long key and long data.
+TEST(HmacTest, Rfc4231Case7LongKeyLongData) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_hex(key,
+                     bytes_of("This is a test using a larger than block-size "
+                              "key and a larger than block-size data. The key "
+                              "needs to be hashed before being used by the "
+                              "HMAC algorithm.")),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  Bytes msg = bytes_of("message");
+  EXPECT_NE(hmac_sha256(bytes_of("key1"), msg),
+            hmac_sha256(bytes_of("key2"), msg));
+}
+
+TEST(HmacTest, MessageSensitivity) {
+  Bytes key = bytes_of("key");
+  EXPECT_NE(hmac_sha256(key, bytes_of("msg1")),
+            hmac_sha256(key, bytes_of("msg2")));
+}
+
+TEST(HmacTest, ExactBlockSizeKeyNotHashed) {
+  // A 64-byte key is used as-is; a 65-byte key is hashed first. They must
+  // produce different results even when the 65-byte key begins with the
+  // 64-byte key.
+  Bytes key64(64, 0x7a);
+  Bytes key65(65, 0x7a);
+  Bytes msg = bytes_of("m");
+  EXPECT_NE(hmac_sha256(key64, msg), hmac_sha256(key65, msg));
+}
+
+TEST(HmacTest, EmptyKeyAndMessage) {
+  // HMAC-SHA256("", "") — well-known value.
+  EXPECT_EQ(hmac_hex(Bytes{}, Bytes{}),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(DeriveKeyTest, DistinctLabelsDistinctKeys) {
+  Bytes master = bytes_of("master-secret");
+  Digest a = derive_key(master, bytes_of("purpose-a"));
+  Digest b = derive_key(master, bytes_of("purpose-b"));
+  EXPECT_NE(a, b);
+}
+
+TEST(DeriveKeyTest, Deterministic) {
+  Bytes master = bytes_of("master-secret");
+  EXPECT_EQ(derive_key(master, bytes_of("x")), derive_key(master, bytes_of("x")));
+}
+
+}  // namespace
+}  // namespace fortress::crypto

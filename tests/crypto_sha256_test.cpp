@@ -1,0 +1,129 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+
+namespace fortress::crypto {
+namespace {
+
+std::string hash_hex(const std::string& msg) {
+  Digest d = Sha256::hash(bytes_of(msg));
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVS reference vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, QuickBrownFox) {
+  EXPECT_EQ(hash_hex("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, static_cast<std::uint8_t>('a'));
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  Digest d = h.finish();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingEqualsOneShot) {
+  std::string msg = "fortress primary backup replication";
+  Sha256 h;
+  h.update(bytes_of(msg.substr(0, 7)));
+  h.update(bytes_of(msg.substr(7, 11)));
+  h.update(bytes_of(msg.substr(18)));
+  EXPECT_EQ(h.finish(), Sha256::hash(bytes_of(msg)));
+}
+
+TEST(Sha256Test, StreamingAcrossBlockBoundary) {
+  // Feed exactly 63 + 2 bytes so the buffer straddles one block.
+  Bytes part1(63, 0x41);
+  Bytes part2(2, 0x42);
+  Sha256 h;
+  h.update(part1);
+  h.update(part2);
+  Bytes all = part1;
+  append(all, part2);
+  EXPECT_EQ(h.finish(), Sha256::hash(all));
+}
+
+TEST(Sha256Test, ExactBlockSizeInput) {
+  Bytes block(64, 0x61);
+  Sha256 h;
+  h.update(block);
+  EXPECT_EQ(h.finish(), Sha256::hash(block));
+}
+
+TEST(Sha256Test, UpdateAfterFinishViolatesContract) {
+  Sha256 h;
+  h.update(bytes_of("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(bytes_of("y")), ContractViolation);
+  EXPECT_THROW(h.finish(), ContractViolation);
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(bytes_of("first"));
+  (void)h.finish();
+  h.reset();
+  h.update(bytes_of("abc"));
+  Digest d = h.finish();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash(bytes_of("a")), Sha256::hash(bytes_of("b")));
+  EXPECT_NE(Sha256::hash(bytes_of("")), Sha256::hash(Bytes{0}));
+}
+
+TEST(Sha256Test, DigestBytesCopies) {
+  Digest d = Sha256::hash(bytes_of("abc"));
+  Bytes b = digest_bytes(d);
+  ASSERT_EQ(b.size(), 32u);
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+// Parameterized length sweep: every message length 0..129 hashes and the
+// streaming interface agrees with the one-shot for each split point.
+class Sha256LengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256LengthSweep, StreamingSplitsAgree) {
+  const int len = GetParam();
+  Bytes msg(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i * 7 + 3);
+  Digest reference = Sha256::hash(msg);
+  for (int split = 0; split <= len; split += (len < 8 ? 1 : len / 8 + 1)) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), static_cast<std::size_t>(split)));
+    h.update(BytesView(msg.data() + split, static_cast<std::size_t>(len - split)));
+    EXPECT_EQ(h.finish(), reference) << "len=" << len << " split=" << split;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256LengthSweep,
+                         ::testing::Values(0, 1, 31, 55, 56, 63, 64, 65, 119,
+                                           127, 128, 129));
+
+}  // namespace
+}  // namespace fortress::crypto

@@ -1,0 +1,208 @@
+#include "model/step_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace fortress::model {
+namespace {
+
+AttackParams params(double alpha, double kappa = 0.5,
+                    std::uint64_t chi = 1ull << 16) {
+  AttackParams p;
+  p.alpha = alpha;
+  p.kappa = kappa;
+  p.chi = chi;
+  return p;
+}
+
+TEST(BinomialTailTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial_tail(4, 0.5, 0), 1.0);
+  EXPECT_NEAR(binomial_tail(4, 0.5, 4), 0.0625, 1e-12);
+  EXPECT_NEAR(binomial_tail(4, 0.5, 2),
+              1.0 - 0.0625 - 4 * 0.0625, 1e-12);  // 1 - P(0) - P(1)
+  EXPECT_DOUBLE_EQ(binomial_tail(4, 0.5, 5), 0.0);
+}
+
+TEST(BinomialTailTest, SmallPAsymptotics) {
+  // P(Bin(4, a) >= 2) ~ 6 a^2 for small a.
+  double a = 1e-4;
+  EXPECT_NEAR(binomial_tail(4, a, 2) / (6 * a * a), 1.0, 1e-3);
+}
+
+TEST(PerStepTest, S1IsAlpha) {
+  EXPECT_DOUBLE_EQ(
+      per_step_compromise_probability(SystemShape::s1(), params(0.01)), 0.01);
+}
+
+TEST(PerStepTest, S0NeedsTwoHits) {
+  double a = 0.01;
+  double p = per_step_compromise_probability(SystemShape::s0(), params(a));
+  EXPECT_NEAR(p, binomial_tail(4, a, 2), 1e-15);
+  EXPECT_LT(p, a);  // strictly harder than compromising S1
+}
+
+TEST(PerStepTest, S2KappaZeroLeavesOnlyProxyRoutes) {
+  double a = 0.01;
+  double p =
+      per_step_compromise_probability(SystemShape::s2(), params(a, 0.0));
+  // With kappa = 0: routes are all-proxies (a^3) and via-proxy
+  // (P(1<=j<np) * a).
+  double p_all = a * a * a;
+  double p_some = 3 * a * a * (1 - a) + 3 * a * (1 - a) * (1 - a);
+  double expected = p_all + p_some * a;
+  EXPECT_NEAR(p, expected, 1e-15);
+}
+
+TEST(PerStepTest, S2KappaOneApproachesS1PlusExtra) {
+  // With kappa = 1 the indirect route alone equals S1's channel, so S2 must
+  // be at least as compromisable as S1 per-step.
+  double a = 0.005;
+  double p2 =
+      per_step_compromise_probability(SystemShape::s2(), params(a, 1.0));
+  EXPECT_GE(p2, a);
+}
+
+TEST(PerStepTest, S2MonotoneInKappa) {
+  double a = 0.003;
+  double prev = -1.0;
+  for (double k = 0.0; k <= 1.0; k += 0.1) {
+    double p = per_step_compromise_probability(SystemShape::s2(), params(a, k));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GeometricElTest, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(geometric_expected_lifetime(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(geometric_expected_lifetime(1.0), 0.0);
+  EXPECT_NEAR(geometric_expected_lifetime(0.01), 99.0, 1e-12);
+}
+
+TEST(GeometricElTest, InvalidPViolatesContract) {
+  EXPECT_THROW(geometric_expected_lifetime(0.0), ContractViolation);
+  EXPECT_THROW(geometric_expected_lifetime(1.5), ContractViolation);
+}
+
+TEST(ExpectedLifetimePoTest, S1POIsOneOverAlphaMinusOne) {
+  EXPECT_NEAR(expected_lifetime_po(SystemShape::s1(), params(0.001)),
+              999.0, 1e-9);
+}
+
+TEST(ExpectedLifetimePoTest, OrderingS0BestThenS2ThenS1) {
+  // Trend 4 + Trend 3 at the per-step level, kappa = 0.5 <= 0.9.
+  auto p = params(0.001, 0.5);
+  double el_s0 = expected_lifetime_po(SystemShape::s0(), p);
+  double el_s2 = expected_lifetime_po(SystemShape::s2(), p);
+  double el_s1 = expected_lifetime_po(SystemShape::s1(), p);
+  EXPECT_GT(el_s0, el_s2);
+  EXPECT_GT(el_s2, el_s1);
+}
+
+TEST(ExpectedLifetimePoTest, S2AtKappaZeroStillBelowS0) {
+  // Trend 4: S0PO outlives S2PO "except when kappa = 0". At kappa = 0 the
+  // via-proxy route (~3a^2 per step vs S0's ~6a^2) makes S2 the winner.
+  auto p = params(0.001, 0.0);
+  EXPECT_GT(expected_lifetime_po(SystemShape::s2(), p),
+            expected_lifetime_po(SystemShape::s0(), p));
+}
+
+TEST(S1SoTest, ExactSmallCase) {
+  // chi = 8, omega = 2 (alpha = 0.25): steps of 2 candidates each.
+  // P(step 1) = 2/8 -> 0 whole steps, step 2 -> 1, step 3 -> 2, step 4 -> 3.
+  // EL = (2*0 + 2*1 + 2*2 + 2*3)/8 = 12/8 = 1.5.
+  auto p = params(0.25, 0.5, 8);
+  EXPECT_EQ(p.omega(), 2u);
+  EXPECT_NEAR(expected_lifetime_s1_so(p), 1.5, 1e-12);
+}
+
+TEST(S1SoTest, ApproximatelyHalfKeyspaceOverOmega) {
+  auto p = params(0.01, 0.5, 1ull << 16);
+  double el = expected_lifetime_s1_so(p);
+  // E[ceil(U/w)] - 1 ~ chi/(2w) = 1/(2 alpha) for omega << chi.
+  EXPECT_NEAR(el, 0.5 / 0.01, 2.0);
+}
+
+TEST(S0SoTest, FallsFasterThanS1So) {
+  // Trend 1: S1SO outlives S0SO.
+  for (double a : {1e-4, 1e-3, 1e-2}) {
+    auto p = params(a);
+    EXPECT_GT(expected_lifetime_s1_so(p),
+              expected_lifetime_s0_so(SystemShape::s0(), p))
+        << "alpha=" << a;
+  }
+}
+
+TEST(S0SoTest, MatchesOrderStatisticApproximation) {
+  // E[position of 2nd of 4 keys] = 2(chi+1)/5; EL ~ that / omega - 1.
+  auto p = params(0.01);
+  double el = expected_lifetime_s0_so(SystemShape::s0(), p);
+  double approx = 2.0 * (static_cast<double>(p.chi) + 1) / 5.0 /
+                      static_cast<double>(p.omega()) - 0.5;
+  EXPECT_NEAR(el / approx, 1.0, 0.05);
+}
+
+TEST(S0SoTest, RequiresS0Shape) {
+  EXPECT_THROW(expected_lifetime_s0_so(SystemShape::s1(), params(0.01)),
+               ContractViolation);
+}
+
+TEST(TrendTest, PoOutlivesSoForBothS0AndS1) {
+  // Trend 2 restricted to the analytically solvable systems.
+  for (double a : {1e-4, 1e-3, 1e-2}) {
+    auto p = params(a);
+    EXPECT_GT(expected_lifetime_po(SystemShape::s1(), p),
+              expected_lifetime_s1_so(p));
+    EXPECT_GT(expected_lifetime_po(SystemShape::s0(), p),
+              expected_lifetime_s0_so(SystemShape::s0(), p));
+  }
+}
+
+TEST(CrossoverTest, KappaCrossoverNearOneMinusThreeAlpha) {
+  // Per the step-granular model, S2PO's per-step probability
+  // ~ kappa*a + 3a^2 + O(a^3); equality with S1PO's a gives
+  // kappa* ~ 1 - 3a.
+  auto p = params(0.01);
+  double k = s2_vs_s1_kappa_crossover(p);
+  EXPECT_NEAR(k, 1.0 - 3 * 0.01, 5e-3);
+}
+
+TEST(CrossoverTest, BelowCrossoverS2Wins) {
+  auto p = params(0.005);
+  double kstar = s2_vs_s1_kappa_crossover(p);
+  AttackParams below = p;
+  below.kappa = kstar * 0.9;
+  EXPECT_GT(expected_lifetime_po(SystemShape::s2(), below),
+            expected_lifetime_po(SystemShape::s1(), below));
+  AttackParams above = p;
+  above.kappa = std::min(1.0, kstar * 1.1);
+  EXPECT_LT(expected_lifetime_po(SystemShape::s2(), above),
+            expected_lifetime_po(SystemShape::s1(), above));
+}
+
+// Parameterized sweep: the paper's headline ordering chain at kappa = 0.5
+// holds across the full alpha range of §5.
+class OrderingChainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OrderingChainSweep, S0PoBeatsS2PoBeatsS1PoBeatsS1SoBeatsS0So) {
+  auto p = params(GetParam(), 0.5);
+  double s0po = expected_lifetime_po(SystemShape::s0(), p);
+  double s2po = expected_lifetime_po(SystemShape::s2(), p);
+  double s1po = expected_lifetime_po(SystemShape::s1(), p);
+  double s1so = expected_lifetime_s1_so(p);
+  double s0so = expected_lifetime_s0_so(SystemShape::s0(), p);
+  EXPECT_GT(s0po, s2po);
+  EXPECT_GT(s2po, s1po);
+  EXPECT_GT(s1po, s1so);
+  EXPECT_GT(s1so, s0so);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaRange, OrderingChainSweep,
+                         ::testing::Values(1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+                                           1e-2));
+
+}  // namespace
+}  // namespace fortress::model

@@ -1,0 +1,228 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fortress::net {
+namespace {
+
+/// Records every callback it receives.
+class RecordingHandler : public Handler {
+ public:
+  void on_message(const Envelope& env) override { messages.push_back(env); }
+  void on_connection_closed(ConnectionId id, const Address& peer,
+                            CloseReason reason) override {
+    closed.push_back({id, peer, reason});
+  }
+  void on_connection_opened(ConnectionId id, const Address& peer) override {
+    opened.push_back({id, peer});
+  }
+
+  struct Closed {
+    ConnectionId id;
+    Address peer;
+    CloseReason reason;
+  };
+  std::vector<Envelope> messages;
+  std::vector<Closed> closed;
+  std::vector<std::pair<ConnectionId, Address>> opened;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : net_(sim_, std::make_unique<FixedLatency>(1.0)) {
+    net_.attach("a", a_);
+    net_.attach("b", b_);
+  }
+
+  sim::Simulator sim_;
+  Network net_{sim_, std::make_unique<FixedLatency>(1.0)};
+  RecordingHandler a_, b_;
+
+ private:
+};
+
+TEST_F(NetworkTest, DatagramDelivery) {
+  net_.send("a", "b", Bytes{1, 2, 3});
+  sim_.run();
+  ASSERT_EQ(b_.messages.size(), 1u);
+  EXPECT_EQ(b_.messages[0].from, "a");
+  EXPECT_EQ(b_.messages[0].to, "b");
+  EXPECT_EQ(b_.messages[0].payload, (Bytes{1, 2, 3}));
+  EXPECT_FALSE(b_.messages[0].connection.has_value());
+}
+
+TEST_F(NetworkTest, DeliveryTakesLatency) {
+  net_.send("a", "b", Bytes{9});
+  sim_.run_until(0.5);
+  EXPECT_TRUE(b_.messages.empty());
+  sim_.run_until(1.0);
+  EXPECT_EQ(b_.messages.size(), 1u);
+}
+
+TEST_F(NetworkTest, SendToUnknownAddressIsDropped) {
+  net_.send("a", "ghost", Bytes{1});
+  sim_.run();
+  EXPECT_EQ(net_.delivered_count(), 0u);
+}
+
+TEST_F(NetworkTest, DetachDropsInFlightMessages) {
+  net_.send("a", "b", Bytes{1});
+  net_.detach("b");
+  sim_.run();
+  EXPECT_TRUE(b_.messages.empty());
+}
+
+TEST_F(NetworkTest, ConnectNotifiesAcceptor) {
+  auto conn = net_.connect("a", "b");
+  ASSERT_TRUE(conn.has_value());
+  sim_.run();
+  ASSERT_EQ(b_.opened.size(), 1u);
+  EXPECT_EQ(b_.opened[0].first, *conn);
+  EXPECT_EQ(b_.opened[0].second, "a");
+}
+
+TEST_F(NetworkTest, ConnectToUnknownRefused) {
+  EXPECT_FALSE(net_.connect("a", "nobody").has_value());
+}
+
+TEST_F(NetworkTest, ConnectionMessagesFlowBothWays) {
+  auto conn = net_.connect("a", "b");
+  ASSERT_TRUE(conn.has_value());
+  sim_.run();
+  EXPECT_TRUE(net_.send_on(*conn, "a", Bytes{1}));
+  EXPECT_TRUE(net_.send_on(*conn, "b", Bytes{2}));
+  sim_.run();
+  ASSERT_EQ(b_.messages.size(), 1u);
+  ASSERT_EQ(a_.messages.size(), 1u);
+  EXPECT_EQ(b_.messages[0].connection, conn);
+  EXPECT_EQ(a_.messages[0].connection, conn);
+}
+
+TEST_F(NetworkTest, SendOnByNonEndpointRejected) {
+  RecordingHandler c;
+  net_.attach("c", c);
+  auto conn = net_.connect("a", "b");
+  ASSERT_TRUE(conn.has_value());
+  sim_.run();
+  EXPECT_FALSE(net_.send_on(*conn, "c", Bytes{1}));
+}
+
+TEST_F(NetworkTest, CloseNotifiesPeerWithPeerClosed) {
+  auto conn = net_.connect("a", "b");
+  sim_.run();
+  net_.close(*conn, "a");
+  sim_.run();
+  ASSERT_EQ(b_.closed.size(), 1u);
+  EXPECT_EQ(b_.closed[0].reason, CloseReason::PeerClosed);
+  EXPECT_EQ(b_.closed[0].peer, "a");
+  EXPECT_EQ(net_.open_connections(), 0u);
+}
+
+TEST_F(NetworkTest, AbortNotifiesPeerWithPeerCrashed) {
+  auto conn = net_.connect("a", "b");
+  sim_.run();
+  net_.abort(*conn, "b");
+  sim_.run();
+  ASSERT_EQ(a_.closed.size(), 1u);
+  EXPECT_EQ(a_.closed[0].reason, CloseReason::PeerCrashed);
+}
+
+TEST_F(NetworkTest, SendOnClosedConnectionFails) {
+  auto conn = net_.connect("a", "b");
+  sim_.run();
+  net_.close(*conn, "a");
+  EXPECT_FALSE(net_.send_on(*conn, "a", Bytes{1}));
+}
+
+TEST_F(NetworkTest, MessageInFlightWhenConnectionDiesIsDropped) {
+  auto conn = net_.connect("a", "b");
+  sim_.run();
+  net_.send_on(*conn, "a", Bytes{1});
+  net_.close(*conn, "a");  // closes before the 1-unit delivery latency
+  sim_.run();
+  EXPECT_TRUE(b_.messages.empty());
+}
+
+TEST_F(NetworkTest, DetachClosesAllConnectionsWithReason) {
+  RecordingHandler c;
+  net_.attach("c", c);
+  auto c1 = net_.connect("a", "b");
+  auto c2 = net_.connect("c", "b");
+  sim_.run();
+  ASSERT_TRUE(c1 && c2);
+  net_.detach("b", CloseReason::PeerCrashed);
+  sim_.run();
+  ASSERT_EQ(a_.closed.size(), 1u);
+  ASSERT_EQ(c.closed.size(), 1u);
+  EXPECT_EQ(a_.closed[0].reason, CloseReason::PeerCrashed);
+  EXPECT_EQ(c.closed[0].reason, CloseReason::PeerCrashed);
+}
+
+TEST_F(NetworkTest, AttachTwiceViolatesContract) {
+  RecordingHandler dup;
+  EXPECT_THROW(net_.attach("a", dup), ContractViolation);
+}
+
+TEST_F(NetworkTest, DetachUnknownIsNoop) {
+  net_.detach("ghost");  // must not throw
+}
+
+TEST_F(NetworkTest, ReattachAfterDetach) {
+  net_.detach("b");
+  RecordingHandler b2;
+  net_.attach("b", b2);
+  net_.send("a", "b", Bytes{5});
+  sim_.run();
+  EXPECT_EQ(b2.messages.size(), 1u);
+}
+
+TEST(NetworkDropTest, DropProbabilityOneDropsEverything) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  for (int i = 0; i < 50; ++i) net.send("a", "b", Bytes{1});
+  sim.run();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(NetworkDropTest, ConnectionsAreReliableDespiteDrops) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;  // drops apply to datagrams only
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  auto conn = net.connect("a", "b");
+  sim.run();
+  ASSERT_TRUE(conn.has_value());
+  net.send_on(*conn, "a", Bytes{1});
+  sim.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(NetworkLatencyTest, UniformLatencyWithinBounds) {
+  sim::Simulator sim;
+  Network net(sim, std::make_unique<UniformLatency>(2.0, 4.0));
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  for (int i = 0; i < 20; ++i) net.send("a", "b", Bytes{1});
+  sim.run_until(1.99);
+  EXPECT_TRUE(b.messages.empty());
+  sim.run_until(4.01);
+  EXPECT_EQ(b.messages.size(), 20u);
+}
+
+}  // namespace
+}  // namespace fortress::net

@@ -1,0 +1,149 @@
+#include "replication/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace fortress::replication {
+namespace {
+
+Message sample() {
+  Message m;
+  m.type = MsgType::StateUpdate;
+  m.view = 3;
+  m.seq = 42;
+  m.sender_index = 2;
+  m.request_id = RequestId{"client-7", 19};
+  m.requester = "proxy-1";
+  m.payload = bytes_of("response body");
+  m.aux = bytes_of("snapshot blob");
+  return m;
+}
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message m = sample();
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, m.type);
+  EXPECT_EQ(decoded->view, m.view);
+  EXPECT_EQ(decoded->seq, m.seq);
+  EXPECT_EQ(decoded->sender_index, m.sender_index);
+  EXPECT_EQ(decoded->request_id, m.request_id);
+  EXPECT_EQ(decoded->requester, m.requester);
+  EXPECT_EQ(decoded->payload, m.payload);
+  EXPECT_EQ(decoded->aux, m.aux);
+  EXPECT_FALSE(decoded->signature.has_value());
+  EXPECT_FALSE(decoded->over_signature.has_value());
+}
+
+TEST(MessageTest, RoundTripWithSignatures) {
+  crypto::KeyRegistry registry(1);
+  crypto::SigningKey server = registry.enroll("server-0");
+  crypto::SigningKey proxy = registry.enroll("proxy-0");
+
+  Message m = sample();
+  sign_message(m, server);
+  over_sign_message(m, proxy);
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->signature.has_value());
+  ASSERT_TRUE(decoded->over_signature.has_value());
+  EXPECT_EQ(decoded->signature->signer.name, "server-0");
+  EXPECT_EQ(decoded->over_signature->signer.name, "proxy-0");
+  EXPECT_TRUE(verify_message(*decoded, registry));
+  EXPECT_TRUE(verify_over_signature(*decoded, registry));
+}
+
+TEST(MessageTest, EmptyFieldsRoundTrip) {
+  Message m;
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id.client, "");
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(MessageTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Message::decode(bytes_of("not a message")).has_value());
+  EXPECT_FALSE(Message::decode(Bytes{}).has_value());
+  EXPECT_FALSE(Message::decode(Bytes{0x46, 0x54}).has_value());
+}
+
+TEST(MessageTest, DecodeRejectsTruncation) {
+  Bytes wire = sample().encode();
+  for (std::size_t cut : {wire.size() - 1, wire.size() / 2, std::size_t{5}}) {
+    EXPECT_FALSE(
+        Message::decode(BytesView(wire.data(), cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(MessageTest, DecodeRejectsTrailingBytes) {
+  Bytes wire = sample().encode();
+  wire.push_back(0);
+  EXPECT_FALSE(Message::decode(wire).has_value());
+}
+
+TEST(MessageTest, SignatureCoversAllCoreFields) {
+  crypto::KeyRegistry registry(1);
+  crypto::SigningKey key = registry.enroll("server-0");
+  Message m = sample();
+  sign_message(m, key);
+  ASSERT_TRUE(verify_message(m, registry));
+
+  // Any mutated core field must invalidate the signature.
+  Message t1 = m;
+  t1.payload = bytes_of("tampered");
+  EXPECT_FALSE(verify_message(t1, registry));
+  Message t2 = m;
+  t2.seq += 1;
+  EXPECT_FALSE(verify_message(t2, registry));
+  Message t3 = m;
+  t3.request_id.seq += 1;
+  EXPECT_FALSE(verify_message(t3, registry));
+  Message t4 = m;
+  t4.sender_index += 1;
+  EXPECT_FALSE(verify_message(t4, registry));
+}
+
+TEST(MessageTest, OverSignatureBindsInnerSignature) {
+  crypto::KeyRegistry registry(1);
+  crypto::SigningKey server0 = registry.enroll("server-0");
+  crypto::SigningKey server1 = registry.enroll("server-1");
+  crypto::SigningKey proxy = registry.enroll("proxy-0");
+
+  Message m = sample();
+  sign_message(m, server0);
+  over_sign_message(m, proxy);
+  ASSERT_TRUE(verify_over_signature(m, registry));
+
+  // Swapping the inner signature for another server's (even a valid one)
+  // must break the proxy's endorsement.
+  Message swapped = m;
+  sign_message(swapped, server1);  // still a valid inner signature...
+  EXPECT_TRUE(verify_message(swapped, registry));
+  EXPECT_FALSE(verify_over_signature(swapped, registry));
+}
+
+TEST(MessageTest, OverSignWithoutInnerViolatesContract) {
+  crypto::KeyRegistry registry(1);
+  crypto::SigningKey proxy = registry.enroll("proxy-0");
+  Message m = sample();
+  EXPECT_THROW(over_sign_message(m, proxy), ContractViolation);
+}
+
+TEST(MessageTest, VerifyMissingSignatureIsFalse) {
+  crypto::KeyRegistry registry(1);
+  Message m = sample();
+  EXPECT_FALSE(verify_message(m, registry));
+  EXPECT_FALSE(verify_over_signature(m, registry));
+}
+
+TEST(RequestIdTest, OrderingAndFormat) {
+  RequestId a{"alice", 1}, b{"alice", 2}, c{"bob", 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.to_string(), "alice#1");
+}
+
+}  // namespace
+}  // namespace fortress::replication

@@ -1,0 +1,116 @@
+#include "replication/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace fortress::replication {
+namespace {
+
+Bytes req(const std::string& s) { return bytes_of(s); }
+std::string run(Service& svc, const std::string& cmd) {
+  return string_of(svc.execute(req(cmd)));
+}
+
+TEST(KvServiceTest, PutGetDelete) {
+  KvService kv;
+  EXPECT_EQ(run(kv, "PUT a 1"), "OK");
+  EXPECT_EQ(run(kv, "GET a"), "VALUE 1");
+  EXPECT_EQ(run(kv, "PUT a 2"), "OK");
+  EXPECT_EQ(run(kv, "GET a"), "VALUE 2");
+  EXPECT_EQ(run(kv, "DEL a"), "OK");
+  EXPECT_EQ(run(kv, "GET a"), "NOTFOUND");
+  EXPECT_EQ(run(kv, "DEL a"), "NOTFOUND");
+}
+
+TEST(KvServiceTest, SizeAndErrors) {
+  KvService kv;
+  EXPECT_EQ(run(kv, "SIZE"), "SIZE 0");
+  run(kv, "PUT x 1");
+  run(kv, "PUT y 2");
+  EXPECT_EQ(run(kv, "SIZE"), "SIZE 2");
+  EXPECT_EQ(run(kv, ""), "ERR empty");
+  EXPECT_EQ(run(kv, "FROB"), "ERR bad-command");
+  EXPECT_EQ(run(kv, "PUT onlykey"), "ERR bad-command");
+}
+
+TEST(KvServiceTest, SnapshotRestoreRoundTrip) {
+  KvService a;
+  run(a, "PUT k1 v1");
+  run(a, "PUT k2 v2");
+  KvService b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(run(b, "GET k1"), "VALUE v1");
+  EXPECT_EQ(run(b, "GET k2"), "VALUE v2");
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(KvServiceTest, RestoreReplacesState) {
+  KvService a;
+  run(a, "PUT fresh 1");
+  Bytes snap = a.snapshot();
+  KvService b;
+  run(b, "PUT stale 9");
+  b.restore(snap);
+  EXPECT_EQ(run(b, "GET stale"), "NOTFOUND");
+  EXPECT_EQ(run(b, "GET fresh"), "VALUE 1");
+}
+
+TEST(KvServiceTest, DeterminismAcrossInstances) {
+  // The DSM property SMR relies on: same command sequence, same state.
+  KvService a, b;
+  for (const char* cmd : {"PUT x 1", "PUT y 2", "DEL x", "PUT z 3"}) {
+    EXPECT_EQ(a.execute(req(cmd)), b.execute(req(cmd)));
+  }
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(CounterServiceTest, IncAddGet) {
+  CounterService c;
+  EXPECT_EQ(run(c, "GET"), "COUNT 0");
+  EXPECT_EQ(run(c, "INC"), "COUNT 1");
+  EXPECT_EQ(run(c, "ADD 10"), "COUNT 11");
+  EXPECT_EQ(run(c, "ADD -4"), "COUNT 7");
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST(CounterServiceTest, SnapshotRoundTrip) {
+  CounterService a;
+  run(a, "ADD 42");
+  CounterService b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.value(), 42);
+}
+
+TEST(SessionTokenServiceTest, MintsAndChecksTokens) {
+  SessionTokenService svc(7);
+  std::string reply = run(svc, "TOKEN alice");
+  ASSERT_EQ(reply.substr(0, 6), "TOKEN ");
+  std::string token = reply.substr(6);
+  EXPECT_EQ(token.size(), 32u);  // 16 bytes hex
+  EXPECT_EQ(run(svc, "CHECK alice " + token), "VALID");
+  EXPECT_EQ(run(svc, "CHECK alice deadbeef"), "INVALID");
+  EXPECT_EQ(run(svc, "CHECK bob x"), "NOTFOUND");
+}
+
+TEST(SessionTokenServiceTest, IsObservablyNonDeterministic) {
+  // Two replicas executing the same request produce DIFFERENT results —
+  // the §1 problem for SMR, harmless for PB.
+  SessionTokenService r1(1), r2(2);
+  Bytes a = r1.execute(req("TOKEN alice"));
+  Bytes b = r2.execute(req("TOKEN alice"));
+  EXPECT_NE(a, b);
+}
+
+TEST(SessionTokenServiceTest, StateShippingResolvesNonDeterminism) {
+  // The PB fix: backups restore the primary's snapshot instead of
+  // re-executing; afterwards they agree on the minted token.
+  SessionTokenService primary(1), backup(2);
+  std::string reply = run(primary, "TOKEN alice");
+  std::string token = reply.substr(6);
+  backup.restore(primary.snapshot());
+  EXPECT_EQ(run(backup, "CHECK alice " + token), "VALID");
+}
+
+}  // namespace
+}  // namespace fortress::replication

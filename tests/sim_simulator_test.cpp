@@ -1,0 +1,184 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fortress::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, SchedulingInPastViolatesContract) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), ContractViolation);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel reports failure
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  std::uint64_t n = sim.run_until(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  // Events at exactly the boundary execute.
+  n = sim.run_until(3.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWhenIdle) {
+  Simulator sim;
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RequestStopBreaksRun) {
+  Simulator sim;
+  int count = 0;
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    sim.schedule_at(t, [&] {
+      ++count;
+      if (count == 3) sim.request_stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  // Remaining events still pending; a fresh run completes them.
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, HandlersCanScheduleRecursively) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriod) {
+  Simulator sim;
+  std::vector<double> fires;
+  PeriodicTimer timer(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  timer.start();
+  sim.run_until(35.0);
+  EXPECT_EQ(fires, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(PeriodicTimerTest, StartAfterCustomDelay) {
+  Simulator sim;
+  std::vector<double> fires;
+  PeriodicTimer timer(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  timer.start_after(3.0);
+  sim.run_until(25.0);
+  EXPECT_EQ(fires, (std::vector<double>{3.0, 13.0, 23.0}));
+}
+
+TEST(PeriodicTimerTest, StopHaltsFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++count; });
+  timer.start();
+  sim.run_until(5.5);
+  timer.stop();
+  sim.run_until(20.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, StopFromWithinCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1.0, [&] {
+    if (++count == 3) timer.stop();
+  });
+  timer.start();
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimerTest, ZeroPeriodViolatesContract) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, 0.0, [] {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fortress::sim
