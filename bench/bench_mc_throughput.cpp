@@ -1,0 +1,67 @@
+// bench_mc_throughput — Monte-Carlo trials/sec and Markov-solve latency for
+// the perf trajectory. Writes BENCH_results.json (see bench_util.hpp) so the
+// numbers are machine-readable across PRs.
+//
+// Measured here rather than in bench_micro because the thread-count sweep
+// and the trials/sec framing (items/sec, not ns/op) fit the BenchRecorder
+// schema directly.
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "analysis/markov.hpp"
+#include "bench_util.hpp"
+#include "model/params.hpp"
+#include "montecarlo/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fortress;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_results.json";
+  bench::BenchRecorder rec;
+
+  model::AttackParams p;
+  p.alpha = 1e-3;
+  p.kappa = 0.5;
+
+  // Monte-Carlo trials/sec: S2 PO at both granularities, thread sweep.
+  const std::uint64_t trials = 200000;
+  for (auto [gran, label] :
+       {std::pair{model::Granularity::Step, "step"},
+        std::pair{model::Granularity::Probe, "probe"}}) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      montecarlo::McConfig cfg;
+      cfg.trials = trials;
+      cfg.seed = 7;
+      cfg.threads = threads;
+      cfg.max_steps = 1ull << 40;
+      double el = 0.0;
+      rec.time_and_add(
+          "mc_s2po_" + std::string(label) + "_t" + std::to_string(threads),
+          /*iters=*/3, /*items_per_op=*/static_cast<double>(trials), [&] {
+            el = montecarlo::estimate_lifetime(
+                     model::SystemShape::s2(), p, model::Obfuscation::Proactive,
+                     gran, cfg)
+                     .expected_lifetime();
+          });
+      std::printf("mc_s2po_%s_t%u: el=%.2f\n", label, threads, el);
+    }
+  }
+
+  // Structure-aware Markov chain solve across re-randomization periods.
+  for (std::uint32_t period : {1u, 16u, 128u}) {
+    model::AttackParams mp = p;
+    mp.period = period;
+    double el = 0.0;
+    rec.time_and_add("markov_solve_p" + std::to_string(period),
+                     /*iters=*/period >= 128 ? 2000 : 20000,
+                     /*items_per_op=*/1.0, [&] {
+                       el = analysis::expected_lifetime_markov(
+                           model::SystemShape::s2(), mp);
+                     });
+    std::printf("markov_solve_p%u: el=%.2f\n", period, el);
+  }
+
+  if (!rec.write_json(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "model/lifetime_sim.hpp"
+#include "montecarlo/engine.hpp"
 #include "replication/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -103,6 +104,27 @@ void BM_LifetimeTrialPoProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LifetimeTrialPoProbe);
+
+void BM_McEstimateLifetime(benchmark::State& state) {
+  // End-to-end Monte-Carlo engine throughput (trials/sec in the items/sec
+  // counter): chunked dynamic scheduling + allocation-free trial kernel.
+  model::AttackParams p;
+  p.alpha = 1e-3;
+  p.kappa = 0.5;
+  montecarlo::McConfig cfg;
+  cfg.trials = 50000;
+  cfg.seed = 7;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  cfg.max_steps = 1ull << 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(montecarlo::estimate_lifetime(
+        model::SystemShape::s2(), p, model::Obfuscation::Proactive,
+        model::Granularity::Step, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+}
+BENCHMARK(BM_McEstimateLifetime)->Arg(1)->Arg(4);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,6 +1,7 @@
 // bench_util.hpp — shared helpers for the reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -11,6 +12,65 @@
 #include "montecarlo/engine.hpp"
 
 namespace fortress::bench {
+
+/// Collects benchmark measurements and writes them as machine-readable JSON
+/// (BENCH_results.json) so the perf trajectory can be tracked across PRs.
+/// Schema: [{"name": str, "ns_per_op": num, "items_per_sec": num}, ...]
+/// where items_per_sec is 0 when a bench has no natural item rate.
+class BenchRecorder {
+ public:
+  void add(const std::string& name, double ns_per_op,
+           double items_per_sec = 0.0) {
+    records_.push_back({name, ns_per_op, items_per_sec});
+  }
+
+  /// Time fn() called `iters` times and record mean ns/op. `items_per_op`
+  /// scales the derived items/sec rate (e.g. trials per call).
+  template <typename Fn>
+  double time_and_add(const std::string& name, int iters, double items_per_op,
+                      Fn&& fn) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    double ns_per_op = sec * 1e9 / iters;
+    double items_per_sec =
+        sec > 0.0 ? items_per_op * iters / sec : 0.0;
+    add(name, ns_per_op, items_per_sec);
+    return ns_per_op;
+  }
+
+  /// Write all records to `path`; returns false (and prints to stderr) on
+  /// I/O failure.
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "BenchRecorder: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                   "\"items_per_sec\": %.3f}%s\n",
+                   r.name.c_str(), r.ns_per_op, r.items_per_sec,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double ns_per_op;
+    double items_per_sec;
+  };
+  std::vector<Record> records_;
+};
 
 /// Evaluate EL with the best available method, mirroring §5: analytic
 /// (closed form / Markov) when it exists, Monte-Carlo otherwise. Returns the

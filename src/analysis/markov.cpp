@@ -40,31 +40,166 @@ Matrix AbsorbingChain::r() const {
   return out;
 }
 
+const LuDecomposition& AbsorbingChain::factorization() const {
+  if (!lu_) {
+    lu_ = std::make_shared<const LuDecomposition>(Matrix::identity(t_) - q());
+  }
+  return *lu_;
+}
+
 std::vector<double> AbsorbingChain::expected_steps_to_absorption() const {
-  Matrix i_minus_q = Matrix::identity(t_) - q();
-  LuDecomposition lu(std::move(i_minus_q));
   std::vector<double> ones(t_, 1.0);
-  return lu.solve(ones);
+  return factorization().solve(ones);
 }
 
 Matrix AbsorbingChain::fundamental_matrix() const {
-  return inverse(Matrix::identity(t_) - q());
+  return factorization().solve(Matrix::identity(t_));
 }
 
 Matrix AbsorbingChain::absorption_probabilities() const {
-  Matrix i_minus_q = Matrix::identity(t_) - q();
-  LuDecomposition lu(std::move(i_minus_q));
-  return lu.solve(r());
+  return factorization().solve(r());
 }
 
 namespace {
 
-double binomial_pmf(int n, double p, int k) {
-  double coeff = 1.0;
-  for (int i = 0; i < k; ++i) {
-    coeff *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+using model::binomial_pmf;
+
+// ---------------------------------------------------------------------------
+// Structure-aware PO chain solvers.
+//
+// The PO chain built by build_po_chain is block-sparse: a transient state
+// (φ, k) only reaches states in phase φ+1, the absorbing state(s), or — when
+// φ is the last phase — the single fresh state (0, 0). Any absorbing-chain
+// quantity v that satisfies v(s) = c(s) + Σ_s' Q(s, s') v(s') can therefore
+// be expressed affinely in x = v(0, 0): sweeping phases backward from P-1
+// (whose survivors wrap to (0,0), i.e. v = c + (surv mass)·x exactly) down
+// to 0 yields v(φ, k) = A(φ, k) + m(φ, k)·x, and the sweep's last row closes
+// the loop: x = A(0,0) / (1 - m(0,0)). Cost O(P · n²) per quantity versus
+// the dense O((P·n)³) LU — and no (P·n)² matrix is ever materialized.
+//
+// The per-transition masses below mirror build_po_chain /
+// s2_route_probabilities exactly (same binomial_pmf accumulation order), so
+// the sweeps agree with the dense solves to rounding; tests pin both the
+// agreement and the closed forms at P = 1.
+// ---------------------------------------------------------------------------
+
+// Per-(count -> count') one-step masses for one phase of the chain, shared
+// by every phase (the chain is phase-homogeneous). survive[k][k'] is the
+// probability of moving from k fallen nodes to k' without absorption;
+// absorb[k][j] the probability of absorbing into absorbing state j.
+struct PhaseStep {
+  int max_count = 0;                               // counts 0..max_count
+  std::vector<std::vector<double>> survive;        // [k][k']
+  std::vector<std::vector<double>> absorb;         // [k][absorbing j]
+};
+
+// S0: absorb when total fallen reaches smr_compromise (1 absorbing state).
+// S2 with split_routes == false: one absorbing "compromised" state; with
+// split_routes == true: {indirect, via-proxy, all-proxies} as in
+// s2_route_probabilities.
+PhaseStep phase_step_s0(const model::SystemShape& shape, double a) {
+  PhaseStep ps;
+  ps.max_count = shape.smr_compromise - 1;
+  ps.survive.assign(ps.max_count + 1,
+                    std::vector<double>(ps.max_count + 1, 0.0));
+  ps.absorb.assign(ps.max_count + 1, std::vector<double>(1, 0.0));
+  for (int k = 0; k <= ps.max_count; ++k) {
+    const int intact = shape.n_servers - k;
+    for (int fall = 0; fall <= intact; ++fall) {
+      double pf = binomial_pmf(intact, a, fall);
+      int total = k + fall;
+      if (total >= shape.smr_compromise) {
+        ps.absorb[k][0] += pf;
+      } else {
+        ps.survive[k][total] += pf;
+      }
+    }
   }
-  return coeff * std::pow(p, k) * std::pow(1.0 - p, n - k);
+  return ps;
+}
+
+PhaseStep phase_step_s2(const model::SystemShape& shape, double a, double ka,
+                        bool split_routes) {
+  PhaseStep ps;
+  const int np = shape.n_proxies;
+  ps.max_count = np - 1;
+  ps.survive.assign(np, std::vector<double>(np, 0.0));
+  ps.absorb.assign(np, std::vector<double>(split_routes ? 3 : 1, 0.0));
+  for (int j = 0; j < np; ++j) {
+    const int intact = np - j;
+    for (int fall = 0; fall <= intact; ++fall) {
+      double pf = binomial_pmf(intact, a, fall);
+      int total = j + fall;
+      if (total >= np) {
+        // All proxies fell: compromised outright.
+        ps.absorb[j][split_routes ? 2 : 0] += pf;
+        continue;
+      }
+      const bool pad = total >= 1;
+      if (split_routes) {
+        double p_indirect = ka;
+        double p_via = pad ? (1.0 - ka) * a : 0.0;
+        ps.absorb[j][0] += pf * p_indirect;
+        ps.absorb[j][1] += pf * p_via;
+        ps.survive[j][total] += pf * (1.0 - p_indirect - p_via);
+      } else {
+        double server_survives = (1.0 - ka) * (pad ? (1.0 - a) : 1.0);
+        ps.absorb[j][0] += pf * (1.0 - server_survives);
+        ps.survive[j][total] += pf * server_survives;
+      }
+    }
+  }
+  return ps;
+}
+
+// Backward affine sweep: returns the per-absorbing-state values of
+// v(0,0) where v(s) = base(s) + Σ Q(s,s') v(s'), with base(s) = 1 for the
+// expected-steps system (n_absorbing == 0 sentinel) or the absorption mass
+// into each absorbing state for the absorption-probability system.
+//
+// Returned vector: for expected steps, {x}; for absorption probabilities,
+// {x_0, .., x_{na-1}} = absorption probability into each absorbing state
+// starting fresh.
+std::vector<double> po_phase_sweep(const PhaseStep& ps, std::uint32_t period,
+                                   bool expected_steps) {
+  const int nk = ps.max_count + 1;
+  const std::size_t na =
+      expected_steps ? 1 : ps.absorb.empty() ? 0 : ps.absorb[0].size();
+  // Affine representation per count k and component c:
+  // v_c(φ, k) = add[k][c] + mul[k] * x_c. `next_*` hold phase φ+1.
+  // At φ = period-1 survivors wrap to (0,0): v_c = base + (surv mass)·x_c,
+  // which is the sweep seeded with next_add = 0, next_mul = 1.
+  std::vector<std::vector<double>> add(nk, std::vector<double>(na, 0.0));
+  std::vector<double> mul(nk, 0.0);
+  std::vector<std::vector<double>> next_add(nk, std::vector<double>(na, 0.0));
+  std::vector<double> next_mul(nk, 1.0);
+
+  for (std::uint32_t phase = period; phase-- > 0;) {
+    for (int k = 0; k < nk; ++k) {
+      double m = 0.0;
+      for (std::size_t c = 0; c < na; ++c) {
+        add[k][c] = expected_steps ? 1.0 : ps.absorb[k][c];
+      }
+      for (int k2 = 0; k2 < nk; ++k2) {
+        const double s = ps.survive[k][k2];
+        if (s == 0.0) continue;
+        m += s * next_mul[k2];
+        for (std::size_t c = 0; c < na; ++c) {
+          add[k][c] += s * next_add[k2][c];
+        }
+      }
+      mul[k] = m;
+    }
+    std::swap(add, next_add);
+    std::swap(mul, next_mul);
+  }
+
+  // Close the loop at the fresh state: x_c = add(0)[c] + mul(0) * x_c.
+  const double denom = 1.0 - next_mul[0];
+  FORTRESS_CHECK(denom > 0.0);
+  std::vector<double> x(na);
+  for (std::size_t c = 0; c < na; ++c) x[c] = next_add[0][c] / denom;
+  return x;
 }
 
 }  // namespace
@@ -182,9 +317,33 @@ PoChain build_po_chain(const model::SystemShape& shape,
 
 double expected_lifetime_markov(const model::SystemShape& shape,
                                 const model::AttackParams& params) {
-  PoChain pc = build_po_chain(shape, params);
-  std::vector<double> steps = pc.chain.expected_steps_to_absorption();
-  double el = steps[pc.initial_state] - 1.0;
+  shape.validate();
+  params.validate();
+  const double a = params.alpha;
+
+  double steps_to_absorption;
+  switch (shape.kind) {
+    case model::SystemKind::S1:
+      // Single memoryless channel: one transient state regardless of period.
+      steps_to_absorption = 1.0 / a;
+      break;
+    case model::SystemKind::S0:
+      steps_to_absorption =
+          po_phase_sweep(phase_step_s0(shape, a), params.period,
+                         /*expected_steps=*/true)[0];
+      break;
+    case model::SystemKind::S2:
+      steps_to_absorption =
+          po_phase_sweep(phase_step_s2(shape, a, params.kappa * a,
+                                       /*split_routes=*/false),
+                         params.period, /*expected_steps=*/true)[0];
+      break;
+    default:
+      FORTRESS_CHECK(false);
+      return 0.0;
+  }
+
+  double el = steps_to_absorption - 1.0;
   FORTRESS_ENSURES(el >= -1e-9);
   return el < 0.0 ? 0.0 : el;
 }
@@ -194,61 +353,20 @@ S2RouteProbabilities s2_route_probabilities(const model::SystemShape& shape,
   shape.validate();
   params.validate();
   FORTRESS_EXPECTS(shape.kind == model::SystemKind::S2);
-  const double a = params.alpha;
-  const double ka = params.kappa * params.alpha;
-  const std::uint32_t period = params.period;
-  const int np = shape.n_proxies;
-
-  // Transient states: (phase, j) with j in 0..np-1; absorbing states:
-  // 0 = indirect, 1 = via-proxy, 2 = all-proxies (offsets from t).
-  const std::size_t t = static_cast<std::size_t>(period) *
-                        static_cast<std::size_t>(np);
-  const std::size_t n = t + 3;
-  Matrix trans(n, n);
-  for (std::size_t abs = t; abs < n; ++abs) trans(abs, abs) = 1.0;
-
-  auto state_index = [&](std::uint32_t phase, int j) {
-    return static_cast<std::size_t>(phase) * static_cast<std::size_t>(np) +
-           static_cast<std::size_t>(j);
-  };
-  auto next_index = [&](std::uint32_t phase, int j) {
-    std::uint32_t next_phase = phase + 1;
-    if (next_phase >= period) return state_index(0, 0);
-    return state_index(next_phase, j);
-  };
-
-  for (std::uint32_t phase = 0; phase < period; ++phase) {
-    for (int j = 0; j < np; ++j) {
-      const std::size_t si = state_index(phase, j);
-      const int intact = np - j;
-      for (int fall = 0; fall <= intact; ++fall) {
-        double pf = binomial_pmf(intact, a, fall);
-        int total = j + fall;
-        if (total >= np) {
-          trans(si, t + 2) += pf;  // all proxies
-          continue;
-        }
-        // Within the step: the indirect route fires with κα; otherwise the
-        // via-proxy route fires with α when a pad exists. This matches the
-        // decomposition 1 - (1-κα)(1-α)^[pad] and the simulator's route
-        // sampling order.
-        const bool pad = total >= 1;
-        double p_indirect = ka;
-        double p_via = pad ? (1.0 - ka) * a : 0.0;
-        double p_survive = 1.0 - p_indirect - p_via;
-        trans(si, t + 0) += pf * p_indirect;
-        trans(si, t + 1) += pf * p_via;
-        trans(si, next_index(phase, total)) += pf * p_survive;
-      }
-    }
-  }
-
-  AbsorbingChain chain(std::move(trans), t);
-  Matrix b = chain.absorption_probabilities();
+  // Absorbing states: 0 = indirect (fires with κα), 1 = via-proxy (α with a
+  // launch pad), 2 = all-proxies — the decomposition 1 - (1-κα)(1-α)^[pad]
+  // matching the simulator's route sampling order. Solved with the same
+  // block-sparse phase sweep as expected_lifetime_markov: absorption
+  // probabilities from the fresh state are affine in themselves around the
+  // re-randomization loop.
+  std::vector<double> b = po_phase_sweep(
+      phase_step_s2(shape, params.alpha, params.kappa * params.alpha,
+                    /*split_routes=*/true),
+      params.period, /*expected_steps=*/false);
   S2RouteProbabilities out;
-  out.server_indirect = b(0, 0);
-  out.server_via_proxy = b(0, 1);
-  out.all_proxies = b(0, 2);
+  out.server_indirect = b[0];
+  out.server_via_proxy = b[1];
+  out.all_proxies = b[2];
   return out;
 }
 

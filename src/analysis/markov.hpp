@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,9 +53,17 @@ class AbsorbingChain {
   Matrix q() const;  // transient-to-transient block
   Matrix r() const;  // transient-to-absorbing block
 
+  /// One LU of (I - Q), computed on first use and shared by every solve
+  /// (expected steps, absorption probabilities, fundamental matrix) — the
+  /// seed re-factorized per call, and fundamental_matrix() did a full
+  /// inverse(). Copies share the cache. Not synchronized: like the rest of
+  /// the class, concurrent use needs external locking.
+  const LuDecomposition& factorization() const;
+
   Matrix p_;
   std::size_t t_;
   std::size_t a_;
+  mutable std::shared_ptr<const LuDecomposition> lu_;
 };
 
 /// Builds the PO chain for a system with re-randomization period
@@ -78,6 +87,13 @@ PoChain build_po_chain(const model::SystemShape& shape,
 
 /// Expected lifetime (whole steps before the compromise step) from the PO
 /// chain: expected steps to absorption minus 1.
+///
+/// Solved structure-aware: the PO chain is block-sparse (phase φ only
+/// transitions to φ+1, absorption, or — at the boundary — the fresh state),
+/// so the expected-steps system collapses to a per-phase backward sweep in
+/// O(P·n²) instead of a dense O((P·n)³) LU. Agrees with
+/// build_po_chain(...).chain.expected_steps_to_absorption() to rounding
+/// (tested), which remains the reference implementation.
 double expected_lifetime_markov(const model::SystemShape& shape,
                                 const model::AttackParams& params);
 

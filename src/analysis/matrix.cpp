@@ -1,9 +1,18 @@
 #include "analysis/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace fortress::analysis {
+
+namespace {
+
+// Tile edge for the blocked multiply/solve kernels: a kTile x kTile double
+// tile is 32 KiB at 64 — B-tiles stay L1/L2-resident across the full i-sweep.
+constexpr std::size_t kTile = 64;
+
+}  // namespace
 
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
@@ -14,12 +23,28 @@ Matrix Matrix::identity(std::size_t n) {
 Matrix Matrix::operator*(const Matrix& other) const {
   FORTRESS_EXPECTS(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out(i, j) += a * other(k, j);
+  const std::size_t n = rows_;
+  const std::size_t kk = cols_;
+  const std::size_t m = other.cols_;
+  // Tiled ikj: for each (k, j) tile of B, stream every row of A through it.
+  // The inner j-loop is a contiguous axpy on raw rows (vectorizable; the
+  // checked operator() would block that), and the B tile is reused n times
+  // before being evicted.
+  for (std::size_t k0 = 0; k0 < kk; k0 += kTile) {
+    const std::size_t k1 = std::min(kk, k0 + kTile);
+    for (std::size_t j0 = 0; j0 < m; j0 += kTile) {
+      const std::size_t j1 = std::min(m, j0 + kTile);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* arow = row(i);
+        double* orow = out.row(i);
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double a = arow[k];
+          if (a == 0.0) continue;
+          const double* brow = other.row(k);
+          for (std::size_t j = j0; j < j1; ++j) {
+            orow[j] += a * brow[j];
+          }
+        }
       }
     }
   }
@@ -78,18 +103,19 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       throw std::runtime_error("LuDecomposition: singular matrix");
     }
     if (pivot != col) {
-      for (std::size_t j = 0; j < n; ++j) {
-        std::swap(lu_(pivot, j), lu_(col, j));
-      }
+      std::swap_ranges(lu_.row(pivot), lu_.row(pivot) + n, lu_.row(col));
       std::swap(perm_[pivot], perm_[col]);
       perm_sign_ = -perm_sign_;
     }
-    // Eliminate below.
+    // Eliminate below: contiguous rank-1 row updates on raw rows.
+    const double* crow = lu_.row(col);
     for (std::size_t r = col + 1; r < n; ++r) {
-      double factor = lu_(r, col) / lu_(col, col);
-      lu_(r, col) = factor;
+      double* rrow = lu_.row(r);
+      const double factor = rrow[col] / crow[col];
+      rrow[col] = factor;
+      if (factor == 0.0) continue;
       for (std::size_t j = col + 1; j < n; ++j) {
-        lu_(r, j) -= factor * lu_(col, j);
+        rrow[j] -= factor * crow[j];
       }
     }
   }
@@ -101,27 +127,56 @@ std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
   std::vector<double> x(n);
   // Apply permutation + forward substitution (L has unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {
+    const double* lrow = lu_.row(i);
     double sum = b[perm_[i]];
-    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    for (std::size_t j = 0; j < i; ++j) sum -= lrow[j] * x[j];
     x[i] = sum;
   }
   // Back substitution.
   for (std::size_t ii = n; ii-- > 0;) {
+    const double* lrow = lu_.row(ii);
     double sum = x[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * x[j];
-    x[ii] = sum / lu_(ii, ii);
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lrow[j] * x[j];
+    x[ii] = sum / lrow[ii];
   }
   return x;
 }
 
 Matrix LuDecomposition::solve(const Matrix& b) const {
   FORTRESS_EXPECTS(b.rows() == lu_.rows());
-  Matrix out(b.rows(), b.cols());
-  std::vector<double> col(b.rows());
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    std::vector<double> x = solve(col);
-    for (std::size_t i = 0; i < b.rows(); ++i) out(i, j) = x[i];
+  const std::size_t n = b.rows();
+  const std::size_t m = b.cols();
+  // Solve all right-hand sides together: substitution becomes contiguous
+  // row axpys over the RHS block instead of one strided column copy + solve
+  // per RHS (the seed did O(n) heap allocations and column gathers here).
+  Matrix out(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = b.row(perm_[i]);
+    std::copy(src, src + m, out.row(i));
+  }
+  // Forward substitution (L has unit diagonal): X_i -= L(i,j) * X_j.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* lrow = lu_.row(i);
+    double* xi = out.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double l = lrow[j];
+      if (l == 0.0) continue;
+      const double* xj = out.row(j);
+      for (std::size_t c = 0; c < m; ++c) xi[c] -= l * xj[c];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* lrow = lu_.row(ii);
+    double* xi = out.row(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      const double u = lrow[j];
+      if (u == 0.0) continue;
+      const double* xj = out.row(j);
+      for (std::size_t c = 0; c < m; ++c) xi[c] -= u * xj[c];
+    }
+    const double diag = lrow[ii];
+    for (std::size_t c = 0; c < m; ++c) xi[c] /= diag;
   }
   return out;
 }

@@ -33,6 +33,11 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Unchecked contiguous row access for hot kernels (multiply, LU sweeps).
+  /// Precondition (unchecked): r < rows().
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
   Matrix operator*(const Matrix& other) const;
   Matrix operator+(const Matrix& other) const;
   Matrix operator-(const Matrix& other) const;

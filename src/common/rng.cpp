@@ -20,7 +20,9 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Xoshiro256::Xoshiro256(std::uint64_t seed) {
+Xoshiro256::Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+void Xoshiro256::reseed(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& w : s_) w = sm.next();
   // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
@@ -59,13 +61,23 @@ void Xoshiro256::jump() {
   s_ = {s0, s1, s2, s3};
 }
 
-Rng Rng::substream(std::uint64_t seed, std::uint64_t index) {
+namespace {
+inline std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) {
   // Hash (seed, index) through SplitMix64 twice to decorrelate adjacent
   // indices; each substream then has its own xoshiro state.
   SplitMix64 sm(seed ^ (0x5851f42d4c957f2dULL * (index + 1)));
   std::uint64_t derived = sm.next();
   derived ^= SplitMix64(index).next();
-  return Rng(derived);
+  return derived;
+}
+}  // namespace
+
+Rng Rng::substream(std::uint64_t seed, std::uint64_t index) {
+  return Rng(substream_seed(seed, index));
+}
+
+void Rng::reset_substream(std::uint64_t seed, std::uint64_t index) {
+  gen_.reseed(substream_seed(seed, index));
 }
 
 std::uint64_t Rng::bits() { return gen_(); }
@@ -135,6 +147,26 @@ std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
     result.push_back(t);
   }
   return result;
+}
+
+void Rng::sample_without_replacement_into(std::uint64_t n, std::uint64_t k,
+                                          std::uint64_t* out) {
+  FORTRESS_EXPECTS(k <= n);
+  // Same Floyd's walk as sample_without_replacement (identical draw
+  // sequence); membership by linear scan over the values emitted so far.
+  std::uint64_t count = 0;
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = below(j + 1);
+    bool seen = false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (out[i] == t) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) t = j;
+    out[count++] = t;
+  }
 }
 
 }  // namespace fortress

@@ -35,6 +35,11 @@ class Xoshiro256 {
   /// Seeds the four state words from SplitMix64(seed).
   explicit Xoshiro256(std::uint64_t seed);
 
+  /// Re-seed in place (same derivation as the constructor). Lets hot loops
+  /// reuse one generator object per worker instead of constructing one per
+  /// trial.
+  void reseed(std::uint64_t seed);
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
@@ -58,6 +63,11 @@ class Rng {
 
   /// A derived, statistically independent stream: hash (seed, index) pairs.
   static Rng substream(std::uint64_t seed, std::uint64_t index);
+
+  /// Re-point this Rng at substream (seed, index) in place. Bit-identical to
+  /// `*this = Rng::substream(seed, index)`; exists so per-trial substream
+  /// setup costs no construction in the Monte-Carlo inner loop.
+  void reset_substream(std::uint64_t seed, std::uint64_t index);
 
   /// Raw 64 random bits.
   std::uint64_t bits();
@@ -97,6 +107,14 @@ class Rng {
   /// algorithm); order of the result is unspecified. Precondition: k <= n.
   std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                         std::uint64_t k);
+
+  /// Allocation-free variant: writes the k sampled values into `out` (caller
+  /// guarantees capacity >= k). Consumes exactly the same draws as
+  /// sample_without_replacement, so the two are stream-compatible. Membership
+  /// is a linear scan — intended for the small k (<= 64) of the trial
+  /// kernels, not for bulk sampling.
+  void sample_without_replacement_into(std::uint64_t n, std::uint64_t k,
+                                       std::uint64_t* out);
 
   Xoshiro256& engine() { return gen_; }
 

@@ -1,0 +1,170 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace fortress::exec {
+
+struct ThreadPool::Impl {
+  using ChunkFn = std::function<void(std::uint64_t, std::uint64_t,
+                                     std::uint64_t)>;
+
+  // One job at a time: concurrent parallel_chunks callers serialize here.
+  std::mutex job_m;
+
+  // Job state is published under `m` and identified by `generation` so
+  // parked workers can tell a new job from a spurious wake.
+  std::mutex m;
+  std::condition_variable job_ready;
+  std::condition_variable job_done;
+  std::uint64_t generation = 0;
+  bool shutting_down = false;
+
+  // Current job (valid while `active_workers` > 0 or tickets remain).
+  const ChunkFn* fn = nullptr;
+  std::uint64_t total = 0;
+  std::uint64_t chunk_size = 0;
+  std::uint64_t n_chunks = 0;
+  unsigned parallelism = 0;           // max workers allowed to join
+  unsigned joined = 0;                // workers that joined this job
+  unsigned running = 0;               // workers currently inside drain()
+  std::atomic<std::uint64_t> ticket{0};
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+
+  // Claim chunks until the grid is exhausted. Called concurrently by the
+  // caller thread and any joined workers.
+  void drain() {
+    while (true) {
+      std::uint64_t c = ticket.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) return;
+      std::uint64_t begin = c * chunk_size;
+      std::uint64_t end = begin + chunk_size;
+      if (end > total) end = total;
+      try {
+        (*fn)(c, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining tickets so the job terminates promptly: claim the
+        // rest without running fn.
+        ticket.store(n_chunks, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(m);
+    while (true) {
+      job_ready.wait(lock, [&] {
+        return shutting_down || (generation != seen && joined < parallelism &&
+                                 ticket.load(std::memory_order_relaxed) <
+                                     n_chunks);
+      });
+      if (shutting_down) return;
+      seen = generation;
+      ++joined;
+      ++running;
+      lock.unlock();
+      drain();
+      lock.lock();
+      --running;
+      if (running == 0) job_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // The caller participates in every job, so `threads` persistent workers
+  // give `threads + 1`-way parallelism; spawn one fewer than requested and
+  // never fewer than zero.
+  unsigned spawned = threads > 1 ? threads - 1 : 0;
+  impl_->threads.reserve(spawned);
+  for (unsigned i = 0; i < spawned; ++i) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+  n_workers_ = spawned;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->shutting_down = true;
+  }
+  impl_->job_ready.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::shared() {
+  // At least 8-way so callers requesting a fixed thread count (tests pin
+  // 1/3/8) get real cross-thread scheduling even on small machines; parked
+  // workers cost nothing between jobs.
+  static ThreadPool pool(std::max(std::thread::hardware_concurrency(), 8u));
+  return pool;
+}
+
+void ThreadPool::parallel_chunks(
+    std::uint64_t total, std::uint64_t chunk_size, unsigned parallelism,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        fn) {
+  FORTRESS_EXPECTS(chunk_size > 0);
+  if (total == 0) return;
+
+  const std::uint64_t n_chunks = chunk_count(total, chunk_size);
+  if (parallelism == 0) parallelism = size() + 1;
+
+  if (parallelism <= 1 || size() == 0 || n_chunks == 1) {
+    // Inline fast path: chunk order == index order.
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      std::uint64_t begin = c * chunk_size;
+      std::uint64_t end = begin + chunk_size;
+      if (end > total) end = total;
+      fn(c, begin, end);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(impl_->job_m);
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->fn = &fn;
+    impl_->total = total;
+    impl_->chunk_size = chunk_size;
+    impl_->n_chunks = n_chunks;
+    impl_->parallelism = parallelism - 1;  // caller takes one slot
+    impl_->joined = 0;
+    impl_->ticket.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->job_ready.notify_all();
+
+  impl_->drain();  // caller works too
+
+  std::unique_lock<std::mutex> lock(impl_->m);
+  impl_->job_done.wait(lock, [&] { return impl_->running == 0; });
+  // Invalidate the job so late-waking workers re-check against an exhausted
+  // ticket and go back to sleep.
+  impl_->fn = nullptr;
+  impl_->n_chunks = 0;
+  std::exception_ptr err = impl_->first_error;
+  impl_->first_error = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace fortress::exec

@@ -27,18 +27,85 @@ constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
 }
 
+}  // namespace
+
+TrialKernel::TrialKernel(const SystemShape& shape, const AttackParams& params,
+                         Obfuscation obf, Granularity gran)
+    : shape_(shape), params_(params), obf_(obf), gran_(gran) {
+  shape_.validate();
+  params_.validate();
+  omega_ = params_.omega();
+
+  // Only the paths that use fixed-size stack buffers bound the node counts;
+  // Proactive/Step places no limit (matching simulate_lifetime's historical
+  // domain).
+  if (obf_ == Obfuscation::StartupOnly) {
+    FORTRESS_EXPECTS(shape_.n_servers <= kMaxChannels);
+    FORTRESS_EXPECTS(shape_.n_proxies <= kMaxChannels);
+  }
+
+  if (obf_ == Obfuscation::Proactive && gran_ == Granularity::Step) {
+    p_step_ = per_step_compromise_probability(shape_, params_);
+    if (shape_.kind == SystemKind::S2) {
+      // Exact conditional route distribution at the compromise step; the
+      // three terms are the route-wise decomposition of p_step_ (same pmf
+      // accumulation order as per_step_compromise_probability).
+      const double a = params_.alpha;
+      const double ka = params_.kappa * a;
+      const int np = shape_.n_proxies;
+      double p_all = binomial_pmf(np, a, np);
+      double p_indirect = 0.0;
+      double p_via = 0.0;
+      for (int j = 0; j < np; ++j) {
+        double pj = binomial_pmf(np, a, j);
+        p_indirect += pj * ka;
+        if (j >= 1) p_via += pj * (1.0 - ka) * a;
+      }
+      cut_all_ = p_all;
+      cut_indirect_ = p_all + p_indirect;
+      route_mass_ = p_all + p_indirect + p_via;
+    }
+  }
+
+  if (obf_ == Obfuscation::Proactive && gran_ == Granularity::Probe) {
+    const double q =
+        static_cast<double>(omega_) / static_cast<double>(params_.chi);
+    const int nchan = (shape_.kind == SystemKind::S2)
+                          ? shape_.n_proxies + 1  // proxies + server
+                          : shape_.n_servers;     // S0 nodes / S1 channel
+    eff_nchan_ = (shape_.kind == SystemKind::S1) ? 1 : nchan;
+    FORTRESS_EXPECTS(eff_nchan_ <= kMaxChannels);
+    const double p_quiet = std::pow(1.0 - q, eff_nchan_);
+    p_event_ = 1.0 - p_quiet;
+    // Cumulative truncated event-count pmf P(K in 1..k), K ~ Bin(n, q);
+    // binomial_pmf accumulates exactly as the seed's inline inverse-
+    // transform loop did, so the sampled event counts are bit-identical.
+    double cum = 0.0;
+    for (int k = 1; k < eff_nchan_; ++k) {
+      cum += binomial_pmf(eff_nchan_, q, k);
+      cum_k_[static_cast<std::size_t>(k)] = cum;
+    }
+  }
+}
+
+LifetimeResult TrialKernel::run(Rng& rng, std::uint64_t max_steps) const {
+  FORTRESS_EXPECTS(max_steps > 0);
+  if (obf_ == Obfuscation::StartupOnly) return run_so(rng, max_steps);
+  if (gran_ == Granularity::Step) return run_po_step(rng, max_steps);
+  return run_po_probe(rng, max_steps);
+}
+
 // ---------------------------------------------------------------------------
 // Startup-only obfuscation: keys sit at fixed positions in the attacker's
 // candidate order; lifetimes are order-statistic arithmetic.
 // ---------------------------------------------------------------------------
 
-LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
-                           Rng& rng, std::uint64_t max_steps) {
-  const std::uint64_t chi = params.chi;
-  const std::uint64_t omega = params.omega();
+LifetimeResult TrialKernel::run_so(Rng& rng, std::uint64_t max_steps) const {
+  const std::uint64_t chi = params_.chi;
+  const std::uint64_t omega = omega_;
   LifetimeResult out;
 
-  switch (shape.kind) {
+  switch (shape_.kind) {
     case SystemKind::S1: {
       std::uint64_t pos = rng.below(chi) + 1;  // 1..chi
       std::uint64_t t = ceil_div(pos, omega);
@@ -52,12 +119,13 @@ LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
       return out;
     }
     case SystemKind::S0: {
-      auto positions = rng.sample_without_replacement(
-          chi, static_cast<std::uint64_t>(shape.n_servers));
-      std::sort(positions.begin(), positions.end());
+      std::array<std::uint64_t, kMaxChannels> positions;
+      const auto ns = static_cast<std::uint64_t>(shape_.n_servers);
+      rng.sample_without_replacement_into(chi, ns, positions.data());
+      std::sort(positions.begin(), positions.begin() + ns);
       // smr_compromise-th smallest position, 1-based candidates.
       std::uint64_t pos = positions[static_cast<std::size_t>(
-                              shape.smr_compromise - 1)] + 1;
+                              shape_.smr_compromise - 1)] + 1;
       std::uint64_t t = ceil_div(pos, omega);
       if (t - 1 >= max_steps) {
         out.censored = true;
@@ -70,12 +138,13 @@ LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
     }
     case SystemKind::S2: {
       // Proxy keys: distinct positions in the shared direct candidate order.
-      auto proxy_pos = rng.sample_without_replacement(
-          chi, static_cast<std::uint64_t>(shape.n_proxies));
-      std::sort(proxy_pos.begin(), proxy_pos.end());
-      const double first_proxy = static_cast<double>(proxy_pos.front() + 1);
+      std::array<std::uint64_t, kMaxChannels> proxy_pos;
+      const auto np = static_cast<std::uint64_t>(shape_.n_proxies);
+      rng.sample_without_replacement_into(chi, np, proxy_pos.data());
+      std::sort(proxy_pos.begin(), proxy_pos.begin() + np);
+      const double first_proxy = static_cast<double>(proxy_pos[0] + 1);
       const std::uint64_t t_all =
-          ceil_div(proxy_pos.back() + 1, omega);  // all-proxies route
+          ceil_div(proxy_pos[np - 1] + 1, omega);  // all-proxies route
 
       // Server key position in its own candidate order.
       const double v = static_cast<double>(rng.below(chi) + 1);
@@ -83,7 +152,7 @@ LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
       // Coverage of the server keyspace over continuous step time s:
       // indirect at rate κω until τ* (first proxy falls), then direct at ω.
       const double w = static_cast<double>(omega);
-      const double kw = params.kappa * w;
+      const double kw = params_.kappa * w;
       const double tau_star = first_proxy / w;  // in step units
 
       double t_server_real;
@@ -108,7 +177,7 @@ LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
                     ? CompromiseRoute::ServerIndirect
                     : CompromiseRoute::ServerViaProxy;
       }
-      if (params.kappa == 0.0 && route == CompromiseRoute::ServerIndirect) {
+      if (params_.kappa == 0.0 && route == CompromiseRoute::ServerIndirect) {
         route = CompromiseRoute::ServerViaProxy;
       }
       if (t - 1 >= max_steps) {
@@ -127,50 +196,36 @@ LifetimeResult simulate_so(const SystemShape& shape, const AttackParams& params,
 
 // ---------------------------------------------------------------------------
 // Proactive obfuscation, step granularity: geometric fast-forward with the
-// closed-form per-step probability; the compromise-step composition is then
-// sampled conditioned on compromise (for route attribution).
+// closed-form per-step probability; the compromise-step route is then drawn
+// from the exact conditional route distribution (one uniform draw — the
+// seed's rejection sampler spun ~1/p_step iterations per trial).
 // ---------------------------------------------------------------------------
 
-CompromiseRoute sample_route_s2_step(const SystemShape& shape,
-                                     const AttackParams& params, Rng& rng) {
-  // Rejection-sample the compromise-step outcome; the acceptance probability
-  // is the per-step compromise probability, so cap iterations defensively.
-  const double a = params.alpha;
-  for (int iter = 0; iter < 100000; ++iter) {
-    int fallen = 0;
-    for (int j = 0; j < shape.n_proxies; ++j) {
-      if (rng.bernoulli(a)) ++fallen;
-    }
-    if (fallen == shape.n_proxies) return CompromiseRoute::AllProxies;
-    if (rng.bernoulli(params.kappa * a)) return CompromiseRoute::ServerIndirect;
-    if (fallen >= 1 && rng.bernoulli(a)) return CompromiseRoute::ServerViaProxy;
-  }
-  // Vanishingly unlikely; attribute to the dominant route.
-  return (params.kappa > 0.0) ? CompromiseRoute::ServerIndirect
-                              : CompromiseRoute::ServerViaProxy;
-}
-
-LifetimeResult simulate_po_step(const SystemShape& shape,
-                                const AttackParams& params, Rng& rng,
-                                std::uint64_t max_steps) {
-  const double p = per_step_compromise_probability(shape, params);
+LifetimeResult TrialKernel::run_po_step(Rng& rng,
+                                        std::uint64_t max_steps) const {
   LifetimeResult out;
-  if (p <= 0.0) {
+  if (p_step_ <= 0.0) {
     out.censored = true;
     out.whole_steps = max_steps;
     return out;
   }
-  std::uint64_t steps = rng.geometric(p);
+  std::uint64_t steps = rng.geometric(p_step_);
   if (steps >= max_steps) {
     out.censored = true;
     out.whole_steps = max_steps;
     return out;
   }
   out.whole_steps = steps;
-  switch (shape.kind) {
+  switch (shape_.kind) {
     case SystemKind::S0: out.route = CompromiseRoute::SmrQuorum; break;
     case SystemKind::S1: out.route = CompromiseRoute::SharedKey; break;
-    case SystemKind::S2: out.route = sample_route_s2_step(shape, params, rng); break;
+    case SystemKind::S2: {
+      double u = rng.uniform01() * route_mass_;
+      out.route = u < cut_all_        ? CompromiseRoute::AllProxies
+                  : u < cut_indirect_ ? CompromiseRoute::ServerIndirect
+                                      : CompromiseRoute::ServerViaProxy;
+      break;
+    }
   }
   return out;
 }
@@ -184,23 +239,13 @@ LifetimeResult simulate_po_step(const SystemShape& shape,
 //  * server channel (S2):      qs = omega / chi  (coverage can reach ω when a
 //    launch pad appears; whether the key is actually reached depends on the
 //    realized coverage C <= ω, checked per event step).
-LifetimeResult simulate_po_probe(const SystemShape& shape,
-                                 const AttackParams& params, Rng& rng,
-                                 std::uint64_t max_steps) {
-  const std::uint64_t chi = params.chi;
-  const std::uint64_t omega = params.omega();
-  const double q = static_cast<double>(omega) / static_cast<double>(chi);
+LifetimeResult TrialKernel::run_po_probe(Rng& rng,
+                                         std::uint64_t max_steps) const {
+  const std::uint64_t omega = omega_;
+  const int eff_nchan = eff_nchan_;
   LifetimeResult out;
 
-  const int nchan = (shape.kind == SystemKind::S2)
-                        ? shape.n_proxies + 1   // proxies + server
-                        : shape.n_servers;      // S0 nodes / S1 single channel
-  const int eff_nchan = (shape.kind == SystemKind::S1) ? 1 : nchan;
-
-  // Probability that nothing happens on any channel this step.
-  const double p_quiet = std::pow(1.0 - q, eff_nchan);
-  const double p_event = 1.0 - p_quiet;
-  if (p_event <= 0.0) {
+  if (p_event_ <= 0.0) {
     out.censored = true;
     out.whole_steps = max_steps;
     return out;
@@ -209,7 +254,7 @@ LifetimeResult simulate_po_probe(const SystemShape& shape,
   std::uint64_t steps_elapsed = 0;
   while (true) {
     // Skip quiet steps.
-    std::uint64_t quiet = rng.geometric(p_event);
+    std::uint64_t quiet = rng.geometric(p_event_);
     if (steps_elapsed + quiet >= max_steps) {
       out.censored = true;
       out.whole_steps = max_steps;
@@ -218,30 +263,23 @@ LifetimeResult simulate_po_probe(const SystemShape& shape,
     steps_elapsed += quiet;
     // This step has at least one channel event. Sample the event pattern
     // conditioned on "not all channels quiet": first the number of events
-    // k ~ Bin(n, q) | k >= 1 by inverse transform over the truncated pmf,
-    // then a uniformly random k-subset of channels.
-    std::array<bool, 8> hit{};
-    FORTRESS_CHECK(eff_nchan <= 8);
+    // k ~ Bin(n, q) | k >= 1 by inverse transform over the precomputed
+    // truncated pmf, then a uniformly random k-subset of channels.
+    std::array<bool, kMaxChannels> hit{};
     {
-      double u = rng.uniform01() * p_event;  // mass within the k>=1 region
+      double u = rng.uniform01() * p_event_;  // mass within the k>=1 region
       int k = 1;
-      double cum = 0.0;
       for (; k < eff_nchan; ++k) {
-        double coeff = 1.0;
-        for (int i = 0; i < k; ++i) {
-          coeff *= static_cast<double>(eff_nchan - i) /
-                   static_cast<double>(i + 1);
-        }
-        cum += coeff * std::pow(q, k) * std::pow(1.0 - q, eff_nchan - k);
-        if (u < cum) break;
+        if (u < cum_k_[static_cast<std::size_t>(k)]) break;
       }
-      auto chosen = rng.sample_without_replacement(
-          static_cast<std::uint64_t>(eff_nchan),
-          static_cast<std::uint64_t>(k));
-      for (auto c : chosen) hit[static_cast<std::size_t>(c)] = true;
+      std::array<std::uint64_t, kMaxChannels> chosen;
+      rng.sample_without_replacement_into(static_cast<std::uint64_t>(eff_nchan),
+                                         static_cast<std::uint64_t>(k),
+                                         chosen.data());
+      for (int i = 0; i < k; ++i) hit[static_cast<std::size_t>(chosen[i])] = true;
     }
 
-    switch (shape.kind) {
+    switch (shape_.kind) {
       case SystemKind::S1:
         out.whole_steps = steps_elapsed;
         out.route = CompromiseRoute::SharedKey;
@@ -251,7 +289,7 @@ LifetimeResult simulate_po_probe(const SystemShape& shape,
         for (int c = 0; c < eff_nchan; ++c) {
           if (hit[static_cast<std::size_t>(c)]) ++fallen;
         }
-        if (fallen >= shape.smr_compromise) {
+        if (fallen >= shape_.smr_compromise) {
           out.whole_steps = steps_elapsed;
           out.route = CompromiseRoute::SmrQuorum;
           return out;
@@ -259,7 +297,7 @@ LifetimeResult simulate_po_probe(const SystemShape& shape,
         break;  // not enough hits; PO resets — continue
       }
       case SystemKind::S2: {
-        const int np = shape.n_proxies;
+        const int np = shape_.n_proxies;
         int fallen = 0;
         double first_fraction = 2.0;  // > 1 means "no proxy fell"
         for (int c = 0; c < np; ++c) {
@@ -280,7 +318,7 @@ LifetimeResult simulate_po_probe(const SystemShape& shape,
           // Server key lies among the first ω candidates; realized coverage
           // this step: κω alone, or κω·f* + ω·(1-f*) with a launch pad.
           const double w = static_cast<double>(omega);
-          const double kw = params.kappa * w;
+          const double kw = params_.kappa * w;
           double coverage = kw;
           if (first_fraction <= 1.0) {
             coverage = kw * first_fraction + w * (1.0 - first_fraction);
@@ -312,22 +350,11 @@ LifetimeResult simulate_po_probe(const SystemShape& shape,
   }
 }
 
-}  // namespace
-
 LifetimeResult simulate_lifetime(const SystemShape& shape,
                                  const AttackParams& params, Obfuscation obf,
                                  Granularity gran, Rng& rng,
                                  std::uint64_t max_steps) {
-  shape.validate();
-  params.validate();
-  FORTRESS_EXPECTS(max_steps > 0);
-  if (obf == Obfuscation::StartupOnly) {
-    return simulate_so(shape, params, rng, max_steps);
-  }
-  if (gran == Granularity::Step) {
-    return simulate_po_step(shape, params, rng, max_steps);
-  }
-  return simulate_po_probe(shape, params, rng, max_steps);
+  return TrialKernel(shape, params, obf, gran).run(rng, max_steps);
 }
 
 LifetimeResult simulate_lifetime_po_naive(const SystemShape& shape,

@@ -20,6 +20,7 @@
 //    "at least one channel event".
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -49,8 +50,58 @@ struct LifetimeResult {
   CompromiseRoute route = CompromiseRoute::None;
 };
 
+/// Precompiled single-trial kernel: validates (shape, params) and derives
+/// every per-run constant (ω, per-step compromise probability, conditional
+/// route thresholds, probe-event pmf) ONCE, so that run() is allocation-free
+/// and does no redundant arithmetic in the Monte-Carlo inner loop. The
+/// Monte-Carlo engine builds one kernel per estimate_lifetime call and runs
+/// it across millions of per-trial substreams.
+class TrialKernel {
+ public:
+  /// Maximum channels the probe-granularity event sampler supports; also
+  /// bounds n_servers/n_proxies for the startup-only order-statistic paths.
+  static constexpr int kMaxChannels = 16;
+
+  TrialKernel(const SystemShape& shape, const AttackParams& params,
+              Obfuscation obf, Granularity gran);
+
+  /// One lifetime trial on `rng`. Same distribution as simulate_lifetime;
+  /// for Proactive/Step on S2 the compromise route is drawn from the exact
+  /// conditional route distribution (single uniform draw) rather than by
+  /// rejection.
+  LifetimeResult run(Rng& rng, std::uint64_t max_steps) const;
+
+  const SystemShape& shape() const { return shape_; }
+  const AttackParams& params() const { return params_; }
+
+ private:
+  LifetimeResult run_so(Rng& rng, std::uint64_t max_steps) const;
+  LifetimeResult run_po_step(Rng& rng, std::uint64_t max_steps) const;
+  LifetimeResult run_po_probe(Rng& rng, std::uint64_t max_steps) const;
+
+  SystemShape shape_;
+  AttackParams params_;
+  Obfuscation obf_;
+  Granularity gran_;
+  std::uint64_t omega_ = 0;
+
+  // Proactive / Step.
+  double p_step_ = 0.0;      ///< per-step compromise probability
+  double route_mass_ = 0.0;  ///< total per-step route mass (== p_step_)
+  double cut_all_ = 0.0;     ///< cumulative: AllProxies
+  double cut_indirect_ = 0.0;  ///< cumulative: AllProxies + ServerIndirect
+
+  // Proactive / Probe.
+  int eff_nchan_ = 0;
+  double p_event_ = 0.0;  ///< P(any channel event in a step)
+  /// Cumulative truncated Bin(n, q) event-count pmf: cum_k_[k] = P(1..k).
+  std::array<double, kMaxChannels> cum_k_{};
+};
+
 /// Simulate one lifetime. `max_steps` caps the simulation; trials that
 /// survive longer are returned censored with whole_steps = max_steps.
+/// Equivalent to TrialKernel(shape, params, obf, gran).run(rng, max_steps);
+/// batch callers should build the kernel once instead.
 LifetimeResult simulate_lifetime(const SystemShape& shape,
                                  const AttackParams& params, Obfuscation obf,
                                  Granularity gran, Rng& rng,

@@ -6,18 +6,14 @@
 
 namespace fortress::model {
 
-namespace {
-
 double binomial_pmf(int n, double p, int k) {
-  // Exact for the tiny n (<= 8) used in this library.
+  // Exact for the tiny n (<= 16) used in this library.
   double coeff = 1.0;
   for (int i = 0; i < k; ++i) {
     coeff *= static_cast<double>(n - i) / static_cast<double>(i + 1);
   }
   return coeff * std::pow(p, k) * std::pow(1.0 - p, n - k);
 }
-
-}  // namespace
 
 double binomial_tail(int n, double p, int k) {
   FORTRESS_EXPECTS(n >= 0 && k >= 0);

@@ -13,6 +13,12 @@
 
 namespace fortress::model {
 
+/// P(Binomial(n, p) = k), computed exactly for the small n used here. The
+/// single shared implementation: the Markov chain builders, the structured
+/// phase sweeps and the Monte-Carlo trial kernel all depend on its exact
+/// accumulation order agreeing.
+double binomial_pmf(int n, double p, int k);
+
 /// P(Binomial(n, p) >= k), computed exactly for the small n used here.
 double binomial_tail(int n, double p, int k);
 

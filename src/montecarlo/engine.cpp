@@ -1,46 +1,36 @@
 #include "montecarlo/engine.hpp"
 
-#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace fortress::montecarlo {
 
 double McResult::route_fraction(model::CompromiseRoute route) const {
-  std::uint64_t total = 0;
-  for (const auto& [r, c] : route_counts) {
-    if (r != model::CompromiseRoute::None) total += c;
-  }
+  if (route == model::CompromiseRoute::None) return 0.0;
+  std::uint64_t total = route_counts.compromised_total();
   if (total == 0) return 0.0;
-  auto it = route_counts.find(route);
-  if (it == route_counts.end()) return 0.0;
-  return static_cast<double>(it->second) / static_cast<double>(total);
+  return static_cast<double>(route_counts[route]) /
+         static_cast<double>(total);
 }
 
 namespace {
 
-struct Shard {
+// Trials per scheduling chunk. Small enough that heavy-tailed trial lengths
+// balance across workers (a censored trial stalls at most one chunk), large
+// enough that the per-chunk accumulator merge is noise. The DETERMINISM
+// contract lives here: the chunk grid depends only on `trials`, never on the
+// thread count, and chunk partials are merged in index order below.
+constexpr std::uint64_t kTrialChunk = 1024;
+
+// Per-chunk partial reduction; one slot per chunk, written by whichever
+// worker claims the chunk's ticket.
+struct ChunkAccum {
   RunningStats stats;
   std::uint64_t censored = 0;
-  std::map<model::CompromiseRoute, std::uint64_t> route_counts;
+  RouteCounts routes;
 };
-
-void run_shard(const model::SystemShape& shape,
-               const model::AttackParams& params, model::Obfuscation obf,
-               model::Granularity gran, const McConfig& config,
-               std::uint64_t first_trial, std::uint64_t last_trial,
-               Shard& out) {
-  for (std::uint64_t t = first_trial; t < last_trial; ++t) {
-    Rng rng = Rng::substream(config.seed, t);
-    model::LifetimeResult r =
-        model::simulate_lifetime(shape, params, obf, gran, rng,
-                                 config.max_steps);
-    out.stats.add(static_cast<double>(r.whole_steps));
-    if (r.censored) ++out.censored;
-    ++out.route_counts[r.route];
-  }
-}
 
 }  // namespace
 
@@ -50,41 +40,53 @@ McResult estimate_lifetime(const model::SystemShape& shape,
                            const McConfig& config) {
   FORTRESS_EXPECTS(config.trials >= 2);
   FORTRESS_EXPECTS(config.threads >= 1);
-  shape.validate();
-  params.validate();
+  // Validates (shape, params) and precomputes all per-run constants once:
+  // the per-trial loop below is allocation-free.
+  const model::TrialKernel kernel(shape, params, obf, gran);
 
   unsigned threads = config.threads;
   if (threads > config.trials) {
     threads = static_cast<unsigned>(config.trials);
   }
 
-  std::vector<Shard> shards(threads);
-  if (threads == 1) {
-    run_shard(shape, params, obf, gran, config, 0, config.trials, shards[0]);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    std::uint64_t per = config.trials / threads;
-    std::uint64_t extra = config.trials % threads;
-    std::uint64_t start = 0;
-    for (unsigned i = 0; i < threads; ++i) {
-      std::uint64_t count = per + (i < extra ? 1 : 0);
-      std::uint64_t end = start + count;
-      workers.emplace_back([&, i, start, end] {
-        run_shard(shape, params, obf, gran, config, start, end, shards[i]);
-      });
-      start = end;
+  const std::uint64_t n_chunks =
+      exec::ThreadPool::chunk_count(config.trials, kTrialChunk);
+  std::vector<ChunkAccum> chunks(n_chunks);
+
+  auto run_chunk = [&](std::uint64_t chunk_index, std::uint64_t begin,
+                       std::uint64_t end) {
+    ChunkAccum& acc = chunks[chunk_index];
+    Rng rng;  // re-pointed at each trial's substream in place
+    for (std::uint64_t t = begin; t < end; ++t) {
+      rng.reset_substream(config.seed, t);
+      model::LifetimeResult r = kernel.run(rng, config.max_steps);
+      acc.stats.add(static_cast<double>(r.whole_steps));
+      if (r.censored) ++acc.censored;
+      ++acc.routes[r.route];
     }
-    for (auto& w : workers) w.join();
+  };
+
+  if (threads <= 1 || n_chunks <= 1) {
+    // Sequential: same chunk grid, same reduction order, and the shared
+    // worker pool is never spun up for callers that don't parallelize.
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      std::uint64_t begin = c * kTrialChunk;
+      std::uint64_t end = begin + kTrialChunk;
+      if (end > config.trials) end = config.trials;
+      run_chunk(c, begin, end);
+    }
+  } else {
+    exec::ThreadPool::shared().parallel_chunks(config.trials, kTrialChunk,
+                                               threads, run_chunk);
   }
 
+  // Deterministic reduction: chunk-index order, independent of which worker
+  // produced each partial and of the thread count.
   McResult result;
-  for (const auto& shard : shards) {
-    result.stats.merge(shard.stats);
-    result.censored += shard.censored;
-    for (const auto& [route, count] : shard.route_counts) {
-      result.route_counts[route] += count;
-    }
+  for (const ChunkAccum& c : chunks) {
+    result.stats.merge(c.stats);
+    result.censored += c.censored;
+    result.route_counts.merge(c.routes);
   }
   result.ci = normal_ci(result.stats, config.ci_level);
   return result;

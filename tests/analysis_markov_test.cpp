@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "model/lifetime_sim.hpp"
@@ -178,6 +180,103 @@ TEST(PoChainTest, StateNamesAreLabelled) {
   PoChain pc = build_po_chain(SystemShape::s0(), p);
   ASSERT_FALSE(pc.state_names.empty());
   EXPECT_EQ(pc.state_names[0], "phase=0,fallen=0");
+}
+
+TEST(PoChainTest, StructuredSolverMatchesDenseChain) {
+  // expected_lifetime_markov now runs a block-sparse per-phase sweep; the
+  // dense chain from build_po_chain stays as the reference implementation.
+  // The two must agree to rounding across kinds and periods.
+  for (auto shape : {SystemShape::s0(), SystemShape::s1(), SystemShape::s2(),
+                     SystemShape::s2(5)}) {
+    for (std::uint32_t period : {1u, 2u, 7u, 32u}) {
+      auto p = params(0.01, 0.5, period);
+      PoChain pc = build_po_chain(shape, p);
+      double dense =
+          pc.chain.expected_steps_to_absorption()[pc.initial_state] - 1.0;
+      double structured = expected_lifetime_markov(shape, p);
+      EXPECT_NEAR(structured / dense, 1.0, 1e-12)
+          << model::to_string(shape.kind) << " P=" << period;
+    }
+  }
+}
+
+TEST(PoChainTest, StructuredRoutesMatchDenseChain) {
+  // Same cross-check for the route-split absorption probabilities: build
+  // the dense (phase, j) chain with the three absorbing routes inline and
+  // compare against the sweep in s2_route_probabilities.
+  const SystemShape shape = SystemShape::s2();
+  const int np = shape.n_proxies;
+  for (std::uint32_t period : {1u, 3u, 16u}) {
+    for (double kappa : {0.0, 0.4, 1.0}) {
+      auto p = params(0.02, kappa, period);
+      const double a = p.alpha;
+      const double ka = p.kappa * p.alpha;
+      const std::size_t t = static_cast<std::size_t>(period) *
+                            static_cast<std::size_t>(np);
+      Matrix trans(t + 3, t + 3);
+      for (std::size_t abs = t; abs < t + 3; ++abs) trans(abs, abs) = 1.0;
+      auto state_index = [&](std::uint32_t phase, int j) {
+        return static_cast<std::size_t>(phase) * np +
+               static_cast<std::size_t>(j);
+      };
+      for (std::uint32_t phase = 0; phase < period; ++phase) {
+        for (int j = 0; j < np; ++j) {
+          const std::size_t si = state_index(phase, j);
+          for (int fall = 0; fall <= np - j; ++fall) {
+            // Binomial pmf over the intact proxies.
+            double pf = 1.0;
+            for (int i = 0; i < fall; ++i) {
+              pf *= static_cast<double>(np - j - i) /
+                    static_cast<double>(i + 1);
+            }
+            pf *= std::pow(a, fall) * std::pow(1.0 - a, np - j - fall);
+            int total = j + fall;
+            if (total >= np) {
+              trans(si, t + 2) += pf;
+              continue;
+            }
+            double p_ind = ka;
+            double p_via = total >= 1 ? (1.0 - ka) * a : 0.0;
+            std::size_t next = phase + 1 >= period
+                                   ? state_index(0, 0)
+                                   : state_index(phase + 1, total);
+            trans(si, t + 0) += pf * p_ind;
+            trans(si, t + 1) += pf * p_via;
+            trans(si, next) += pf * (1.0 - p_ind - p_via);
+          }
+        }
+      }
+      AbsorbingChain chain(std::move(trans), t);
+      Matrix b = chain.absorption_probabilities();
+      auto routes = s2_route_probabilities(shape, p);
+      EXPECT_NEAR(routes.server_indirect, b(0, 0), 1e-12)
+          << "P=" << period << " kappa=" << kappa;
+      EXPECT_NEAR(routes.server_via_proxy, b(0, 1), 1e-12)
+          << "P=" << period << " kappa=" << kappa;
+      EXPECT_NEAR(routes.all_proxies, b(0, 2), 1e-12)
+          << "P=" << period << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(AbsorbingChainTest, CachedFactorizationConsistentAcrossQueries) {
+  // All three queries share one cached LU; answers must satisfy the
+  // textbook identities N 1 = t and N R = B.
+  Matrix t(3, 3);
+  t(0, 0) = 0.2;
+  t(0, 1) = 0.5;
+  t(0, 2) = 0.3;
+  t(1, 0) = 0.4;
+  t(1, 2) = 0.6;
+  t(2, 2) = 1.0;
+  AbsorbingChain chain(t, 2);
+  Matrix n = chain.fundamental_matrix();
+  auto steps = chain.expected_steps_to_absorption();
+  Matrix b = chain.absorption_probabilities();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(n(i, 0) + n(i, 1), steps[i], 1e-12);
+    EXPECT_NEAR(b(i, 0), 1.0, 1e-12);  // single absorbing state
+  }
 }
 
 // The decisive P > 1 check: the chain's EL matches a literal per-step

@@ -207,5 +207,32 @@ TEST(RngTest, SubstreamIsDeterministic) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
 }
 
+TEST(RngTest, ResetSubstreamMatchesSubstream) {
+  // In-place re-pointing must be bit-identical to constructing the
+  // substream — the Monte-Carlo engine relies on this for determinism.
+  Rng reused(999);
+  reused.bits();  // disturb the state; reset must not care
+  for (std::uint64_t index : {0ull, 1ull, 7ull, 1ull << 40}) {
+    Rng fresh = Rng::substream(2026, index);
+    reused.reset_substream(2026, index);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(fresh.bits(), reused.bits());
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIntoMatchesVectorVariant) {
+  // Same draw sequence -> same sample, so the allocation-free kernel path
+  // is stream-compatible with the reference implementation.
+  for (std::uint64_t k : {0ull, 1ull, 5ull, 16ull}) {
+    Rng a(123);
+    Rng b(123);
+    auto expect = a.sample_without_replacement(40, k);
+    std::array<std::uint64_t, 16> got{};
+    b.sample_without_replacement_into(40, k, got.data());
+    for (std::uint64_t i = 0; i < k; ++i) EXPECT_EQ(got[i], expect[i]);
+    // Both generators must end in the same state.
+    EXPECT_EQ(a.bits(), b.bits());
+  }
+}
+
 }  // namespace
 }  // namespace fortress

@@ -1,0 +1,124 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fortress::exec {
+namespace {
+
+TEST(ThreadPoolTest, ChunkGridCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(1000);
+  pool.parallel_chunks(1000, 64, 0, [&](std::uint64_t, std::uint64_t begin,
+                                        std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      seen[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkIndicesMatchGrid) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(ThreadPool::chunk_count(530, 100));
+  pool.parallel_chunks(530, 100, 0, [&](std::uint64_t chunk,
+                                        std::uint64_t begin,
+                                        std::uint64_t end) {
+    EXPECT_EQ(begin, chunk * 100);
+    EXPECT_EQ(end, std::min<std::uint64_t>(530, begin + 100));
+    hits[chunk].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, GridIndependentOfParallelism) {
+  // The determinism contract: the (chunk_index, begin, end) set must be the
+  // same for every parallelism level.
+  ThreadPool pool(8);
+  auto grid_of = [&](unsigned parallelism) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> grid(
+        ThreadPool::chunk_count(777, 32));
+    pool.parallel_chunks(777, 32, parallelism,
+                         [&](std::uint64_t c, std::uint64_t b,
+                             std::uint64_t e) { grid[c] = {b, e}; });
+    return grid;
+  };
+  auto g1 = grid_of(1);
+  auto g3 = grid_of(3);
+  auto g8 = grid_of(8);
+  EXPECT_EQ(g1, g3);
+  EXPECT_EQ(g1, g8);
+}
+
+TEST(ThreadPoolTest, SequentialParallelismRunsInline) {
+  ThreadPool pool(4);
+  std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_chunks(100, 10, 1, [&](std::uint64_t, std::uint64_t,
+                                       std::uint64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_chunks(
+                   100, 10, 0,
+                   [&](std::uint64_t c, std::uint64_t, std::uint64_t) {
+                     if (c == 3) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // The pool must still be usable after a failed job.
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_chunks(10, 1, 0, [&](std::uint64_t, std::uint64_t b,
+                                     std::uint64_t) {
+    sum.fetch_add(b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_chunks(0, 16, 0, [&](std::uint64_t, std::uint64_t,
+                                     std::uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroChunkSizeViolatesContract) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_chunks(
+                   10, 0, 0,
+                   [](std::uint64_t, std::uint64_t, std::uint64_t) {}),
+               ContractViolation);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  // Persistent workers: many small jobs must all complete (regression guard
+  // against lost wakeups between generations).
+  ThreadPool pool(4);
+  for (int job = 0; job < 200; ++job) {
+    std::atomic<int> count{0};
+    pool.parallel_chunks(32, 4, 0, [&](std::uint64_t, std::uint64_t b,
+                                       std::uint64_t e) {
+      count.fetch_add(static_cast<int>(e - b), std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 32) << "job " << job;
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolSupportsEightWayRequests) {
+  // estimate_lifetime's thread-count-invariance tests pin 8 threads; the
+  // shared pool must accept that parallelism on any machine.
+  EXPECT_GE(ThreadPool::shared().size() + 1, 8u);
+}
+
+}  // namespace
+}  // namespace fortress::exec

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/check.hpp"
 #include "model/step_model.hpp"
 
@@ -52,6 +54,49 @@ TEST(EngineTest, ResultIndependentOfThreadCount) {
   EXPECT_NEAR(seq.expected_lifetime(), par.expected_lifetime(), 1e-9);
   EXPECT_EQ(seq.censored, par.censored);
   EXPECT_EQ(seq.route_counts, par.route_counts);
+}
+
+TEST(EngineTest, ResultBitIdenticalAcrossThreadCounts) {
+  // Stronger than statistical agreement: per-trial substreams plus the
+  // fixed chunk grid and chunk-index-order reduction make every derived
+  // quantity BIT-identical for any thread count, including the
+  // floating-point accumulators. Trials chosen to not divide the chunk size
+  // so the ragged final chunk is covered too.
+  for (auto [obf, gran] :
+       {std::pair{Obfuscation::Proactive, Granularity::Step},
+        std::pair{Obfuscation::Proactive, Granularity::Probe},
+        std::pair{Obfuscation::StartupOnly, Granularity::Step}}) {
+    auto t1 = estimate_lifetime(SystemShape::s2(), params(0.01), obf, gran,
+                                config(10007, 1));
+    auto t3 = estimate_lifetime(SystemShape::s2(), params(0.01), obf, gran,
+                                config(10007, 3));
+    auto t8 = estimate_lifetime(SystemShape::s2(), params(0.01), obf, gran,
+                                config(10007, 8));
+    for (const auto* r : {&t3, &t8}) {
+      EXPECT_EQ(t1.stats.count(), r->stats.count());
+      EXPECT_EQ(t1.stats.mean(), r->stats.mean());
+      EXPECT_EQ(t1.stats.variance(), r->stats.variance());
+      EXPECT_EQ(t1.stats.min(), r->stats.min());
+      EXPECT_EQ(t1.stats.max(), r->stats.max());
+      EXPECT_EQ(t1.ci.lo, r->ci.lo);
+      EXPECT_EQ(t1.ci.hi, r->ci.hi);
+      EXPECT_EQ(t1.censored, r->censored);
+      EXPECT_EQ(t1.route_counts, r->route_counts);
+    }
+  }
+}
+
+TEST(EngineTest, RouteFractionSkipsNone) {
+  McResult r;
+  r.route_counts[model::CompromiseRoute::None] = 100;
+  r.route_counts[model::CompromiseRoute::ServerIndirect] = 30;
+  r.route_counts[model::CompromiseRoute::AllProxies] = 10;
+  // None is not a compromise: fractions are over the 40 compromised trials
+  // and None itself reports 0.
+  EXPECT_DOUBLE_EQ(r.route_fraction(model::CompromiseRoute::None), 0.0);
+  EXPECT_DOUBLE_EQ(r.route_fraction(model::CompromiseRoute::ServerIndirect),
+                   0.75);
+  EXPECT_DOUBLE_EQ(r.route_fraction(model::CompromiseRoute::AllProxies), 0.25);
 }
 
 TEST(EngineTest, SeedChangesSamplesButNotDistribution) {
