@@ -24,29 +24,46 @@ int main() {
               "S0SO", "S1SO", "S1PO", "S2PO", "S0PO");
   rule(88);
 
-  bool monotone = true;
-  double prev_s1po = 0.0;
+  struct Combo {
+    model::SystemKind kind;
+    model::Obfuscation obf;
+  };
+  const std::vector<Combo> combos = {
+      {model::SystemKind::S0, model::Obfuscation::StartupOnly},
+      {model::SystemKind::S1, model::Obfuscation::StartupOnly},
+      {model::SystemKind::S1, model::Obfuscation::Proactive},
+      {model::SystemKind::S2, model::Obfuscation::Proactive},
+      {model::SystemKind::S0, model::Obfuscation::Proactive},
+  };
+  std::vector<int> log2chis;
   for (int log2chi = 12; log2chi <= 24; log2chi += 2) {
-    std::uint64_t chi = 1ull << log2chi;
+    log2chis.push_back(log2chi);
+  }
+
+  // (chi x series) grid over the shared pool; slots keep the table order
+  // identical to the sequential sweep.
+  std::vector<double> el(log2chis.size() * combos.size(), 0.0);
+  parallel_grid(el.size(), [&](std::size_t idx) {
+    const std::uint64_t chi = 1ull << log2chis[idx / combos.size()];
+    const Combo& c = combos[idx % combos.size()];
     model::AttackParams p;
     p.alpha = static_cast<double>(omega) / static_cast<double>(chi);
     p.kappa = kappa;
     p.chi = chi;
+    el[idx] = evaluate_el(shape_of(c.kind), p, c.obf, 200000, 2026,
+                          /*mc_threads=*/1).el;
+  });
 
-    double s0so = evaluate_el(shape_of(model::SystemKind::S0), p,
-                              model::Obfuscation::StartupOnly).el;
-    double s1so = evaluate_el(shape_of(model::SystemKind::S1), p,
-                              model::Obfuscation::StartupOnly).el;
-    double s1po = evaluate_el(shape_of(model::SystemKind::S1), p,
-                              model::Obfuscation::Proactive).el;
-    double s2po = evaluate_el(shape_of(model::SystemKind::S2), p,
-                              model::Obfuscation::Proactive).el;
-    double s0po = evaluate_el(shape_of(model::SystemKind::S0), p,
-                              model::Obfuscation::Proactive).el;
-    std::printf("%8d %12.3g %12.4g %12.4g %12.4g %12.4g %12.4g\n", log2chi,
-                p.alpha, s0so, s1so, s1po, s2po, s0po);
-    if (s1po < prev_s1po) monotone = false;
-    prev_s1po = s1po;
+  bool monotone = true;
+  double prev_s1po = 0.0;
+  for (std::size_t ci = 0; ci < log2chis.size(); ++ci) {
+    const double* row = &el[ci * combos.size()];
+    const double alpha = static_cast<double>(omega) /
+                         static_cast<double>(1ull << log2chis[ci]);
+    std::printf("%8d %12.3g %12.4g %12.4g %12.4g %12.4g %12.4g\n",
+                log2chis[ci], alpha, row[0], row[1], row[2], row[3], row[4]);
+    if (row[2] < prev_s1po) monotone = false;
+    prev_s1po = row[2];
   }
   rule(88);
   std::printf("\nEvery lifetime grows with key entropy:      %s\n",

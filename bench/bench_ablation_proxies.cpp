@@ -26,15 +26,22 @@ int main() {
   std::printf("\n");
   rule(6 + 16 * static_cast<int>(kappas.size()));
 
-  for (int np = 1; np <= 6; ++np) {
+  // Flattened (np x kappa) grid over the shared pool; printed from slots in
+  // index order afterward, identical to the sequential sweep.
+  constexpr int kMaxNp = 6;
+  std::vector<double> el(kMaxNp * kappas.size(), 0.0);
+  parallel_grid(el.size(), [&](std::size_t idx) {
+    const int np = 1 + static_cast<int>(idx / kappas.size());
+    model::AttackParams p;
+    p.alpha = alpha;
+    p.kappa = kappas[idx % kappas.size()];
+    p.chi = 1ull << 16;
+    el[idx] = model::expected_lifetime_po(model::SystemShape::s2(np), p);
+  });
+  for (int np = 1; np <= kMaxNp; ++np) {
     std::printf("%6d", np);
-    for (double kappa : kappas) {
-      model::AttackParams p;
-      p.alpha = alpha;
-      p.kappa = kappa;
-      p.chi = 1ull << 16;
-      double el = model::expected_lifetime_po(model::SystemShape::s2(np), p);
-      std::printf("  %14.5g", el);
+    for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
+      std::printf("  %14.5g", el[(np - 1) * kappas.size() + ki]);
     }
     std::printf("\n");
   }

@@ -1,0 +1,141 @@
+// bench_campaign — scenario-campaign throughput and thread-scaling bench.
+//
+// Runs one fixed campaign grid (S1 + S2 under two scenario plans) at 1, 2, 4
+// and 8 worker threads, reporting live trials/sec per configuration. Two
+// properties are checked, not just measured:
+//
+//  1. Determinism: the aggregate statistics of every cell must be
+//     BIT-identical at every thread count (the campaign's ordering
+//     contract). Any mismatch is a hard failure.
+//  2. Scaling: on a multi-core box the trials/sec column should grow
+//     near-linearly up to the hardware thread count (trials are
+//     embarrassingly parallel: one Simulator+LiveSystem per trial).
+//
+// Writes BenchRecorder JSON (campaign_trials_t{N}) to the optional argv[1]
+// path (default BENCH_campaign.json). tools/bench_diff.py understands the
+// schema for standalone comparisons of two campaign result files; note the
+// `bench_diff` CMake target gates bench/baseline.json against
+// BENCH_results.json only — campaign entries do not belong in that baseline.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "scenario/campaign.hpp"
+
+using namespace fortress;
+using namespace fortress::bench;
+using namespace fortress::scenario;
+
+namespace {
+
+// FNV-1a over the raw bytes of every aggregate field: any single-bit
+// divergence between thread counts changes the fingerprint.
+class Fingerprint {
+ public:
+  void add_bytes(const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  template <typename T>
+  void add(T v) {
+    add_bytes(&v, sizeof v);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t fingerprint(const CampaignResult& r) {
+  Fingerprint fp;
+  for (const CellStats& c : r.cells) {
+    fp.add(c.trials);
+    fp.add(c.compromised);
+    fp.add(c.censored);
+    fp.add(c.lifetime.mean());
+    fp.add(c.lifetime.variance());
+    fp.add(c.lifetime_ci.lo);
+    fp.add(c.lifetime_ci.hi);
+    fp.add(c.attacker.direct_probes);
+    fp.add(c.attacker.indirect_probes);
+    fp.add(c.attacker.crashes_caused);
+    fp.add(c.attacker.compromises);
+    fp.add(c.attacker.keys_learned);
+    fp.add(c.events_executed);
+    fp.add(c.blacklisted_sources);
+  }
+  fp.add(r.total_trials);
+  fp.add(r.total_events);
+  return fp.value();
+}
+
+net::ScenarioPlan bench_plan(std::uint64_t chi, double kappa) {
+  net::ScenarioPlan plan;
+  plan.name = "chi" + std::to_string(chi);
+  plan.keyspace = chi;
+  plan.attack.probes_per_step = 8.0;
+  plan.attack.indirect_fraction = kappa;
+  plan.horizon_steps = 40;
+  plan.latency = net::LatencySpec::uniform(0.01, 0.02);
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_campaign.json";
+
+  std::vector<CampaignCell> cells =
+      cross({model::SystemKind::S1, model::SystemKind::S2},
+            {bench_plan(128, 0.5), bench_plan(256, 0.25)});
+
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 64;
+  cfg.base_seed = 7;
+  const std::uint64_t grid_trials =
+      cfg.trials_per_cell * static_cast<std::uint64_t>(cells.size());
+
+  std::printf("Campaign thread-scaling bench: %zu cells x %llu trials\n\n",
+              cells.size(),
+              static_cast<unsigned long long>(cfg.trials_per_cell));
+  std::printf("%8s %12s %14s %10s  %s\n", "threads", "trials/sec", "events/sec",
+              "speedup", "aggregate fingerprint");
+  rule(76);
+
+  BenchRecorder recorder;
+  std::uint64_t reference_fp = 0;
+  double t1_rate = 0.0;
+  bool identical = true;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    cfg.threads = threads;
+    CampaignResult result;
+    const std::string name = "campaign_trials_t" + std::to_string(threads);
+    const double ns_per_op = recorder.time_and_add(
+        name, /*iters=*/3, static_cast<double>(grid_trials),
+        [&] { result = run_campaign(cells, cfg); });
+    const double sec = ns_per_op / 1e9;
+    const double rate = static_cast<double>(grid_trials) / sec;
+    const double ev_rate = static_cast<double>(result.total_events) / sec;
+    const std::uint64_t fp = fingerprint(result);
+    if (threads == 1) {
+      reference_fp = fp;
+      t1_rate = rate;
+    }
+    identical = identical && fp == reference_fp;
+    std::printf("%8u %12.0f %14.0f %9.2fx  %016llx%s\n", threads, rate,
+                ev_rate, rate / t1_rate,
+                static_cast<unsigned long long>(fp),
+                fp == reference_fp ? "" : "  <-- MISMATCH");
+  }
+  rule(76);
+  std::printf("\nAggregates bit-identical across thread counts: %s\n",
+              pass(identical));
+
+  recorder.write_json(out_path);
+  return identical ? 0 : 1;
+}

@@ -30,8 +30,7 @@ double live_s1_lifetime(osl::ObfuscationPolicy policy, std::uint64_t chi,
   cfg.keyspace = chi;
   cfg.policy = policy;
   cfg.step_duration = 100.0;
-  cfg.latency_lo = 0.01;
-  cfg.latency_hi = 0.02;
+  cfg.latency = net::LatencySpec::uniform(0.01, 0.02);
   cfg.seed = seed;
   core::LiveS1 system(sim, cfg, [](std::uint32_t) {
     return std::make_unique<replication::KvService>();

@@ -17,6 +17,19 @@ int main() {
   const double kappa = 0.5;
   const std::vector<double> alphas = {1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
                                       1e-3, 2e-3, 5e-3, 1e-2};
+  // The six (system, policy) series of Figure 1, in column order.
+  struct Combo {
+    model::SystemKind kind;
+    model::Obfuscation obf;
+  };
+  const std::vector<Combo> combos = {
+      {model::SystemKind::S0, model::Obfuscation::StartupOnly},
+      {model::SystemKind::S1, model::Obfuscation::StartupOnly},
+      {model::SystemKind::S2, model::Obfuscation::StartupOnly},
+      {model::SystemKind::S1, model::Obfuscation::Proactive},
+      {model::SystemKind::S2, model::Obfuscation::Proactive},
+      {model::SystemKind::S0, model::Obfuscation::Proactive},
+  };
 
   std::printf("Figure 1 reproduction: expected lifetime (whole unit steps) "
               "vs alpha\n");
@@ -26,29 +39,28 @@ int main() {
               "S2SO", "S1PO", "S2PO", "S0PO");
   rule(100);
 
-  bool chain_holds = true;
-  for (double alpha : alphas) {
+  // Flatten the (alpha x series) grid and fan it over the shared pool; each
+  // cell fills its own slot, so the printed table is identical to the
+  // sequential sweep for any thread count.
+  std::vector<double> el(alphas.size() * combos.size(), 0.0);
+  parallel_grid(el.size(), [&](std::size_t idx) {
+    const std::size_t ai = idx / combos.size();
+    const Combo& c = combos[idx % combos.size()];
     model::AttackParams p;
-    p.alpha = alpha;
+    p.alpha = alphas[ai];
     p.kappa = kappa;
     p.chi = 1ull << 16;
+    el[idx] = evaluate_el(shape_of(c.kind), p, c.obf, 200000, 2026,
+                          /*mc_threads=*/1).el;
+  });
 
-    double s0so = evaluate_el(shape_of(model::SystemKind::S0), p,
-                              model::Obfuscation::StartupOnly).el;
-    double s1so = evaluate_el(shape_of(model::SystemKind::S1), p,
-                              model::Obfuscation::StartupOnly).el;
-    double s2so = evaluate_el(shape_of(model::SystemKind::S2), p,
-                              model::Obfuscation::StartupOnly).el;
-    double s1po = evaluate_el(shape_of(model::SystemKind::S1), p,
-                              model::Obfuscation::Proactive).el;
-    double s2po = evaluate_el(shape_of(model::SystemKind::S2), p,
-                              model::Obfuscation::Proactive).el;
-    double s0po = evaluate_el(shape_of(model::SystemKind::S0), p,
-                              model::Obfuscation::Proactive).el;
-
-    std::printf("%10.0e %14.4g %14.4g %14.4g %14.4g %14.4g %14.4g\n", alpha,
-                s0so, s1so, s2so, s1po, s2po, s0po);
-
+  bool chain_holds = true;
+  for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+    const double* row = &el[ai * combos.size()];
+    const double s0so = row[0], s1so = row[1], s2so = row[2], s1po = row[3],
+                 s2po = row[4], s0po = row[5];
+    std::printf("%10.0e %14.4g %14.4g %14.4g %14.4g %14.4g %14.4g\n",
+                alphas[ai], s0so, s1so, s2so, s1po, s2po, s0po);
     chain_holds = chain_holds && (s0po > s2po) && (s2po > s1po) &&
                   (s1po > s1so) && (s1so > s0so);
   }

@@ -61,8 +61,7 @@ core::LiveConfig quiet_config() {
   cfg.keyspace = 1 << 16;
   cfg.policy = osl::ObfuscationPolicy::Rerandomize;
   cfg.step_duration = 10000.0;  // no reboot during the measurement window
-  cfg.latency_lo = 0.4;
-  cfg.latency_hi = 0.6;  // ~0.5 per hop
+  cfg.latency = net::LatencySpec::uniform(0.4, 0.6);  // ~0.5 per hop
   cfg.seed = 3;
   return cfg;
 }

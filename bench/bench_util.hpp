@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/evaluator.hpp"
+#include "exec/thread_pool.hpp"
 #include "model/params.hpp"
 #include "montecarlo/engine.hpp"
 
@@ -94,7 +95,8 @@ inline ElResult evaluate_el(const model::SystemShape& shape,
                             const model::AttackParams& params,
                             model::Obfuscation obf,
                             std::uint64_t mc_trials = 200000,
-                            std::uint64_t seed = 2026) {
+                            std::uint64_t seed = 2026,
+                            unsigned mc_threads = 4) {
   if (auto analytic = analysis::analytic_lifetime(shape, params, obf)) {
     return {analytic->expected_lifetime,
             analysis::to_string(analytic->method), false};
@@ -103,10 +105,26 @@ inline ElResult evaluate_el(const model::SystemShape& shape,
   cfg.trials = mc_trials;
   cfg.seed = seed;
   cfg.max_steps = 1ull << 40;
-  cfg.threads = 4;
+  cfg.threads = mc_threads;
   auto mc = montecarlo::estimate_lifetime(shape, params, obf,
                                           model::Granularity::Step, cfg);
   return {mc.expected_lifetime(), "monte-carlo", mc.any_censored()};
+}
+
+/// Run `n` independent parameter-grid cells over the shared thread pool (one
+/// cell per chunk, dynamically scheduled). Cells must write results into
+/// their own index slot and the caller must print AFTER the sweep, in index
+/// order — output is then identical to the sequential sweep for any thread
+/// count. Cells execute on pool workers, so they must not re-enter the pool:
+/// inside a grid, call evaluate_el with mc_threads = 1 (the sequential MC
+/// path never touches the pool; MC results are bit-identical either way).
+template <typename Fn>
+inline void parallel_grid(std::size_t n, Fn&& cell) {
+  exec::ThreadPool::shared().parallel_chunks(
+      n, /*chunk_size=*/1, /*parallelism=*/0,
+      [&](std::uint64_t idx, std::uint64_t, std::uint64_t) {
+        cell(static_cast<std::size_t>(idx));
+      });
 }
 
 /// Print a horizontal rule sized to `width`.

@@ -4,162 +4,133 @@
 //
 //   $ ./derand_attack
 //
-// The keyspace is kept small (chi = 512) so the attack timeline fits in a
-// short run; all the mechanisms (probe pacing, crash side channel, forking
-// daemon, launch pads, re-randomization) are the real ones from the paper.
+// Each scenario is a declarative net::ScenarioPlan; the walkthrough runs
+// one narrated trial per plan through scenario::run_trial, then replays
+// the whole grid as a scenario::Campaign (many seeds in parallel) to show
+// the same story statistically. The keyspace is kept small (chi = 512) so
+// the attack timeline fits in a short run; all the mechanisms (probe
+// pacing, crash side channel, forking daemon, launch pads,
+// re-randomization) are the real ones from the paper.
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "attack/derand_attacker.hpp"
-#include "core/live_system.hpp"
-#include "replication/service.hpp"
+#include "scenario/campaign.hpp"
 
 using namespace fortress;
 
 namespace {
 
 constexpr std::uint64_t kChi = 512;
-constexpr double kStep = 100.0;
+constexpr double kOmega = 16.0;
+constexpr std::uint64_t kHorizon = 100;  // steps per scenario
 
-core::LiveConfig live_config(osl::ObfuscationPolicy policy) {
-  core::LiveConfig cfg;
-  cfg.keyspace = kChi;
-  cfg.policy = policy;
-  cfg.step_duration = kStep;
-  cfg.seed = 2026;
-  return cfg;
-}
-
-core::ServiceFactory kv() {
-  return [](std::uint32_t) { return std::make_unique<replication::KvService>(); };
-}
-
-void report(const char* label, const core::LiveSystem& system,
-            const attack::AttackerStats& stats, std::uint64_t horizon_steps) {
+void report(const char* label, const scenario::TrialOutcome& out,
+            std::uint64_t horizon_steps) {
   std::printf("%s\n", label);
-  if (system.failure_step()) {
+  if (out.compromised) {
     std::printf("  COMPROMISED during step %llu\n",
-                static_cast<unsigned long long>(*system.failure_step()));
+                static_cast<unsigned long long>(out.lifetime_steps));
   } else {
     std::printf("  survived all %llu steps\n",
                 static_cast<unsigned long long>(horizon_steps));
   }
   std::printf("  attacker: %llu direct probes, %llu indirect probes, "
               "%llu crashes observed, %llu nodes compromised, %llu keys "
-              "learned\n\n",
-              static_cast<unsigned long long>(stats.direct_probes),
-              static_cast<unsigned long long>(stats.indirect_probes),
-              static_cast<unsigned long long>(stats.crashes_caused),
-              static_cast<unsigned long long>(stats.compromises),
-              static_cast<unsigned long long>(stats.keys_learned));
+              "learned\n",
+              static_cast<unsigned long long>(out.attacker.direct_probes),
+              static_cast<unsigned long long>(out.attacker.indirect_probes),
+              static_cast<unsigned long long>(out.attacker.crashes_caused),
+              static_cast<unsigned long long>(out.attacker.compromises),
+              static_cast<unsigned long long>(out.attacker.keys_learned));
+  if (out.blacklisted_sources > 0) {
+    std::printf("  detection: attacker identities blacklisted %llu times "
+                "across the proxy tier\n",
+                static_cast<unsigned long long>(out.blacklisted_sources));
+  }
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main() {
-  constexpr std::uint64_t kHorizon = 100;  // steps per scenario
-  constexpr double kOmega = 16.0;          // probes per channel per step
   std::printf("De-randomization attack walkthrough (chi = %llu, omega = %.0f "
               "probes/step, horizon = %llu steps)\n\n",
               static_cast<unsigned long long>(kChi), kOmega,
               static_cast<unsigned long long>(kHorizon));
 
-  // --- Scenario 1: S1 with proactive RECOVERY (startup-only keys) --------
-  {
-    sim::Simulator sim;
-    core::LiveS1 system(sim, live_config(osl::ObfuscationPolicy::Recover),
-                        kv());
-    system.start();
-    attack::AttackerConfig acfg;
-    acfg.keyspace = kChi;
-    acfg.step_duration = kStep;
-    acfg.probes_per_step = kOmega;
-    attack::DerandAttacker attacker(sim, system.network(), acfg);
-    for (int i = 0; i < system.n_servers(); ++i) {
-      attacker.add_direct_target(system.server_machine(i));
-    }
-    attacker.start();
-    sim.run_until(kStep * kHorizon);
-    report("[1] S1, proactive recovery (keys fixed at startup):", system,
-           attacker.stats(), kHorizon);
+  // The four scenarios as plans. Shared knobs first:
+  net::ScenarioPlan base;
+  base.keyspace = kChi;
+  base.horizon_steps = kHorizon;
+  base.attack.probes_per_step = kOmega;
+  base.attack.indirect_fraction = 0.0;
+  base.proxy_blacklist = false;
+
+  // [1] S1 with proactive RECOVERY (startup-only keys).
+  net::ScenarioPlan recovery = base;
+  recovery.name = "s1-recovery";
+  recovery.rerandomize = false;
+
+  // [2] S1 with proactive OBFUSCATION (fresh keys every step).
+  net::ScenarioPlan obfuscation = base;
+  obfuscation.name = "s1-obfuscation";
+
+  // [3] FORTRESS: attacker must go through proxies; kappa = 0.25.
+  net::ScenarioPlan fortress = base;
+  fortress.name = "s2-fortress";
+  fortress.attack.indirect_fraction = 0.25;
+
+  // [4] FORTRESS with detection on and a greedy (kappa = 1) attacker that
+  // is indirect-only: every packet it lands traverses the proxy tier, so
+  // detection sees all of its traffic (direct probes would bypass the
+  // mechanism being demonstrated).
+  net::ScenarioPlan detection = base;
+  detection.name = "s2-detection";
+  detection.attack.direct_enabled = false;
+  detection.attack.indirect_fraction = 1.0;
+  detection.proxy_blacklist = true;
+  detection.detection_threshold = 5;
+
+  const std::uint64_t seed = 2026;
+  report("[1] S1, proactive recovery (keys fixed at startup):",
+         scenario::run_trial(model::SystemKind::S1, recovery, seed), kHorizon);
+  report("[2] S1, proactive obfuscation (fresh keys every step):",
+         scenario::run_trial(model::SystemKind::S1, obfuscation, seed),
+         kHorizon);
+  report("[3] S2/FORTRESS, proactive obfuscation, kappa = 0.25:",
+         scenario::run_trial(model::SystemKind::S2, fortress, seed), kHorizon);
+  report("[4] S2/FORTRESS with proxy detection, greedy indirect attacker:",
+         scenario::run_trial(model::SystemKind::S2, detection, seed),
+         kHorizon);
+
+  // The same grid as a campaign: every plan against its system class, many
+  // seeds, fanned over the thread pool (statistics are thread-count
+  // invariant).
+  std::vector<scenario::CampaignCell> cells = {
+      {model::SystemKind::S1, recovery},
+      {model::SystemKind::S1, obfuscation},
+      {model::SystemKind::S2, fortress},
+      {model::SystemKind::S2, detection},
+  };
+  scenario::CampaignConfig cfg;
+  cfg.trials_per_cell = 40;
+  cfg.base_seed = 7;
+  scenario::CampaignResult result = scenario::run_campaign(cells, cfg);
+
+  std::printf("Campaign over the same grid (%llu trials/cell):\n",
+              static_cast<unsigned long long>(cfg.trials_per_cell));
+  std::printf("%16s %10s %12s %22s %10s\n", "plan", "system",
+              "mean EL", "95% CI", "survived");
+  for (const scenario::CellStats& cell : result.cells) {
+    std::printf("%16s %10s %12.1f [%8.1f, %8.1f] %7llu/%llu\n",
+                cell.plan_name.c_str(),
+                model::to_string(cell.system).c_str(), cell.mean_lifetime(),
+                cell.lifetime_ci.lo, cell.lifetime_ci.hi,
+                static_cast<unsigned long long>(cell.censored),
+                static_cast<unsigned long long>(cell.trials));
   }
 
-  // --- Scenario 2: S1 with proactive OBFUSCATION -------------------------
-  {
-    sim::Simulator sim;
-    core::LiveS1 system(sim, live_config(osl::ObfuscationPolicy::Rerandomize),
-                        kv());
-    system.start();
-    attack::AttackerConfig acfg;
-    acfg.keyspace = kChi;
-    acfg.step_duration = kStep;
-    acfg.probes_per_step = kOmega;
-    attack::DerandAttacker attacker(sim, system.network(), acfg);
-    for (int i = 0; i < system.n_servers(); ++i) {
-      attacker.add_direct_target(system.server_machine(i));
-    }
-    attacker.start();
-    sim.run_until(kStep * kHorizon);
-    report("[2] S1, proactive obfuscation (fresh keys every step):", system,
-           attacker.stats(), kHorizon);
-  }
-
-  // --- Scenario 3: FORTRESS (S2), attacker must go through proxies -------
-  {
-    sim::Simulator sim;
-    auto cfg = live_config(osl::ObfuscationPolicy::Rerandomize);
-    cfg.proxy_blacklist = false;  // even without detection, kappa < 1 helps
-    core::LiveS2 system(sim, cfg, kv());
-    system.start();
-    sim.run_until(5.0);
-    attack::AttackerConfig acfg;
-    acfg.keyspace = kChi;
-    acfg.step_duration = kStep;
-    acfg.probes_per_step = kOmega;
-    acfg.indirect_probes_per_step = kOmega / 4.0;  // kappa = 0.25
-    attack::DerandAttacker attacker(sim, system.network(), acfg);
-    for (int i = 0; i < system.n_proxies(); ++i) {
-      attacker.add_direct_target(system.proxy_machine(i));
-      attacker.add_launchpad(system.proxy_machine(i),
-                             system.server_addresses());
-    }
-    attacker.set_indirect_channel(system.directory().proxies);
-    attacker.start();
-    sim.run_until(kStep * kHorizon);
-    report("[3] S2/FORTRESS, proactive obfuscation, kappa = 0.25:", system,
-           attacker.stats(), kHorizon);
-  }
-
-  // --- Scenario 4: FORTRESS with detection enabled -----------------------
-  {
-    sim::Simulator sim;
-    auto cfg = live_config(osl::ObfuscationPolicy::Rerandomize);
-    cfg.proxy_blacklist = true;
-    cfg.detection.threshold = 5;
-    cfg.detection.window = 500.0;
-    core::LiveS2 system(sim, cfg, kv());
-    system.start();
-    sim.run_until(5.0);
-    attack::AttackerConfig acfg;
-    acfg.keyspace = kChi;
-    acfg.step_duration = kStep;
-    acfg.probes_per_step = kOmega;
-    acfg.indirect_probes_per_step = kOmega;  // greedy: gets detected
-    attack::DerandAttacker attacker(sim, system.network(), acfg);
-    attacker.set_indirect_channel(system.directory().proxies);
-    attacker.start();
-    sim.run_until(kStep * kHorizon);
-    int blacklisted = 0;
-    for (int i = 0; i < system.n_proxies(); ++i) {
-      if (system.proxy(i).blacklisted("attacker")) ++blacklisted;
-    }
-    report("[4] S2/FORTRESS with proxy detection, greedy indirect attacker:",
-           system, attacker.stats(), kHorizon);
-    std::printf("    (attacker blacklisted by %d of %d proxies)\n",
-                blacklisted, system.n_proxies());
-  }
-
-  std::printf("Takeaway: recovery alone falls to a key sweep; obfuscation "
+  std::printf("\nTakeaway: recovery alone falls to a key sweep; obfuscation "
               "resets the sweep; proxies throttle the only remaining "
               "channel and detect the source.\n");
   return 0;

@@ -11,15 +11,20 @@
 //   log2chi: key entropy bits      (default 16)
 //   period : re-randomization P    (default 1; po only)
 //
-// With no arguments it prints the full comparison matrix at the defaults.
+// With no arguments it prints the full comparison matrix at the defaults,
+// followed by a live campaign cross-check: the abstract model's EL against
+// mean lifetimes measured on the full protocol stack (simulated machines,
+// probes, proxies, re-randomization) via scenario::run_campaign.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "analysis/evaluator.hpp"
 #include "analysis/markov.hpp"
 #include "montecarlo/engine.hpp"
+#include "scenario/campaign.hpp"
 
 using namespace fortress;
 
@@ -66,6 +71,65 @@ void evaluate_one(model::SystemKind kind, model::Obfuscation obf,
   std::printf("\n");
 }
 
+// Live campaign cross-check: sweep (system x plan) cells on the live stack
+// at small keyspaces (live probing is event-expensive; the model is
+// scale-free in omega/chi) and compare with the analytic EL at the plan's
+// implied alpha = omega/chi.
+void live_campaign_section() {
+  struct PlanSpec {
+    std::uint64_t chi;
+    double omega;
+    double kappa;
+    std::uint64_t horizon;
+  };
+  const PlanSpec specs[] = {
+      {128, 8.0, 0.5, 600}, {256, 8.0, 0.5, 900}, {128, 8.0, 0.25, 900}};
+
+  std::vector<scenario::CampaignCell> cells;
+  for (const PlanSpec& s : specs) {
+    net::ScenarioPlan plan;
+    plan.keyspace = s.chi;
+    plan.attack.probes_per_step = s.omega;
+    plan.attack.indirect_fraction = s.kappa;
+    plan.horizon_steps = s.horizon;
+    plan.proxy_blacklist = false;
+    plan.latency = net::LatencySpec::uniform(0.01, 0.02);
+    char name[64];
+    std::snprintf(name, sizeof name, "chi=%llu kappa=%.2f",
+                  static_cast<unsigned long long>(s.chi), s.kappa);
+    plan.name = name;
+    cells.push_back({model::SystemKind::S1, plan});
+    cells.push_back({model::SystemKind::S2, plan});
+  }
+
+  scenario::CampaignConfig cfg;
+  cfg.trials_per_cell = 60;
+  cfg.base_seed = 2026;
+  scenario::CampaignResult result = scenario::run_campaign(cells, cfg);
+
+  std::printf("\nLive campaign cross-check (%llu live trials per cell, "
+              "alpha = omega/chi):\n",
+              static_cast<unsigned long long>(cfg.trials_per_cell));
+  std::printf("%20s %6s %12s %22s %12s\n", "plan", "system", "live EL",
+              "95% CI", "model EL");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const scenario::CellStats& cell = result.cells[i];
+    const net::ScenarioPlan& plan = cells[i].plan;
+    model::AttackParams p;
+    p.chi = plan.keyspace;
+    p.alpha = plan.implied_alpha();
+    p.kappa = plan.attack.indirect_fraction;
+    model::SystemShape shape = cells[i].system == model::SystemKind::S1
+                                   ? model::SystemShape::s1()
+                                   : model::SystemShape::s2(plan.n_proxies);
+    const double predicted = analysis::expected_lifetime_markov(shape, p);
+    std::printf("%20s %6s %12.1f [%8.1f, %8.1f] %12.1f\n",
+                cell.plan_name.c_str(),
+                model::to_string(cell.system).c_str(), cell.mean_lifetime(),
+                cell.lifetime_ci.lo, cell.lifetime_ci.hi, predicted);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +170,7 @@ int main(int argc, char** argv) {
       evaluate_one(kind, obf, params);
     }
   }
+  live_campaign_section();
   std::printf("\n(run with: %s [s0|s1|s2] [so|po] [alpha] [kappa] [log2chi] "
               "[period] for a single configuration)\n",
               argv[0]);

@@ -1,0 +1,55 @@
+#include "common/alias.hpp"
+
+#include "common/check.hpp"
+
+namespace fortress {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  FORTRESS_EXPECTS(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    FORTRESS_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  FORTRESS_EXPECTS(total > 0.0);
+
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  // Scaled weights: mean 1. Columns below 1 take an alias from columns
+  // above 1 (Vose's stable two-stack construction).
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining columns are exactly 1 up to rounding; accept unconditionally.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+double AliasTable::outcome_probability(std::uint32_t i) const {
+  const double n = static_cast<double>(prob_.size());
+  double p = prob_[i] / n;
+  for (std::size_t c = 0; c < alias_.size(); ++c) {
+    if (alias_[c] == i && prob_[c] < 1.0) p += (1.0 - prob_[c]) / n;
+  }
+  return p;
+}
+
+}  // namespace fortress

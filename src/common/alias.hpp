@@ -1,0 +1,44 @@
+// alias.hpp — Walker/Vose alias method for O(1) discrete sampling.
+//
+// The Monte-Carlo probe-granularity kernel draws the per-step channel-event
+// count from a fixed truncated binomial pmf millions of times per run; the
+// alias table turns each draw into one uniform integer plus one coin flip,
+// replacing the seed's linear inverse-transform scan. Construction is O(n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fortress {
+
+/// Immutable alias table over outcomes {0..n-1} with the distribution given
+/// by the (non-negative, not-all-zero) construction weights.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from weights (need not be normalized). Precondition: all weights
+  /// >= 0 and at least one > 0.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// One sample: a single Rng::below plus one uniform01 comparison.
+  std::uint32_t sample(Rng& rng) const {
+    std::uint32_t i = static_cast<std::uint32_t>(rng.below(prob_.size()));
+    return rng.uniform01() < prob_[i] ? i : alias_[i];
+  }
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Exact sampled probability of outcome `i` (for tests): the mass routed
+  /// to i through its own column and through every aliased column.
+  double outcome_probability(std::uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;          ///< acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  ///< fallback outcome per column
+};
+
+}  // namespace fortress

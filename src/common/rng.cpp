@@ -115,16 +115,25 @@ bool Rng::bernoulli(double p) {
   return uniform01() < p;
 }
 
-std::uint64_t Rng::geometric(double p) {
+double Rng::geometric_inv_log(double p) {
   FORTRESS_EXPECTS(p > 0.0 && p <= 1.0);
-  if (p == 1.0) return 0;
-  // Inversion: floor(log(U) / log(1-p)) with U in (0,1].
+  if (p == 1.0) return 0.0;
+  return 1.0 / std::log1p(-p);
+}
+
+std::uint64_t Rng::geometric_scaled(double inv_log) {
+  if (inv_log == 0.0) return 0;  // p == 1: success on the first trial
+  // Inversion: floor(log(U) * (1 / log(1-p))) with U in (0,1].
   double u = 1.0 - uniform01();  // (0, 1]
-  double g = std::floor(std::log(u) / std::log1p(-p));
+  double g = std::floor(std::log(u) * inv_log);
   if (g < 0) g = 0;
   // Cap to avoid overflow when p is denormal-small.
   if (g > 9.2e18) g = 9.2e18;
   return static_cast<std::uint64_t>(g);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  return geometric_scaled(geometric_inv_log(p));
 }
 
 double Rng::exponential(double lambda) {

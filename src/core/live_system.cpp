@@ -3,23 +3,55 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "replication/service.hpp"
 
 namespace fortress::core {
 
+namespace {
+
+// Shared fault-target resolution: bounds-checked lookup into one tier's
+// machine vector (out-of-range plan indices are ignored, not errors).
+osl::Machine* machine_at(
+    const std::vector<std::unique_ptr<osl::Machine>>& tier, int index) {
+  if (index < 0 || static_cast<std::size_t>(index) >= tier.size()) {
+    return nullptr;
+  }
+  return tier[static_cast<std::size_t>(index)].get();
+}
+
+}  // namespace
+
+LiveConfig LiveConfig::from_plan(const net::ScenarioPlan& plan,
+                                 std::uint64_t seed) {
+  // No plan.validate() here: NetworkConfig::from_plan below validates, and
+  // the public campaign entry points validate before fan-out.
+  LiveConfig cfg;
+  cfg.keyspace = plan.keyspace;
+  cfg.policy = plan.rerandomize ? osl::ObfuscationPolicy::Rerandomize
+                                : osl::ObfuscationPolicy::Recover;
+  cfg.step_duration = plan.step_duration;
+  cfg.latency = plan.latency;
+  cfg.network = net::NetworkConfig::from_plan(plan, /*rng_seed=*/0);
+  cfg.seed = seed;
+  cfg.proxy_blacklist = plan.proxy_blacklist;
+  cfg.detection.threshold = plan.detection_threshold;
+  cfg.detection.window = plan.detection_window;
+  return cfg;
+}
+
 LiveSystem::LiveSystem(sim::Simulator& sim, LiveConfig config)
-    : sim_(sim), config_(config), registry_(config.seed ^ 0xF0F0F0F0ULL) {
-  net::NetworkConfig net_cfg;
-  net_cfg.rng_seed = config.seed ^ 0xABCDULL;
+    : sim_(sim),
+      config_(std::move(config)),
+      registry_(config_.seed ^ 0xF0F0F0F0ULL) {
+  net::NetworkConfig net_cfg = config_.network;
+  net_cfg.rng_seed = config_.seed ^ 0xABCDULL;
   network_ = std::make_unique<net::Network>(
-      sim,
-      std::make_unique<net::UniformLatency>(config.latency_lo,
-                                            config.latency_hi),
-      net_cfg);
+      sim, std::make_unique<net::SpecLatency>(config_.latency), net_cfg);
   osl::ObfuscationConfig obf_cfg;
-  obf_cfg.step_duration = config.step_duration;
-  obf_cfg.policy = config.policy;
-  obf_cfg.keyspace = config.keyspace;
-  obf_cfg.rng_seed = config.seed ^ 0x5EEDULL;
+  obf_cfg.step_duration = config_.step_duration;
+  obf_cfg.policy = config_.policy;
+  obf_cfg.keyspace = config_.keyspace;
+  obf_cfg.rng_seed = config_.seed ^ 0x5EEDULL;
   scheduler_ = std::make_unique<osl::ObfuscationScheduler>(sim, obf_cfg);
 }
 
@@ -29,7 +61,9 @@ std::optional<std::uint64_t> LiveSystem::failure_step() const {
 }
 
 void LiveSystem::latch_failure() {
-  if (!failure_time_) failure_time_ = sim_.now();
+  if (failure_time_) return;
+  failure_time_ = sim_.now();
+  if (on_failure) on_failure();
 }
 
 void LiveSystem::watch(osl::Machine& machine) {
@@ -92,6 +126,19 @@ bool LiveS1::compromise_rule() const {
   return false;
 }
 
+std::vector<osl::Machine*> LiveS1::direct_attack_surface() {
+  // The whole tier shares one key (§3), so there is exactly ONE direct
+  // channel (Definition 2): probing more machines with the same enumeration
+  // would overcount the model's per-channel rate omega. The primary stands
+  // in for the tier.
+  return {machines_.front().get()};
+}
+
+osl::Machine* LiveS1::fault_target(net::FaultEvent::Target tier, int index) {
+  if (tier != net::FaultEvent::Target::Server) return nullptr;
+  return machine_at(machines_, index);
+}
+
 // --- LiveS0 -----------------------------------------------------------------
 
 LiveS0::LiveS0(sim::Simulator& sim, LiveConfig config,
@@ -150,6 +197,17 @@ int LiveS0::currently_compromised() const {
 bool LiveS0::compromise_rule() const {
   // Definition 1: compromised as soon as more than one node is compromised.
   return currently_compromised() >= 2;
+}
+
+std::vector<osl::Machine*> LiveS0::direct_attack_surface() {
+  std::vector<osl::Machine*> out;
+  for (const auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+osl::Machine* LiveS0::fault_target(net::FaultEvent::Target tier, int index) {
+  if (tier != net::FaultEvent::Target::Server) return nullptr;
+  return machine_at(machines_, index);
 }
 
 // --- LiveS2 -----------------------------------------------------------------
@@ -238,6 +296,64 @@ bool LiveS2::compromise_rule() const {
   }
   return currently_compromised_proxies() ==
          static_cast<int>(proxy_machines_.size());
+}
+
+std::vector<osl::Machine*> LiveS2::direct_attack_surface() {
+  std::vector<osl::Machine*> out;
+  for (const auto& m : proxy_machines_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<osl::Machine*> LiveS2::launchpad_machines() {
+  return direct_attack_surface();
+}
+
+std::vector<net::Address> LiveS2::hidden_server_addresses() const {
+  return server_addrs_;
+}
+
+osl::Machine* LiveS2::fault_target(net::FaultEvent::Target tier, int index) {
+  return machine_at(tier == net::FaultEvent::Target::Server ? server_machines_
+                                                            : proxy_machines_,
+                    index);
+}
+
+std::uint64_t LiveS2::blacklisted_sources() const {
+  std::uint64_t total = 0;
+  for (const auto& p : proxies_) total += p->blacklist_size();
+  return total;
+}
+
+std::unique_ptr<LiveSystem> make_live_system(sim::Simulator& sim,
+                                             model::SystemKind kind,
+                                             const net::ScenarioPlan& plan,
+                                             std::uint64_t seed) {
+  LiveConfig cfg = LiveConfig::from_plan(plan, seed);
+  ServiceFactory kv = [](std::uint32_t) {
+    return std::make_unique<replication::KvService>();
+  };
+  switch (kind) {
+    case model::SystemKind::S0: {
+      // S0 is an SMR quorum, so the deployment size must be a valid 3f+1.
+      // Plans are swept across classes unchanged, so n_servers is treated
+      // as a floor: deploy the smallest 3f+1 >= max(4, n_servers) (never
+      // fewer machines than requested; 3 -> 4, 5 or 6 -> 7, ...).
+      std::uint32_t f = plan.n_servers >= 4
+                            ? static_cast<std::uint32_t>((plan.n_servers + 1) / 3)
+                            : 1;
+      DeterministicServiceFactory det_kv = [](std::uint32_t) {
+        return std::make_unique<replication::KvService>();
+      };
+      return std::make_unique<LiveS0>(sim, cfg, det_kv, f);
+    }
+    case model::SystemKind::S1:
+      return std::make_unique<LiveS1>(sim, cfg, kv, plan.n_servers);
+    case model::SystemKind::S2:
+      return std::make_unique<LiveS2>(sim, cfg, kv, plan.n_servers,
+                                      plan.n_proxies);
+  }
+  FORTRESS_CHECK(false);
+  return nullptr;
 }
 
 }  // namespace fortress::core

@@ -24,6 +24,7 @@
 
 #include "core/client.hpp"
 #include "core/directory.hpp"
+#include "model/params.hpp"
 #include "core/nameserver.hpp"
 #include "crypto/signature.hpp"
 #include "net/network.hpp"
@@ -40,13 +41,20 @@ struct LiveConfig {
   std::uint64_t keyspace = 1ull << 16;  ///< χ
   osl::ObfuscationPolicy policy = osl::ObfuscationPolicy::Rerandomize;
   sim::Time step_duration = 100.0;  ///< the unit time-step
-  sim::Time latency_lo = 0.1;
-  sim::Time latency_hi = 0.5;
+  /// Network behaviour (fed into net::Network at construction; the
+  /// network's rng_seed is derived from `seed`, overriding network.rng_seed).
+  net::LatencySpec latency = net::LatencySpec::uniform(0.1, 0.5);
+  net::NetworkConfig network;
   std::uint64_t seed = 1;
   sim::Time heartbeat_interval = 5.0;
   sim::Time failover_timeout = 20.0;
   bool proxy_blacklist = true;
   proxy::DetectionConfig detection{};
+
+  /// Deployment knobs of a scenario plan mapped onto a LiveConfig (network
+  /// behaviour, keyspace, policy, step duration, proxy detection).
+  static LiveConfig from_plan(const net::ScenarioPlan& plan,
+                              std::uint64_t seed);
 };
 
 /// Factory for the replicated service instance each replica runs.
@@ -78,7 +86,39 @@ class LiveSystem {
   /// Whole unit steps elapsed before compromise (the live EL sample).
   std::optional<std::uint64_t> failure_step() const;
 
+  /// Invoked once, at the moment the compromise predicate first latches.
+  /// Campaign trials use this to stop the simulation early.
+  std::function<void()> on_failure;
+
   std::uint64_t steps_completed() const { return scheduler_->steps_completed(); }
+
+  // --- class-generic topology hooks (the campaign runner drives every
+  // system class through these) -------------------------------------------
+
+  /// The machines a de-randomization attacker can probe directly: servers
+  /// for the exposed classes (S0/S1), proxies for FORTRESS (S2).
+  virtual std::vector<osl::Machine*> direct_attack_surface() = 0;
+
+  /// Machines usable as launch pads against a hidden tier once compromised
+  /// (S2 proxies); empty when every tier is directly reachable.
+  virtual std::vector<osl::Machine*> launchpad_machines() { return {}; }
+
+  /// Addresses of the hidden server tier reachable only via launch pads
+  /// (S2); empty otherwise.
+  virtual std::vector<net::Address> hidden_server_addresses() const {
+    return {};
+  }
+
+  /// Resolve a scheduled fault's (tier, index) to a machine; nullptr when
+  /// the tier does not exist or the index is out of range (the fault is
+  /// ignored, letting one plan span system classes of different shapes).
+  virtual osl::Machine* fault_target(net::FaultEvent::Target tier,
+                                     int index) = 0;
+
+  /// Total distinct (source, proxy) blacklistings across the detection
+  /// tier — the observable evidence that detection fired. 0 for classes
+  /// without a detection tier.
+  virtual std::uint64_t blacklisted_sources() const { return 0; }
 
  protected:
   LiveSystem(sim::Simulator& sim, LiveConfig config);
@@ -110,6 +150,9 @@ class LiveS1 final : public LiveSystem {
   replication::PbReplica& server(int i) { return *replicas_.at(static_cast<std::size_t>(i)); }
   int n_servers() const { return static_cast<int>(machines_.size()); }
 
+  std::vector<osl::Machine*> direct_attack_surface() override;
+  osl::Machine* fault_target(net::FaultEvent::Target tier, int index) override;
+
  private:
   bool compromise_rule() const override;
 
@@ -130,6 +173,9 @@ class LiveS0 final : public LiveSystem {
   replication::SmrReplica& server(int i) { return *replicas_.at(static_cast<std::size_t>(i)); }
   int n_servers() const { return static_cast<int>(machines_.size()); }
   int currently_compromised() const;
+
+  std::vector<osl::Machine*> direct_attack_surface() override;
+  osl::Machine* fault_target(net::FaultEvent::Target tier, int index) override;
 
  private:
   bool compromise_rule() const override;
@@ -158,6 +204,12 @@ class LiveS2 final : public LiveSystem {
   const std::vector<net::Address>& server_addresses() const { return server_addrs_; }
   int currently_compromised_proxies() const;
 
+  std::vector<osl::Machine*> direct_attack_surface() override;
+  std::vector<osl::Machine*> launchpad_machines() override;
+  std::vector<net::Address> hidden_server_addresses() const override;
+  osl::Machine* fault_target(net::FaultEvent::Target tier, int index) override;
+  std::uint64_t blacklisted_sources() const override;
+
  private:
   bool compromise_rule() const override;
 
@@ -167,5 +219,14 @@ class LiveS2 final : public LiveSystem {
   std::vector<std::unique_ptr<replication::PbReplica>> replicas_;
   std::vector<net::Address> server_addrs_;
 };
+
+/// Build the deployment a ScenarioPlan describes for the given system class
+/// (a KvService instance per replica). S0 treats the plan's server count as
+/// a floor, deploying the smallest SMR quorum 3f+1 >= max(4, n_servers)
+/// (the default n_servers = 3 gives the paper's 4-node shape).
+std::unique_ptr<LiveSystem> make_live_system(sim::Simulator& sim,
+                                             model::SystemKind kind,
+                                             const net::ScenarioPlan& plan,
+                                             std::uint64_t seed);
 
 }  // namespace fortress::core

@@ -11,6 +11,14 @@
 
 namespace fortress::exec {
 
+namespace {
+// True while this thread is executing chunks of a parallel_chunks job (as
+// the caller or as a pool worker). A nested parallel_chunks from inside a
+// chunk would deadlock on the pool's one-job-at-a-time mutex; the flag lets
+// nested calls degrade to the inline path instead.
+thread_local bool t_in_chunk_job = false;
+}  // namespace
+
 struct ThreadPool::Impl {
   using ChunkFn = std::function<void(std::uint64_t, std::uint64_t,
                                      std::uint64_t)>;
@@ -42,6 +50,10 @@ struct ThreadPool::Impl {
   // Claim chunks until the grid is exhausted. Called concurrently by the
   // caller thread and any joined workers.
   void drain() {
+    struct FlagGuard {
+      ~FlagGuard() { t_in_chunk_job = false; }
+    } guard;
+    t_in_chunk_job = true;
     while (true) {
       std::uint64_t c = ticket.fetch_add(1, std::memory_order_relaxed);
       if (c >= n_chunks) return;
@@ -127,7 +139,9 @@ void ThreadPool::parallel_chunks(
   const std::uint64_t n_chunks = chunk_count(total, chunk_size);
   if (parallelism == 0) parallelism = size() + 1;
 
-  if (parallelism <= 1 || size() == 0 || n_chunks == 1) {
+  // Nested use (a chunk function calling back into the pool) runs inline:
+  // taking job_m here would deadlock against the outer job holding it.
+  if (parallelism <= 1 || size() == 0 || n_chunks == 1 || t_in_chunk_job) {
     // Inline fast path: chunk order == index order.
     for (std::uint64_t c = 0; c < n_chunks; ++c) {
       std::uint64_t begin = c * chunk_size;

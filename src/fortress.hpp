@@ -19,6 +19,7 @@
 
 // Simulation substrate.
 #include "net/network.hpp"
+#include "net/scenario.hpp"
 #include "osl/machine.hpp"
 #include "osl/obfuscation.hpp"
 #include "osl/probe.hpp"
@@ -40,6 +41,10 @@
 
 // Attack machinery.
 #include "attack/derand_attacker.hpp"
+
+// Parallel execution and scenario campaigns.
+#include "exec/thread_pool.hpp"
+#include "scenario/campaign.hpp"
 
 // Resilience evaluation.
 #include "analysis/evaluator.hpp"

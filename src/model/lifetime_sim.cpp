@@ -1,6 +1,7 @@
 #include "model/lifetime_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <array>
 #include <cmath>
 
@@ -46,6 +47,7 @@ TrialKernel::TrialKernel(const SystemShape& shape, const AttackParams& params,
 
   if (obf_ == Obfuscation::Proactive && gran_ == Granularity::Step) {
     p_step_ = per_step_compromise_probability(shape_, params_);
+    if (p_step_ > 0.0) inv_log_step_ = Rng::geometric_inv_log(p_step_);
     if (shape_.kind == SystemKind::S2) {
       // Exact conditional route distribution at the compromise step; the
       // three terms are the route-wise decomposition of p_step_ (same pmf
@@ -77,13 +79,35 @@ TrialKernel::TrialKernel(const SystemShape& shape, const AttackParams& params,
     FORTRESS_EXPECTS(eff_nchan_ <= kMaxChannels);
     const double p_quiet = std::pow(1.0 - q, eff_nchan_);
     p_event_ = 1.0 - p_quiet;
-    // Cumulative truncated event-count pmf P(K in 1..k), K ~ Bin(n, q);
-    // binomial_pmf accumulates exactly as the seed's inline inverse-
-    // transform loop did, so the sampled event counts are bit-identical.
-    double cum = 0.0;
-    for (int k = 1; k < eff_nchan_; ++k) {
-      cum += binomial_pmf(eff_nchan_, q, k);
-      cum_k_[static_cast<std::size_t>(k)] = cum;
+    // Truncated event-count pmf P(K = k | K >= 1), K ~ Bin(n, q), as alias-
+    // table weights over k-1 (sampling is O(1) regardless of n).
+    std::vector<double> weights(static_cast<std::size_t>(eff_nchan_));
+    for (int k = 1; k <= eff_nchan_; ++k) {
+      weights[static_cast<std::size_t>(k - 1)] =
+          binomial_pmf(eff_nchan_, q, k);
+    }
+    event_count_alias_ = AliasTable(weights);
+    if (p_event_ > 0.0) inv_log_quiet_ = Rng::geometric_inv_log(p_event_);
+    if (shape_.kind == SystemKind::S2) {
+      // All size-k channel subsets, bucketed by popcount into one flat array
+      // (counting sort over the 2^n - 1 non-empty masks): a uniformly random
+      // k-subset is then one uniform index into bucket k. Only S2 cares
+      // WHICH channels fired (proxies vs the server channel); S0 needs just
+      // the count and S1 compromises on any event, so the table (and the
+      // per-event-step subset draw) exists only for S2.
+      const std::uint32_t n_masks = 1u << eff_nchan_;
+      subset_masks_.resize(n_masks - 1);
+      std::array<std::uint32_t, kMaxChannels + 2> fill{};
+      for (std::uint32_t mask = 1; mask < n_masks; ++mask) {
+        ++fill[static_cast<std::size_t>(std::popcount(mask)) + 1];
+      }
+      for (std::size_t k = 1; k < fill.size(); ++k) fill[k] += fill[k - 1];
+      subset_begin_ = fill;
+      for (std::uint32_t mask = 1; mask < n_masks; ++mask) {
+        std::uint32_t& slot =
+            fill[static_cast<std::size_t>(std::popcount(mask))];
+        subset_masks_[slot++] = static_cast<std::uint16_t>(mask);
+      }
     }
   }
 }
@@ -209,7 +233,7 @@ LifetimeResult TrialKernel::run_po_step(Rng& rng,
     out.whole_steps = max_steps;
     return out;
   }
-  std::uint64_t steps = rng.geometric(p_step_);
+  std::uint64_t steps = rng.geometric_scaled(inv_log_step_);
   if (steps >= max_steps) {
     out.censored = true;
     out.whole_steps = max_steps;
@@ -242,7 +266,6 @@ LifetimeResult TrialKernel::run_po_step(Rng& rng,
 LifetimeResult TrialKernel::run_po_probe(Rng& rng,
                                          std::uint64_t max_steps) const {
   const std::uint64_t omega = omega_;
-  const int eff_nchan = eff_nchan_;
   LifetimeResult out;
 
   if (p_event_ <= 0.0) {
@@ -254,7 +277,7 @@ LifetimeResult TrialKernel::run_po_probe(Rng& rng,
   std::uint64_t steps_elapsed = 0;
   while (true) {
     // Skip quiet steps.
-    std::uint64_t quiet = rng.geometric(p_event_);
+    std::uint64_t quiet = rng.geometric_scaled(inv_log_quiet_);
     if (steps_elapsed + quiet >= max_steps) {
       out.censored = true;
       out.whole_steps = max_steps;
@@ -262,22 +285,11 @@ LifetimeResult TrialKernel::run_po_probe(Rng& rng,
     }
     steps_elapsed += quiet;
     // This step has at least one channel event. Sample the event pattern
-    // conditioned on "not all channels quiet": first the number of events
-    // k ~ Bin(n, q) | k >= 1 by inverse transform over the precomputed
-    // truncated pmf, then a uniformly random k-subset of channels.
-    std::array<bool, kMaxChannels> hit{};
-    {
-      double u = rng.uniform01() * p_event_;  // mass within the k>=1 region
-      int k = 1;
-      for (; k < eff_nchan; ++k) {
-        if (u < cum_k_[static_cast<std::size_t>(k)]) break;
-      }
-      std::array<std::uint64_t, kMaxChannels> chosen;
-      rng.sample_without_replacement_into(static_cast<std::uint64_t>(eff_nchan),
-                                         static_cast<std::uint64_t>(k),
-                                         chosen.data());
-      for (int i = 0; i < k; ++i) hit[static_cast<std::size_t>(chosen[i])] = true;
-    }
+    // conditioned on "not all channels quiet" in O(1): the number of events
+    // k ~ Bin(n, q) | k >= 1 from the alias table; S2 additionally draws a
+    // uniformly random k-subset of channels as one index into the
+    // precomputed mask bucket (S0/S1 only need the count).
+    const int k = static_cast<int>(event_count_alias_.sample(rng)) + 1;
 
     switch (shape_.kind) {
       case SystemKind::S1:
@@ -285,11 +297,8 @@ LifetimeResult TrialKernel::run_po_probe(Rng& rng,
         out.route = CompromiseRoute::SharedKey;
         return out;
       case SystemKind::S0: {
-        int fallen = 0;
-        for (int c = 0; c < eff_nchan; ++c) {
-          if (hit[static_cast<std::size_t>(c)]) ++fallen;
-        }
-        if (fallen >= shape_.smr_compromise) {
+        // Every channel is a node; the event count IS the fallen count.
+        if (k >= shape_.smr_compromise) {
           out.whole_steps = steps_elapsed;
           out.route = CompromiseRoute::SmrQuorum;
           return out;
@@ -297,11 +306,15 @@ LifetimeResult TrialKernel::run_po_probe(Rng& rng,
         break;  // not enough hits; PO resets — continue
       }
       case SystemKind::S2: {
+        const std::uint32_t lo = subset_begin_[static_cast<std::size_t>(k)];
+        const std::uint32_t n_subsets =
+            subset_begin_[static_cast<std::size_t>(k) + 1] - lo;
+        const std::uint32_t hit_mask = subset_masks_[lo + rng.below(n_subsets)];
         const int np = shape_.n_proxies;
         int fallen = 0;
         double first_fraction = 2.0;  // > 1 means "no proxy fell"
         for (int c = 0; c < np; ++c) {
-          if (!hit[static_cast<std::size_t>(c)]) continue;
+          if ((hit_mask & (1u << c)) == 0) continue;
           ++fallen;
           // Find position within the step: uniform over {1..ω} given a hit.
           double f = (static_cast<double>(rng.below(omega)) + 1.0) /
@@ -313,7 +326,7 @@ LifetimeResult TrialKernel::run_po_probe(Rng& rng,
           out.route = CompromiseRoute::AllProxies;
           return out;
         }
-        const bool server_channel_event = hit[static_cast<std::size_t>(np)];
+        const bool server_channel_event = (hit_mask & (1u << np)) != 0;
         if (server_channel_event) {
           // Server key lies among the first ω candidates; realized coverage
           // this step: κω alone, or κω·f* + ω·(1-f*) with a launch pad.

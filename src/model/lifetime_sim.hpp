@@ -23,7 +23,9 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "common/alias.hpp"
 #include "common/rng.hpp"
 #include "model/params.hpp"
 
@@ -87,15 +89,24 @@ class TrialKernel {
 
   // Proactive / Step.
   double p_step_ = 0.0;      ///< per-step compromise probability
+  double inv_log_step_ = 0.0;  ///< hoisted 1/log(1-p_step) for the geometric
   double route_mass_ = 0.0;  ///< total per-step route mass (== p_step_)
   double cut_all_ = 0.0;     ///< cumulative: AllProxies
   double cut_indirect_ = 0.0;  ///< cumulative: AllProxies + ServerIndirect
 
-  // Proactive / Probe.
+  // Proactive / Probe. Event steps are sampled in O(1): the number of
+  // channel events k ~ Bin(n, q) | k >= 1 comes from a Walker alias table,
+  // and the uniformly random k-subset of channels from a precomputed table
+  // of all C(n, k) channel bitmasks per (k, channel-count) pair — one
+  // uniform index instead of Floyd's per-element rejection loop.
   int eff_nchan_ = 0;
   double p_event_ = 0.0;  ///< P(any channel event in a step)
-  /// Cumulative truncated Bin(n, q) event-count pmf: cum_k_[k] = P(1..k).
-  std::array<double, kMaxChannels> cum_k_{};
+  double inv_log_quiet_ = 0.0;  ///< hoisted 1/log(1-p_event)
+  AliasTable event_count_alias_;  ///< over k-1, k in 1..n (truncated pmf)
+  /// All non-empty channel subsets of {0..n-1} as bitmasks, bucketed by
+  /// popcount: the size-k subsets occupy [subset_begin_[k], subset_begin_[k+1]).
+  std::vector<std::uint16_t> subset_masks_;
+  std::array<std::uint32_t, kMaxChannels + 2> subset_begin_{};
 };
 
 /// Simulate one lifetime. `max_steps` caps the simulation; trials that

@@ -17,9 +17,33 @@ Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
                  NetworkConfig config)
     : sim_(sim),
       latency_(std::move(latency)),
-      config_(config),
-      rng_(config.rng_seed) {
+      config_(std::move(config)),
+      rng_(config_.rng_seed) {
   FORTRESS_EXPECTS(latency_ != nullptr);
+}
+
+NetworkConfig NetworkConfig::from_plan(const ScenarioPlan& plan,
+                                       std::uint64_t rng_seed) {
+  plan.validate();
+  NetworkConfig cfg;
+  cfg.drop_probability = plan.drop_probability;
+  cfg.duplicate_probability = plan.duplicate_probability;
+  cfg.partitions = plan.partitions;
+  cfg.rng_seed = rng_seed;
+  return cfg;
+}
+
+Network::Network(sim::Simulator& sim, const ScenarioPlan& plan,
+                 std::uint64_t rng_seed)
+    : Network(sim, std::make_unique<SpecLatency>(plan.latency),
+              NetworkConfig::from_plan(plan, rng_seed)) {}
+
+bool Network::link_blocked(const Address& x, const Address& y) const {
+  for (const PartitionWindow& w : config_.partitions) {
+    if (!w.active_at(sim_.now())) continue;
+    if (w.contains(x) != w.contains(y)) return true;
+  }
+  return false;
 }
 
 void Network::attach(const Address& addr, Handler& handler) {
@@ -54,6 +78,8 @@ bool Network::attached(const Address& addr) const {
 }
 
 void Network::deliver(Envelope env) {
+  // Partitioned links lose traffic at send time (nothing enters the pipe).
+  if (!config_.partitions.empty() && link_blocked(env.from, env.to)) return;
   sim::Time delay = latency_->sample(rng_);
   sim_.schedule_after(delay, [this, env = std::move(env)]() mutable {
     auto it = hosts_.find(env.to);
@@ -75,15 +101,22 @@ void Network::send(const Address& from, const Address& to, Bytes payload) {
       rng_.bernoulli(config_.drop_probability)) {
     return;
   }
+  if (config_.duplicate_probability > 0 &&
+      rng_.bernoulli(config_.duplicate_probability)) {
+    deliver(Envelope{from, to, payload, std::nullopt});
+  }
   deliver(Envelope{from, to, std::move(payload), std::nullopt});
 }
 
 std::optional<ConnectionId> Network::connect(const Address& from,
                                              const Address& to) {
   // Refused if either end lacks network presence (caller mid-reboot, or
-  // callee down).
+  // callee down) or an active partition separates the endpoints.
   if (!hosts_.contains(from)) return std::nullopt;
   if (!hosts_.contains(to)) return std::nullopt;
+  if (!config_.partitions.empty() && link_blocked(from, to)) {
+    return std::nullopt;
+  }
   ConnectionId id = next_conn_++;
   connections_[id] = Conn{from, to};
   sim::Time delay = latency_->sample(rng_);

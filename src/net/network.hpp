@@ -11,6 +11,11 @@
 // Hosts attach to the network at an Address and implement net::Handler.
 // Detaching a host (process crash) drops in-flight messages addressed to it
 // and closes all its connections.
+//
+// Behaviour (latency distribution, loss, duplication, partitions) is
+// injected either via the classic (LatencyModel, NetworkConfig) pair or
+// wholesale from a declarative net::ScenarioPlan (see scenario.hpp), which
+// is how the scenario campaign runner builds per-experiment networks.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +28,10 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "net/scenario.hpp"
 #include "sim/simulator.hpp"
 
 namespace fortress::net {
-
-/// Network address of a host ("proxy-0", "server-2", "attacker", ...).
-using Address = std::string;
 
 /// Identifier of an established connection (shared by both endpoints).
 using ConnectionId = std::uint64_t;
@@ -108,12 +111,39 @@ class UniformLatency final : public LatencyModel {
   sim::Time hi_;
 };
 
+/// Latency driven by a ScenarioPlan's declarative LatencySpec.
+class SpecLatency final : public LatencyModel {
+ public:
+  explicit SpecLatency(LatencySpec spec) : spec_(spec) { spec_.validate(); }
+  sim::Time sample(Rng& rng) override { return spec_.sample(rng); }
+
+ private:
+  LatencySpec spec_;
+};
+
 /// Network configuration.
 struct NetworkConfig {
   /// Probability an individual datagram is dropped (connections are
   /// reliable; drops model UDP-style client traffic).
   double drop_probability = 0.0;
+  /// Probability a datagram is delivered twice, with independent latencies
+  /// (connections stay exactly-once).
+  double duplicate_probability = 0.0;
+  /// Scheduled partitions. While a window separates two hosts: datagrams
+  /// and connection messages between them are lost, new connections are
+  /// refused (the SYN never arrives). Connection-closure notifications are
+  /// still delivered — a reboot's RST is observed once the link heals, and
+  /// modelling that as delayed-but-delivered keeps protocol timers and the
+  /// attacker's probe loop live across windows.
+  std::vector<PartitionWindow> partitions;
   std::uint64_t rng_seed = 1;
+
+  /// THE mapping from a plan's network-behaviour fields. Every consumer
+  /// that builds a network from a ScenarioPlan (the Network plan ctor,
+  /// core::LiveConfig::from_plan) goes through here, so a new field added
+  /// to the plan is wired up in exactly one place.
+  static NetworkConfig from_plan(const ScenarioPlan& plan,
+                                 std::uint64_t rng_seed);
 };
 
 /// The simulated network.
@@ -121,6 +151,11 @@ class Network {
  public:
   Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
           NetworkConfig config = {});
+
+  /// Build the network a ScenarioPlan describes: its latency distribution,
+  /// drop/duplication probabilities and partition schedule.
+  Network(sim::Simulator& sim, const ScenarioPlan& plan,
+          std::uint64_t rng_seed);
 
   /// Attach a host at `addr`. Precondition: the address is free.
   /// The handler must stay alive until detach.
@@ -140,11 +175,15 @@ class Network {
 
   /// Open a connection from `from` to `to`. Returns the connection id; the
   /// acceptor learns about it via on_connection_opened after one latency.
-  /// Returns nullopt if `to` is not attached (connection refused).
+  /// Returns nullopt if `to` is not attached (connection refused) or the
+  /// link is currently partitioned (the SYN is lost).
   std::optional<ConnectionId> connect(const Address& from, const Address& to);
 
-  /// Send on an established connection (reliable, ordered by delivery time).
-  /// Returns false if the connection is gone or `from` is not an endpoint.
+  /// Send on an established connection: exempt from datagram drop and
+  /// duplication, ordered by delivery time — but NOT partition-proof. A
+  /// message sent while a PartitionWindow separates the endpoints is lost
+  /// at send time with no notification; `true` only means the connection
+  /// existed and `from` was an endpoint (false otherwise).
   bool send_on(ConnectionId id, const Address& from, Bytes payload);
 
   /// Close a connection from one side; the peer is notified (PeerClosed).
@@ -172,6 +211,8 @@ class Network {
   void deliver(Envelope env);
   void notify_closed(const Address& endpoint, ConnectionId id,
                      const Address& peer, CloseReason reason);
+  /// True when an active partition window separates `x` and `y` right now.
+  bool link_blocked(const Address& x, const Address& y) const;
 
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;

@@ -1,0 +1,55 @@
+#include "net/scenario.hpp"
+
+#include <algorithm>
+
+namespace fortress::net {
+
+sim::Time LatencySpec::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::Fixed: return a;
+    case Kind::Uniform: return a + (b - a) * rng.uniform01();
+    case Kind::Exponential: return a + rng.exponential(1.0 / b);
+  }
+  FORTRESS_CHECK(false);
+  return a;
+}
+
+void LatencySpec::validate() const {
+  FORTRESS_EXPECTS(a >= 0.0);
+  switch (kind) {
+    case Kind::Fixed: break;
+    case Kind::Uniform: FORTRESS_EXPECTS(b >= a); break;
+    case Kind::Exponential: FORTRESS_EXPECTS(b > 0.0); break;
+  }
+}
+
+bool PartitionWindow::contains(const Address& addr) const {
+  return std::find(island.begin(), island.end(), addr) != island.end();
+}
+
+void ScenarioPlan::validate() const {
+  latency.validate();
+  FORTRESS_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
+  FORTRESS_EXPECTS(duplicate_probability >= 0.0 &&
+                   duplicate_probability <= 1.0);
+  for (const PartitionWindow& w : partitions) {
+    FORTRESS_EXPECTS(w.end >= w.start);
+  }
+  for (const FaultEvent& f : faults) {
+    FORTRESS_EXPECTS(f.at >= 0.0);
+    FORTRESS_EXPECTS(f.index >= 0);
+  }
+  if (attack.enabled) {
+    FORTRESS_EXPECTS(attack.probes_per_step > 0.0);
+    FORTRESS_EXPECTS(attack.indirect_fraction >= 0.0);
+    FORTRESS_EXPECTS(attack.start_time >= 0.0);
+    FORTRESS_EXPECTS(attack.sybil_identities >= 1);
+  }
+  FORTRESS_EXPECTS(keyspace >= 2);
+  FORTRESS_EXPECTS(step_duration > 0.0);
+  FORTRESS_EXPECTS(n_servers >= 1);
+  FORTRESS_EXPECTS(n_proxies >= 1);
+  FORTRESS_EXPECTS(horizon_steps >= 1);
+}
+
+}  // namespace fortress::net

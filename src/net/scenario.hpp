@@ -1,0 +1,146 @@
+// scenario.hpp — declarative scenario plans for live-system experiments.
+//
+// A ScenarioPlan is a self-contained, copyable description of one live
+// experiment's environment: the network's latency distribution and loss
+// behaviour, scheduled partitions, scheduled process crashes, and the
+// attacker's probe schedule, plus the deployment knobs (keyspace,
+// obfuscation policy, horizon) the upper layers need to build a LiveSystem.
+//
+// Consumers by layer:
+//  * net::Network reads the network-behaviour fields (latency, drop,
+//    duplication, partitions) — see the Network(sim, plan, seed) ctor;
+//  * core::make_live_system reads the deployment fields;
+//  * scenario::Campaign reads the fault and attack schedules and fans
+//    (system class x plan x seed) grids over a thread pool.
+//
+// Plans are plain value types on purpose: a campaign copies one plan per
+// parallel task, so nothing here may hold references into a live system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::net {
+
+/// Network address of a host (the sole definition; network.hpp re-uses it).
+using Address = std::string;
+
+/// Latency distribution, sampled per delivery. A value type (no virtual
+/// dispatch) so plans can be copied freely across campaign workers.
+struct LatencySpec {
+  enum class Kind {
+    Fixed,        ///< always `a`
+    Uniform,      ///< uniform in [a, b]
+    Exponential,  ///< a + Exp(mean = b): a models the propagation floor
+  };
+
+  Kind kind = Kind::Uniform;
+  double a = 0.1;
+  double b = 0.5;
+
+  static LatencySpec fixed(double latency) {
+    return {Kind::Fixed, latency, 0.0};
+  }
+  static LatencySpec uniform(double lo, double hi) {
+    return {Kind::Uniform, lo, hi};
+  }
+  static LatencySpec exponential(double floor, double mean_extra) {
+    return {Kind::Exponential, floor, mean_extra};
+  }
+
+  sim::Time sample(Rng& rng) const;
+  void validate() const;
+};
+
+/// One scheduled partition: during [start, end) the hosts in `island` are
+/// cut off from every host outside it (messages in either direction are
+/// lost). Overlapping windows compose: a link is blocked if ANY active
+/// window separates its endpoints.
+struct PartitionWindow {
+  sim::Time start = 0.0;
+  sim::Time end = 0.0;
+  std::vector<Address> island;
+
+  bool active_at(sim::Time t) const { return t >= start && t < end; }
+  bool contains(const Address& addr) const;
+};
+
+/// One scheduled process crash: the target machine reboots (crash +
+/// restart with its current key) at time `at`. Addressed by deployment
+/// tier + index because concrete addresses are assigned by the LiveSystem.
+struct FaultEvent {
+  enum class Target { Server, Proxy };
+  Target target = Target::Server;
+  int index = 0;
+  sim::Time at = 0.0;
+};
+
+/// The de-randomization attacker's probe schedule (§4.2 rates).
+struct AttackSchedule {
+  bool enabled = true;
+  /// When false the attacker is wired to the indirect channel only — no
+  /// direct probes against the attack surface. Models the adversary a
+  /// detection study assumes: every packet it lands must traverse the
+  /// proxy tier, so the proxies see (and can blacklist) all of its traffic.
+  bool direct_enabled = true;
+  /// ω: probes per direct channel per unit step. The implied model strength
+  /// is α = ω / keyspace.
+  double probes_per_step = 16.0;
+  /// κ: the indirect channel runs at κ·ω crafted requests per step.
+  double indirect_fraction = 0.5;
+  /// Attack launch time (gives proxies time to dial the server tier).
+  sim::Time start_time = 5.0;
+  /// Source identities presented (Sybil evasion of per-source detection).
+  unsigned sybil_identities = 1;
+};
+
+/// A complete scenario: network behaviour + schedules + deployment knobs.
+struct ScenarioPlan {
+  std::string name = "baseline";
+
+  // --- network behaviour (consumed by net::Network) ---
+  LatencySpec latency = LatencySpec::uniform(0.1, 0.5);
+  /// Probability an individual datagram is dropped (connections stay
+  /// reliable outside partitions).
+  double drop_probability = 0.0;
+  /// Probability a datagram is delivered twice (independent latencies).
+  double duplicate_probability = 0.0;
+  std::vector<PartitionWindow> partitions;
+
+  // --- schedules (consumed by scenario::Campaign) ---
+  std::vector<FaultEvent> faults;
+  AttackSchedule attack;
+
+  // --- deployment knobs (consumed by core::make_live_system) ---
+  std::uint64_t keyspace = 1ull << 10;  ///< χ
+  sim::Time step_duration = 100.0;      ///< the unit time-step
+  bool rerandomize = true;  ///< fresh keys per step (PO) vs recovery (SO)
+  /// Server-tier size. S1/S2 deploy exactly this many; S0 (SMR) deploys
+  /// the smallest valid 3f+1 quorum >= max(4, n_servers).
+  int n_servers = 3;
+  int n_proxies = 3;  ///< S2 only
+  /// Proxy-tier detection (S2): blacklist sources whose suspicion score
+  /// reaches `detection_threshold` within `detection_window` time units
+  /// (0 threshold disables detection).
+  bool proxy_blacklist = false;
+  std::uint32_t detection_threshold = 0;
+  sim::Time detection_window = 500.0;
+  /// Campaign horizon: trials that survive this many whole unit steps are
+  /// censored.
+  std::uint64_t horizon_steps = 100;
+
+  /// The model-side attacker strength this plan implies: α = ω/χ (the §4
+  /// coupling used by the live-vs-analytic cross-checks).
+  double implied_alpha() const {
+    return attack.probes_per_step / static_cast<double>(keyspace);
+  }
+
+  void validate() const;
+};
+
+}  // namespace fortress::net

@@ -60,6 +60,8 @@ class ProxyNode final : public osl::Application {
   const ProxyStats& stats() const { return stats_; }
   const ProbeLog& probe_log() const { return log_; }
   bool blacklisted(const net::Address& source) const;
+  /// Number of distinct sources this proxy has blacklisted.
+  std::size_t blacklist_size() const { return blacklist_.size(); }
   const net::Address& address() const { return config_.address; }
 
   // osl::Application:

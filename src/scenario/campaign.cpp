@@ -1,0 +1,167 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+#include "core/live_system.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace fortress::scenario {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell,
+                         std::uint64_t trial) {
+  // Hash (base, cell, trial) through SplitMix64 so neighbouring cells and
+  // trials get statistically independent live-stack seeds.
+  SplitMix64 mix(base_seed ^ (cell * 0x9e3779b97f4a7c15ULL) ^ trial);
+  std::uint64_t s = mix.next();
+  return s != 0 ? s : 1;  // seed 0 is reserved-ish; keep streams nonzero
+}
+
+TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
+                       std::uint64_t seed) {
+  // No validate() here: make_live_system below validates (via
+  // NetworkConfig::from_plan), and campaigns already validate before
+  // fanning out — per-trial re-validation would be pure repeated work.
+  sim::Simulator sim;
+  std::unique_ptr<core::LiveSystem> live =
+      core::make_live_system(sim, system, plan, seed);
+  live->start();
+  live->on_failure = [&sim] { sim.request_stop(); };
+
+  const sim::Time horizon =
+      plan.step_duration * static_cast<sim::Time>(plan.horizon_steps);
+
+  for (const net::FaultEvent& fault : plan.faults) {
+    if (fault.at > horizon) continue;
+    core::LiveSystem* sys = live.get();
+    sim.schedule_at(fault.at, [sys, fault] {
+      // Resolved at fire time so reboots hit whatever machine then occupies
+      // the slot; plans may address tiers a class lacks (ignored).
+      osl::Machine* m = sys->fault_target(fault.target, fault.index);
+      if (m != nullptr && m->booted()) m->recover();
+    });
+  }
+
+  TrialOutcome out;
+  std::unique_ptr<attack::DerandAttacker> attacker;
+  if (plan.attack.enabled) {
+    // Give the deployment its dial-in window before the attack begins.
+    out.events_executed += sim.run_until(std::min(plan.attack.start_time, horizon));
+
+    attack::AttackerConfig acfg;
+    acfg.keyspace = plan.keyspace;
+    acfg.step_duration = plan.step_duration;
+    acfg.probes_per_step = plan.attack.probes_per_step;
+    acfg.indirect_probes_per_step =
+        plan.attack.indirect_fraction * plan.attack.probes_per_step;
+    acfg.sybil_identities = plan.attack.sybil_identities;
+    acfg.seed = seed ^ 0xA77AC4E2ULL;
+    attacker = std::make_unique<attack::DerandAttacker>(sim, live->network(),
+                                                        acfg);
+    if (plan.attack.direct_enabled) {
+      for (osl::Machine* target : live->direct_attack_surface()) {
+        attacker->add_direct_target(*target);
+      }
+    }
+    const std::vector<net::Address> hidden = live->hidden_server_addresses();
+    if (!hidden.empty()) {
+      for (osl::Machine* pad : live->launchpad_machines()) {
+        attacker->add_launchpad(*pad, hidden);
+      }
+      if (acfg.indirect_probes_per_step > 0.0) {
+        attacker->set_indirect_channel(live->directory().proxies);
+      }
+    }
+    if (!live->failed()) attacker->start();
+  }
+
+  // on_failure stops the run; don't re-enter (run_until re-arms the stop
+  // flag) once the outcome is decided.
+  if (!live->failed()) out.events_executed += sim.run_until(horizon);
+
+  out.compromised = live->failed();
+  out.lifetime_steps = live->failure_step().value_or(plan.horizon_steps);
+  out.lifetime_steps = std::min(out.lifetime_steps, plan.horizon_steps);
+  out.blacklisted_sources = live->blacklisted_sources();
+  if (attacker != nullptr) {
+    out.attacker = attacker->stats();
+    attacker->stop();
+  }
+  return out;
+}
+
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            const CampaignConfig& config) {
+  FORTRESS_EXPECTS(config.trials_per_cell >= 1);
+  for (const CampaignCell& cell : cells) cell.plan.validate();
+
+  const std::uint64_t per_cell = config.trials_per_cell;
+  const std::uint64_t total = cells.size() * per_cell;
+  std::vector<TrialOutcome> outcomes(total);
+
+  // One task per trial: lengths are heavy-tailed (a surviving trial runs
+  // the whole horizon), so the pool's atomic-ticket scheduling does the
+  // load balancing. Slots are disjoint; no synchronization needed.
+  exec::ThreadPool::shared().parallel_chunks(
+      total, 1, config.threads,
+      [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
+        (void)chunk;
+        for (std::uint64_t task = begin; task < end; ++task) {
+          const std::uint64_t cell_ix = task / per_cell;
+          const std::uint64_t trial_ix = task % per_cell;
+          const CampaignCell& cell = cells[cell_ix];
+          outcomes[task] =
+              run_trial(cell.system, cell.plan,
+                        trial_seed(config.base_seed, cell_ix, trial_ix));
+        }
+      });
+
+  // Serial reduction in task-index order: bit-identical for any thread
+  // count.
+  CampaignResult result;
+  result.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellStats stats;
+    stats.system = cells[c].system;
+    stats.plan_name = cells[c].plan.name;
+    for (std::uint64_t t = 0; t < per_cell; ++t) {
+      const TrialOutcome& o = outcomes[c * per_cell + t];
+      ++stats.trials;
+      if (o.compromised) {
+        ++stats.compromised;
+      } else {
+        ++stats.censored;
+      }
+      stats.lifetime.add(static_cast<double>(o.lifetime_steps));
+      stats.attacker.direct_probes += o.attacker.direct_probes;
+      stats.attacker.indirect_probes += o.attacker.indirect_probes;
+      stats.attacker.crashes_caused += o.attacker.crashes_caused;
+      stats.attacker.compromises += o.attacker.compromises;
+      stats.attacker.keys_learned += o.attacker.keys_learned;
+      stats.events_executed += o.events_executed;
+      stats.blacklisted_sources += o.blacklisted_sources;
+    }
+    if (stats.lifetime.count() > 1) {
+      stats.lifetime_ci = normal_ci(stats.lifetime, config.ci_level);
+    }
+    result.total_trials += stats.trials;
+    result.total_events += stats.events_executed;
+    result.cells.push_back(std::move(stats));
+  }
+  return result;
+}
+
+std::vector<CampaignCell> cross(const std::vector<model::SystemKind>& systems,
+                                const std::vector<net::ScenarioPlan>& plans) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(systems.size() * plans.size());
+  for (model::SystemKind system : systems) {
+    for (const net::ScenarioPlan& plan : plans) {
+      cells.push_back(CampaignCell{system, plan});
+    }
+  }
+  return cells;
+}
+
+}  // namespace fortress::scenario

@@ -1,0 +1,112 @@
+// campaign.hpp — the scenario campaign runner: live-system experiments at
+// Monte-Carlo scale.
+//
+// A campaign evaluates a grid of cells, each cell being (system class x
+// ScenarioPlan), with `trials_per_cell` independent live trials per cell.
+// Every trial is a fully isolated experiment — its own sim::Simulator,
+// net::Network, core::LiveSystem and attack::DerandAttacker, seeded
+// deterministically from (base_seed, cell index, trial index) — so trials
+// parallelize embarrassingly over exec::ThreadPool.
+//
+// Determinism contract: per-trial outcomes depend only on the trial's
+// derived seed, results land in a slot indexed by the flattened (cell,
+// trial) task index, and the reduction runs serially in index order after
+// the pool drains. Campaign output is therefore BIT-identical for any
+// thread count (tested), which makes campaign statistics usable as
+// regression oracles.
+//
+// The runner drives every system class through the class-generic topology
+// hooks on core::LiveSystem (direct_attack_surface / launchpad_machines /
+// hidden_server_addresses / fault_target), so one ScenarioPlan can be
+// swept across S0, S1 and S2 unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/derand_attacker.hpp"
+#include "common/stats.hpp"
+#include "model/params.hpp"
+#include "net/scenario.hpp"
+
+namespace fortress::scenario {
+
+/// Outcome of one live trial.
+struct TrialOutcome {
+  bool compromised = false;
+  /// Whole unit steps survived: the failure step, or the plan's horizon for
+  /// trials that were censored (never compromised).
+  std::uint64_t lifetime_steps = 0;
+  attack::AttackerStats attacker;
+  std::uint64_t events_executed = 0;
+  /// Distinct (source, proxy) blacklistings at trial end — evidence the
+  /// detection tier fired (0 for classes without one).
+  std::uint64_t blacklisted_sources = 0;
+};
+
+/// Run one live experiment: build the deployment `plan` describes for
+/// `system`, schedule the plan's faults, wire the plan's attacker to the
+/// system's attack surface, and simulate until compromise or the plan
+/// horizon. Deterministic in (system, plan, seed).
+TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
+                       std::uint64_t seed);
+
+/// One campaign cell: a system class under a scenario.
+struct CampaignCell {
+  model::SystemKind system = model::SystemKind::S2;
+  net::ScenarioPlan plan;
+};
+
+struct CampaignConfig {
+  std::uint64_t trials_per_cell = 32;
+  /// Worker cap handed to exec::ThreadPool (0 = all hardware threads).
+  /// Any value produces bit-identical results.
+  unsigned threads = 0;
+  std::uint64_t base_seed = 1;
+  /// Confidence level for the per-cell lifetime interval.
+  double ci_level = 0.95;
+};
+
+/// Aggregated statistics for one cell, reduced in trial-index order.
+struct CellStats {
+  model::SystemKind system = model::SystemKind::S2;
+  std::string plan_name;
+  std::uint64_t trials = 0;
+  std::uint64_t compromised = 0;
+  std::uint64_t censored = 0;
+  /// Lifetime in whole unit steps; censored trials contribute the horizon,
+  /// so with censoring the mean is a lower bound on the true EL.
+  RunningStats lifetime;
+  /// Normal-approximation CI for the mean lifetime (undefined width when
+  /// trials < 2).
+  ConfidenceInterval lifetime_ci;
+  attack::AttackerStats attacker;  ///< summed over the cell's trials
+  std::uint64_t events_executed = 0;
+  std::uint64_t blacklisted_sources = 0;  ///< summed over the cell's trials
+
+  double mean_lifetime() const {
+    return lifetime.count() > 0 ? lifetime.mean() : 0.0;
+  }
+};
+
+struct CampaignResult {
+  std::vector<CellStats> cells;  ///< one per input cell, same order
+  std::uint64_t total_trials = 0;
+  std::uint64_t total_events = 0;
+};
+
+/// Run every cell's trials fanned out over the shared thread pool.
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            const CampaignConfig& config);
+
+/// Grid helper: the cross product (systems x plans), systems-major.
+std::vector<CampaignCell> cross(const std::vector<model::SystemKind>& systems,
+                                const std::vector<net::ScenarioPlan>& plans);
+
+/// The seed a campaign derives for trial `trial` of cell `cell` (exposed so
+/// tests can reproduce an individual campaign trial with run_trial).
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell,
+                         std::uint64_t trial);
+
+}  // namespace fortress::scenario

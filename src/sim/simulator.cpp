@@ -1,43 +1,75 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace fortress::sim {
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
-  FORTRESS_EXPECTS(at >= now_);
-  FORTRESS_EXPECTS(fn != nullptr);
-  EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+std::uint32_t Simulator::alloc_node() {
+  if (free_head_ != kNil) {
+    std::uint32_t slot = free_head_;
+    free_head_ = nodes_[slot].next_free;
+    return slot;
+  }
+  FORTRESS_CHECK(nodes_.size() < kNil);
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
-EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+void Simulator::free_node(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.fn.reset();
+  if (++n.gen == 0) n.gen = 1;  // keep ids nonzero (0 is the null EventId)
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId Simulator::schedule_at(Time at, EventFn fn) {
+  FORTRESS_EXPECTS(at >= now_);
+  FORTRESS_EXPECTS(static_cast<bool>(fn));
+  std::uint32_t slot = alloc_node();
+  Node& n = nodes_[slot];
+  n.fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, n.gen});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  return make_id(slot, n.gen);
+}
+
+EventId Simulator::schedule_after(Time delay, EventFn fn) {
   FORTRESS_EXPECTS(delay >= 0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  ++cancelled_count_;
+  std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  std::uint32_t gen = static_cast<std::uint32_t>(id);
+  if (slot >= nodes_.size()) return false;
+  if (nodes_[slot].gen != gen) return false;  // already ran or cancelled
+  free_node(slot);
+  ++cancelled_count_;  // its heap entry is now a tombstone
   return true;
 }
 
+void Simulator::drop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+  heap_.pop_back();
+}
+
 bool Simulator::pop_and_run() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    auto it = handlers_.find(e.id);
-    if (it == handlers_.end()) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    drop_top();
+    if (entry_stale(top)) {
       // Cancelled tombstone.
       FORTRESS_CHECK(cancelled_count_ > 0);
       --cancelled_count_;
       continue;
     }
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = e.at;
+    // Move the handler out and release the slot BEFORE invoking, so the
+    // handler can freely schedule (reusing this slot) or cancel, and so
+    // cancel(own id) during execution reports false.
+    EventFn fn = std::move(nodes_[top.slot].fn);
+    free_node(top.slot);
+    now_ = top.at;
     fn();
     return true;
   }
@@ -47,14 +79,14 @@ bool Simulator::pop_and_run() {
 std::uint64_t Simulator::run_until(Time until) {
   std::uint64_t executed = 0;
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
+  while (!heap_.empty() && !stop_requested_) {
     // Skip tombstones to look at the real next event time.
-    while (!queue_.empty() && !handlers_.contains(queue_.top().id)) {
-      queue_.pop();
+    while (!heap_.empty() && entry_stale(heap_.front())) {
+      drop_top();
       --cancelled_count_;
     }
-    if (queue_.empty()) break;
-    if (queue_.top().at > until) break;
+    if (heap_.empty()) break;
+    if (heap_.front().at > until) break;
     if (pop_and_run()) ++executed;
   }
   if (now_ < until && !stop_requested_) now_ = until;
@@ -69,8 +101,6 @@ std::uint64_t Simulator::run() {
 }
 
 bool Simulator::step() { return pop_and_run(); }
-
-bool Simulator::idle() const { return handlers_.empty(); }
 
 void PeriodicTimer::arm(Time delay) {
   pending_ = sim_.schedule_after(delay, [this] {

@@ -7,12 +7,26 @@
 // these units. Determinism: events at equal times fire in insertion order
 // (FIFO tie-break by sequence number), and all randomness is injected via
 // fortress::Rng.
+//
+// Hot-path design (scenario campaigns schedule hundreds of millions of
+// events): the simulator is allocation-free in steady state.
+//  * Handlers are stored in EventFn, a move-only callable with a large
+//    small-buffer optimization — every callback in the live stack (network
+//    deliveries capturing a full Envelope included) fits inline, so no
+//    per-event heap allocation happens at all.
+//  * Event nodes live in a slab recycled through a free list; EventId
+//    encodes (slot, generation), making cancel() an O(1) indexed check with
+//    no hashing and immune to slot-reuse ABA.
+//  * The time-ordered queue is a binary heap of 24-byte entries; cancelled
+//    events leave tombstones that are skipped (and accounted) on pop.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -22,8 +36,105 @@ namespace fortress::sim {
 /// Virtual simulation time, in abstract units.
 using Time = double;
 
-/// Handle used to cancel a scheduled event.
+/// Handle used to cancel a scheduled event. Encodes (slab slot, generation);
+/// never 0, so 0 can serve as a "no event" sentinel.
 using EventId = std::uint64_t;
+
+/// Move-only type-erased callback with a small-buffer optimization sized so
+/// that every callback the live stack schedules — including network
+/// deliveries that capture a whole Envelope by value — stays inline.
+/// Callables larger than the buffer (or with throwing moves) fall back to a
+/// single heap allocation, preserving correctness for arbitrary captures.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 120;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT: implicit like std::function
+
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, EventFn> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  EventFn(F&& f) {  // NOLINT: implicit like std::function
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Destroy the held callable (if any); leaves the EventFn empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move the representation from src storage into dst storage and leave
+    /// src destroyed (inline: relocate the object; heap: steal the pointer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+          *static_cast<void**>(dst) = *static_cast<void**>(src);
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); }};
+    return &ops;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
 
 /// The event-driven simulator. Single-threaded by construction: handlers run
 /// to completion and may schedule further events.
@@ -38,10 +149,10 @@ class Simulator {
 
   /// Schedule `fn` to run at absolute time `at` (>= now()).
   /// Returns an id usable with cancel().
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, EventFn fn);
 
   /// Schedule `fn` after `delay` (>= 0) from now.
-  EventId schedule_after(Time delay, std::function<void()> fn);
+  EventId schedule_after(Time delay, EventFn fn);
 
   /// Cancel a pending event; returns false if it already ran or was
   /// cancelled.
@@ -58,37 +169,62 @@ class Simulator {
   bool step();
 
   /// True when nothing is pending.
-  bool idle() const;
+  bool idle() const { return pending() == 0; }
 
-  /// Number of scheduled-but-not-yet-executed events (including cancelled
-  /// tombstones not yet popped).
-  std::size_t pending() const { return queue_.size() - cancelled_count_; }
+  /// Number of scheduled-but-not-yet-executed events (excluding cancelled
+  /// tombstones awaiting pop).
+  std::size_t pending() const { return heap_.size() - cancelled_count_; }
 
   /// Request that run()/run_until() return after the current handler.
   void request_stop() { stop_requested_ = true; }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// A slab slot. While scheduled it owns the callback; while free it links
+  /// into the free list. `gen` is bumped every time the slot is released, so
+  /// stale EventIds (and heap tombstones) are recognized by mismatch.
+  struct Node {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNil;
+  };
+
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
 
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+  /// Comparator for std::push_heap/pop_heap: "fires strictly later" yields a
+  /// min-heap on (time, insertion sequence).
+  struct FiresLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  bool entry_stale(const HeapEntry& e) const {
+    return nodes_[e.slot].gen != e.gen;
+  }
+
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t slot);
+  void drop_top();
   bool pop_and_run();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   bool stop_requested_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Handlers and cancellation flags keyed by EventId. Entries are erased
-  // when popped.
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<HeapEntry> heap_;
   std::size_t cancelled_count_ = 0;
 };
 

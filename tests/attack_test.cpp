@@ -19,8 +19,7 @@ core::LiveConfig live_config(osl::ObfuscationPolicy policy,
   cfg.keyspace = chi;  // tiny keyspace so attacks land within test budget
   cfg.policy = policy;
   cfg.step_duration = 100.0;
-  cfg.latency_lo = 0.05;
-  cfg.latency_hi = 0.1;
+  cfg.latency = net::LatencySpec::uniform(0.05, 0.1);
   cfg.seed = 7;
   return cfg;
 }

@@ -1,0 +1,75 @@
+#include "common/alias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fortress {
+namespace {
+
+TEST(AliasTableTest, SingleOutcomeAlwaysSampled) {
+  AliasTable table(std::vector<double>{3.5});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.sample(rng), 0u);
+  }
+  EXPECT_DOUBLE_EQ(table.outcome_probability(0), 1.0);
+}
+
+TEST(AliasTableTest, OutcomeProbabilitiesMatchNormalizedWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 0.0, 5.0, 0.5};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  AliasTable table(weights);
+  ASSERT_EQ(table.size(), weights.size());
+  for (std::uint32_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(table.outcome_probability(i), weights[i] / total, 1e-12)
+        << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightOutcomeNeverSampled) {
+  AliasTable table(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table.sample(rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesConvergeToWeights) {
+  // A deliberately skewed distribution, like the truncated-binomial
+  // event-count pmf the Monte-Carlo probe kernel feeds through this table.
+  const std::vector<double> weights = {0.70, 0.20, 0.06, 0.03, 0.01};
+  AliasTable table(weights);
+  Rng rng(42);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double freq = static_cast<double>(counts[i]) / n;
+    // 5-sigma binomial tolerance.
+    const double sigma = std::sqrt(weights[i] * (1 - weights[i]) / n);
+    EXPECT_NEAR(freq, weights[i], 5 * sigma + 1e-9) << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, SamplingIsDeterministicInSeed) {
+  AliasTable table(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  Rng r1(123), r2(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.sample(r1), table.sample(r2));
+  }
+}
+
+TEST(AliasTableTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -0.5}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fortress

@@ -20,8 +20,7 @@ LiveConfig test_config(osl::ObfuscationPolicy policy) {
   cfg.keyspace = 1 << 10;
   cfg.policy = policy;
   cfg.step_duration = 200.0;
-  cfg.latency_lo = 0.1;
-  cfg.latency_hi = 0.3;
+  cfg.latency = net::LatencySpec::uniform(0.1, 0.3);
   cfg.seed = 42;
   return cfg;
 }

@@ -114,6 +114,26 @@ TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
   }
 }
 
+TEST(ThreadPoolTest, NestedParallelChunksRunsInlineInsteadOfDeadlocking) {
+  // A chunk function that re-enters the pool must degrade to the inline
+  // path (the pool runs one job at a time; a nested job would deadlock).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_seen(64);
+  std::atomic<int> outer_chunks{0};
+  pool.parallel_chunks(8, 1, 0, [&](std::uint64_t outer, std::uint64_t,
+                                    std::uint64_t) {
+    outer_chunks.fetch_add(1, std::memory_order_relaxed);
+    pool.parallel_chunks(8, 2, 0, [&](std::uint64_t, std::uint64_t begin,
+                                      std::uint64_t end) {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        inner_seen[outer * 8 + i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  });
+  EXPECT_EQ(outer_chunks.load(), 8);
+  for (const auto& s : inner_seen) EXPECT_EQ(s.load(), 1);
+}
+
 TEST(ThreadPoolTest, SharedPoolSupportsEightWayRequests) {
   // estimate_lifetime's thread-count-invariance tests pin 8 threads; the
   // shared pool must accept that parallelism on any machine.

@@ -211,6 +211,152 @@ TEST(NetworkDropTest, ConnectionsAreReliableDespiteDrops) {
   EXPECT_EQ(b.messages.size(), 1u);
 }
 
+TEST_F(NetworkTest, DetachLocalDetachReasonReachesPeer) {
+  // The reboot/teardown path (osl::Machine) detaches with an explicit
+  // reason; the surviving peer must see exactly that reason so it can
+  // distinguish an orderly restart from a crash side channel.
+  auto conn = net_.connect("a", "b");
+  sim_.run();
+  ASSERT_TRUE(conn.has_value());
+  net_.detach("b", CloseReason::LocalDetach);
+  sim_.run();
+  ASSERT_EQ(a_.closed.size(), 1u);
+  EXPECT_EQ(a_.closed[0].reason, CloseReason::LocalDetach);
+  EXPECT_EQ(a_.closed[0].peer, "b");
+  // The detached endpoint itself is never called back: it is gone.
+  EXPECT_TRUE(b_.closed.empty());
+}
+
+TEST_F(NetworkTest, DetachDefaultReasonIsPeerClosed) {
+  auto conn = net_.connect("a", "b");
+  sim_.run();
+  ASSERT_TRUE(conn.has_value());
+  net_.detach("b");
+  sim_.run();
+  ASSERT_EQ(a_.closed.size(), 1u);
+  EXPECT_EQ(a_.closed[0].reason, CloseReason::PeerClosed);
+}
+
+TEST(NetworkDupTest, DuplicateProbabilityOneDeliversDatagramTwice) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  net.send("a", "b", Bytes{7});
+  sim.run();
+  ASSERT_EQ(b.messages.size(), 2u);
+  EXPECT_EQ(b.messages[0].payload, (Bytes{7}));
+  EXPECT_EQ(b.messages[1].payload, (Bytes{7}));
+}
+
+TEST(NetworkDupTest, ConnectionsNeverDuplicate) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;  // duplication applies to datagrams only
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  auto conn = net.connect("a", "b");
+  sim.run();
+  ASSERT_TRUE(conn.has_value());
+  net.send_on(*conn, "a", Bytes{1});
+  sim.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(NetworkPartitionTest, ActiveWindowBlocksBothDirections) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.partitions.push_back(PartitionWindow{0.0, 10.0, {"a"}});
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b, c;
+  net.attach("a", a);
+  net.attach("b", b);
+  net.attach("c", c);
+  net.send("a", "b", Bytes{1});  // crosses the island boundary: lost
+  net.send("b", "a", Bytes{2});  // lost
+  net.send("b", "c", Bytes{3});  // both outside the island: delivered
+  sim.run();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(c.messages.size(), 1u);
+}
+
+TEST(NetworkPartitionTest, TrafficFlowsAfterWindowEnds) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.partitions.push_back(PartitionWindow{0.0, 10.0, {"a"}});
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  // Partition loss is evaluated at SEND time, so heal the window first.
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  net.send("a", "b", Bytes{1});
+  sim.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(NetworkPartitionTest, ConnectionMessageSentDuringWindowIsLost) {
+  // Connections are exempt from datagram drops but NOT from partitions: a
+  // send_on during an active window is lost at send time (send_on still
+  // returns true — the connection itself survives the window).
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.partitions.push_back(PartitionWindow{5.0, 10.0, {"a"}});
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  auto conn = net.connect("a", "b");  // established before the window
+  sim.run();
+  ASSERT_TRUE(conn.has_value());
+  sim.schedule_at(6.0, [] {});
+  sim.run();
+  EXPECT_TRUE(net.send_on(*conn, "a", Bytes{1}));  // inside the window: lost
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_TRUE(net.send_on(*conn, "a", Bytes{2}));  // window over: delivered
+  sim.run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].payload, (Bytes{2}));
+}
+
+TEST(NetworkPartitionTest, ConnectRefusedAcrossActivePartition) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.partitions.push_back(PartitionWindow{0.0, 10.0, {"a"}});
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  EXPECT_FALSE(net.connect("a", "b").has_value());
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_TRUE(net.connect("a", "b").has_value());
+}
+
+TEST(NetworkScenarioTest, PlanConstructedNetworkHonorsLatencySpec) {
+  sim::Simulator sim;
+  ScenarioPlan plan;
+  plan.latency = LatencySpec::uniform(2.0, 4.0);
+  Network net(sim, plan, /*rng_seed=*/5);
+  RecordingHandler a, b;
+  net.attach("a", a);
+  net.attach("b", b);
+  for (int i = 0; i < 20; ++i) net.send("a", "b", Bytes{1});
+  sim.run_until(1.99);
+  EXPECT_TRUE(b.messages.empty());
+  sim.run_until(4.01);
+  EXPECT_EQ(b.messages.size(), 20u);
+}
+
 TEST(NetworkLatencyTest, UniformLatencyWithinBounds) {
   sim::Simulator sim;
   Network net(sim, std::make_unique<UniformLatency>(2.0, 4.0));

@@ -1,0 +1,229 @@
+// Tests for the scenario campaign runner: determinism, thread-count
+// invariance of aggregated statistics, fault schedule behaviour, and the
+// live-vs-analytic cross-validation the campaign machinery exists for.
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/markov.hpp"
+#include "core/live_system.hpp"
+#include "replication/service.hpp"
+
+namespace fortress::scenario {
+namespace {
+
+net::ScenarioPlan fast_plan(std::uint64_t chi, double omega, double kappa,
+                            std::uint64_t horizon) {
+  net::ScenarioPlan plan;
+  plan.keyspace = chi;
+  plan.attack.probes_per_step = omega;
+  plan.attack.indirect_fraction = kappa;
+  plan.horizon_steps = horizon;
+  plan.proxy_blacklist = false;
+  plan.latency = net::LatencySpec::uniform(0.01, 0.02);
+  return plan;
+}
+
+TEST(RunTrialTest, DeterministicInSeed) {
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 60);
+  TrialOutcome a = run_trial(model::SystemKind::S2, plan, 99);
+  TrialOutcome b = run_trial(model::SystemKind::S2, plan, 99);
+  EXPECT_EQ(a.compromised, b.compromised);
+  EXPECT_EQ(a.lifetime_steps, b.lifetime_steps);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.attacker.direct_probes, b.attacker.direct_probes);
+  EXPECT_EQ(a.attacker.indirect_probes, b.attacker.indirect_probes);
+  EXPECT_EQ(a.attacker.compromises, b.attacker.compromises);
+}
+
+TEST(RunTrialTest, SurvivesWithoutAttack) {
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
+  plan.attack.enabled = false;
+  TrialOutcome out = run_trial(model::SystemKind::S1, plan, 3);
+  EXPECT_FALSE(out.compromised);
+  EXPECT_EQ(out.lifetime_steps, plan.horizon_steps);
+  EXPECT_EQ(out.attacker.direct_probes, 0u);
+  EXPECT_GT(out.events_executed, 0u);
+}
+
+TEST(RunTrialTest, FaultsOnMissingTiersAreIgnored) {
+  // S1 has no proxy tier, and index 99 is out of range everywhere; the plan
+  // must still run cleanly on every class.
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
+  plan.faults.push_back({net::FaultEvent::Target::Proxy, 0, 150.0});
+  plan.faults.push_back({net::FaultEvent::Target::Server, 99, 250.0});
+  plan.faults.push_back({net::FaultEvent::Target::Server, 0, 350.0});
+  for (model::SystemKind kind :
+       {model::SystemKind::S0, model::SystemKind::S1, model::SystemKind::S2}) {
+    TrialOutcome out = run_trial(kind, plan, 5);
+    EXPECT_LE(out.lifetime_steps, plan.horizon_steps);
+  }
+}
+
+TEST(RunTrialTest, ServerFaultRebootKeepsKey) {
+  // A FaultEvent models crash + restart with the current key (proactive
+  // recovery, not re-randomization).
+  sim::Simulator sim;
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
+  plan.attack.enabled = false;
+  auto live = core::make_live_system(sim, model::SystemKind::S1, plan, 11);
+  live->start();
+  sim.run_until(50.0);
+  osl::Machine* target = live->fault_target(net::FaultEvent::Target::Server, 0);
+  ASSERT_NE(target, nullptr);
+  const osl::RandKey key_before = target->key();
+  target->recover();
+  EXPECT_EQ(target->key(), key_before);
+  EXPECT_EQ(live->fault_target(net::FaultEvent::Target::Server, 99), nullptr);
+  EXPECT_EQ(live->fault_target(net::FaultEvent::Target::Proxy, 0), nullptr);
+}
+
+TEST(RunTrialTest, IndirectOnlyAttackerSendsNoDirectProbes) {
+  // direct_enabled = false models the detection-study adversary: all of its
+  // traffic must traverse the proxy tier.
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 1.0, 20);
+  plan.attack.direct_enabled = false;
+  TrialOutcome out = run_trial(model::SystemKind::S2, plan, 17);
+  EXPECT_EQ(out.attacker.direct_probes, 0u);
+  EXPECT_GT(out.attacker.indirect_probes, 0u);
+}
+
+TEST(RunTrialTest, DetectionBlacklistsIndirectOnlyAttacker) {
+  // With proxy detection on, the indirect-only attacker's identities must
+  // end up blacklisted — the observable evidence detection fired.
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 1.0, 20);
+  plan.attack.direct_enabled = false;
+  plan.proxy_blacklist = true;
+  plan.detection_threshold = 5;
+  TrialOutcome out = run_trial(model::SystemKind::S2, plan, 17);
+  EXPECT_GT(out.blacklisted_sources, 0u);
+  // S1 has no detection tier: the hook reports zero.
+  plan.name = "s1-no-detection";
+  TrialOutcome s1 = run_trial(model::SystemKind::S1, plan, 17);
+  EXPECT_EQ(s1.blacklisted_sources, 0u);
+}
+
+TEST(CampaignTest, TopologyHooksPerClass) {
+  sim::Simulator sim;
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
+  plan.n_servers = 3;
+  plan.n_proxies = 4;
+
+  auto s1 = core::make_live_system(sim, model::SystemKind::S1, plan, 1);
+  // One shared key across the S1 tier => exactly one direct channel
+  // (Definition 2); the primary stands in for the tier.
+  EXPECT_EQ(s1->direct_attack_surface().size(), 1u);
+  EXPECT_TRUE(s1->launchpad_machines().empty());
+  EXPECT_TRUE(s1->hidden_server_addresses().empty());
+
+  sim::Simulator sim2;
+  auto s2 = core::make_live_system(sim2, model::SystemKind::S2, plan, 1);
+  EXPECT_EQ(s2->direct_attack_surface().size(), 4u);  // proxies, not servers
+  EXPECT_EQ(s2->launchpad_machines().size(), 4u);
+  EXPECT_EQ(s2->hidden_server_addresses().size(), 3u);
+  EXPECT_NE(s2->fault_target(net::FaultEvent::Target::Proxy, 3), nullptr);
+
+  sim::Simulator sim3;
+  auto s0 = core::make_live_system(sim3, model::SystemKind::S0, plan, 1);
+  EXPECT_EQ(s0->direct_attack_surface().size(), 4u);  // 3f+1 with f=1
+}
+
+TEST(CampaignTest, AggregatesBitIdenticalForAnyThreadCount) {
+  std::vector<net::ScenarioPlan> plans = {fast_plan(64, 8.0, 0.5, 40),
+                                          fast_plan(128, 8.0, 0.25, 40)};
+  plans[1].name = "quarter-kappa";
+  std::vector<CampaignCell> cells =
+      cross({model::SystemKind::S1, model::SystemKind::S2}, plans);
+
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 5;
+  cfg.base_seed = 31337;
+
+  cfg.threads = 1;
+  CampaignResult serial = run_campaign(cells, cfg);
+  for (unsigned threads : {3u, 8u}) {
+    cfg.threads = threads;
+    CampaignResult parallel = run_campaign(cells, cfg);
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+    EXPECT_EQ(parallel.total_trials, serial.total_trials);
+    EXPECT_EQ(parallel.total_events, serial.total_events);
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+      const CellStats& a = serial.cells[i];
+      const CellStats& b = parallel.cells[i];
+      EXPECT_EQ(a.plan_name, b.plan_name);
+      EXPECT_EQ(a.compromised, b.compromised);
+      EXPECT_EQ(a.censored, b.censored);
+      EXPECT_EQ(a.events_executed, b.events_executed);
+      EXPECT_EQ(a.attacker.direct_probes, b.attacker.direct_probes);
+      EXPECT_EQ(a.attacker.crashes_caused, b.attacker.crashes_caused);
+      EXPECT_EQ(a.attacker.keys_learned, b.attacker.keys_learned);
+      // Bit-identical, not just close:
+      EXPECT_EQ(a.lifetime.mean(), b.lifetime.mean());
+      EXPECT_EQ(a.lifetime.variance(), b.lifetime.variance());
+      EXPECT_EQ(a.lifetime_ci.lo, b.lifetime_ci.lo);
+      EXPECT_EQ(a.lifetime_ci.hi, b.lifetime_ci.hi);
+    }
+  }
+}
+
+TEST(CampaignTest, CrossIsSystemsMajor) {
+  std::vector<net::ScenarioPlan> plans(2);
+  plans[0].name = "a";
+  plans[1].name = "b";
+  auto cells = cross({model::SystemKind::S0, model::SystemKind::S2}, plans);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].system, model::SystemKind::S0);
+  EXPECT_EQ(cells[0].plan.name, "a");
+  EXPECT_EQ(cells[1].plan.name, "b");
+  EXPECT_EQ(cells[2].system, model::SystemKind::S2);
+}
+
+// The acceptance cross-check: campaign-measured S2 mean lifetimes agree
+// with the absorbing-Markov prediction, for three distinct ScenarioPlans.
+// The live stack implements mechanisms (sequential probes, connection
+// side channels, launch pads), not the abstract per-step model, so exact
+// agreement is not expected; tolerance is 25% of the prediction plus the
+// campaign's own 99% confidence half-width (cf. bench_crossvalidate's 35%
+// band for live-vs-model S1).
+TEST(CampaignTest, S2LifetimeMatchesMarkovAcrossPlans) {
+  struct Case {
+    std::uint64_t chi;
+    double omega;
+    double kappa;
+    std::uint64_t horizon;
+  };
+  const Case cases[] = {
+      {128, 8.0, 0.5, 600}, {256, 8.0, 0.5, 900}, {128, 8.0, 0.25, 900}};
+
+  std::vector<CampaignCell> cells;
+  for (const Case& c : cases) {
+    cells.push_back(
+        {model::SystemKind::S2, fast_plan(c.chi, c.omega, c.kappa, c.horizon)});
+  }
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 120;
+  cfg.base_seed = 2026;
+  cfg.ci_level = 0.99;
+  CampaignResult result = run_campaign(cells, cfg);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStats& cell = result.cells[i];
+    model::AttackParams params;
+    params.chi = cases[i].chi;
+    params.alpha = cells[i].plan.implied_alpha();
+    params.kappa = cases[i].kappa;
+    const double predicted =
+        analysis::expected_lifetime_markov(model::SystemShape::s2(3), params);
+    const double live = cell.mean_lifetime();
+    const double half_width = (cell.lifetime_ci.hi - cell.lifetime_ci.lo) / 2;
+    EXPECT_EQ(cell.censored, 0u)
+        << "horizon too short for chi=" << cases[i].chi;
+    EXPECT_NEAR(live, predicted, 0.25 * predicted + half_width)
+        << "plan " << i << ": live=" << live << " markov=" << predicted;
+  }
+}
+
+}  // namespace
+}  // namespace fortress::scenario

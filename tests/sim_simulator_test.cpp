@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <vector>
 
 #include "common/check.hpp"
@@ -132,6 +134,98 @@ TEST(SimulatorTest, HandlersCanScheduleRecursively) {
   sim.run();
   EXPECT_EQ(depth, 50);
   EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+TEST(SimulatorTest, CancelledIdNotConfusedWithSlotReuse) {
+  // The slab recycles event slots; a stale EventId whose slot was reused
+  // must neither cancel the new occupant nor report success (generation
+  // check, ABA guard).
+  Simulator sim;
+  bool first_ran = false;
+  bool second_ran = false;
+  EventId first = sim.schedule_at(1.0, [&] { first_ran = true; });
+  EXPECT_TRUE(sim.cancel(first));
+  // This reuses the freed slot.
+  EventId second = sim.schedule_at(2.0, [&] { second_ran = true; });
+  EXPECT_FALSE(sim.cancel(first));  // stale id: must not touch the new event
+  sim.run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+  EXPECT_FALSE(sim.cancel(second));
+}
+
+TEST(SimulatorTest, CancelFromWithinHandler) {
+  Simulator sim;
+  bool victim_ran = false;
+  EventId victim = sim.schedule_at(2.0, [&] { victim_ran = true; });
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(SimulatorTest, CancelledEventsNeverFireAcrossRunModes) {
+  // Cancelled events must not fire whether drained by run(), run_until() or
+  // step(), including tombstones popped long after cancellation.
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.schedule_at(1.0 + i, [&] { ++fired; }));
+  }
+  for (int i = 0; i < 20; i += 2) EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(sim.pending(), 10u);
+  sim.run_until(6.0);   // fires 1.0..6.0 odd-indexed events
+  while (sim.step()) {  // drain the rest one by one
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, PendingExcludesCancelledTombstones) {
+  Simulator sim;
+  EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, LargeCaptureFallsBackToHeapCorrectly) {
+  // Captures larger than EventFn's inline buffer take the heap path; the
+  // callable must still move, fire once, and destruct exactly once.
+  Simulator sim;
+  std::vector<int> big(1000, 7);
+  std::array<char, 200> pad{};  // bigger than any inline buffer
+  long sum = 0;
+  sim.schedule_at(1.0, [big, pad, &sum] {
+    sum += big[999] + pad[0];
+  });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(SimulatorTest, HighChurnReusesSlotsDeterministically) {
+  // Interleaved schedule/cancel/run churn across many slots: order and
+  // counts must stay exact while the free list recycles aggressively.
+  Simulator sim;
+  std::vector<double> fired;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    double base = sim.now();
+    for (int i = 0; i < 8; ++i) {
+      double at = base + 1.0 + i;
+      ids.push_back(sim.schedule_at(at, [&fired, &sim] { fired.push_back(sim.now()); }));
+    }
+    for (int i = 1; i < 8; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run_until(base + 10.0);
+  }
+  EXPECT_EQ(fired.size(), 50u * 4u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_TRUE(sim.idle());
 }
 
 TEST(PeriodicTimerTest, FiresEveryPeriod) {

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff a fresh benchmark JSON against a committed baseline.
+
+Usage:
+    bench_diff.py BASELINE FRESH [--threshold 0.15]
+
+Exit status is non-zero when any benchmark present in both files regressed
+by more than THRESHOLD (fractional slowdown in ns/op), or when a baseline
+benchmark is missing from the fresh run (renames must update the baseline).
+
+Two schemas are accepted, so the same tool gates both result files:
+  * BenchRecorder (bench_util.hpp):  [{"name", "ns_per_op", "items_per_sec"}]
+  * google-benchmark --benchmark_out: {"benchmarks": [{"name", "real_time",
+    "time_unit", ...}]}  (aggregate entries like _mean/_stddev are skipped)
+"""
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_ns_per_op(path):
+    """Return {benchmark name: ns/op} from either supported schema."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            scale = _TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+            out[b["name"]] = float(b["real_time"]) * scale
+    elif isinstance(data, list):  # BenchRecorder
+        for b in data:
+            out[b["name"]] = float(b["ns_per_op"])
+    else:
+        raise ValueError(f"{path}: unrecognized benchmark JSON schema")
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="maximum tolerated fractional slowdown "
+                         "(default 0.15 = 15%%)")
+    args = ap.parse_args(argv)
+
+    base = load_ns_per_op(args.baseline)
+    fresh = load_ns_per_op(args.fresh)
+
+    regressions, missing = [], []
+    print(f"{'benchmark':<40} {'baseline':>14} {'fresh':>14} {'delta':>9}")
+    print("-" * 80)
+    for name in sorted(base):
+        if name not in fresh:
+            missing.append(name)
+            print(f"{name:<40} {base[name]:>12.1f}ns {'MISSING':>14}")
+            continue
+        delta = fresh[name] / base[name] - 1.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append(name)
+            flag = "  <-- REGRESSION"
+        print(f"{name:<40} {base[name]:>12.1f}ns {fresh[name]:>12.1f}ns "
+              f"{delta:>+8.1%}{flag}")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<40} {'(new)':>14} {fresh[name]:>12.1f}ns")
+
+    print()
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    if missing:
+        print(f"FAIL: {len(missing)} baseline benchmark(s) missing from the "
+              f"fresh run: {', '.join(missing)} (update bench/baseline.json)")
+        return 1
+    print(f"OK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(base)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
