@@ -11,11 +11,22 @@
 //     near-linearly up to the hardware thread count (trials are
 //     embarrassingly parallel: one Simulator+LiveSystem per trial).
 //
-// Writes BenchRecorder JSON (campaign_trials_t{N}) to the optional argv[1]
-// path (default BENCH_campaign.json). tools/bench_diff.py understands the
-// schema for standalone comparisons of two campaign result files; note the
-// `bench_diff` CMake target gates bench/baseline.json against
-// BENCH_results.json only — campaign entries do not belong in that baseline.
+// Two further sections gate the PR-3 additions:
+//
+//  3. Trial-stack pooling: the same small-horizon grid run on fresh
+//     per-trial stacks vs pooled per-worker TrialArenas. Aggregate
+//     identity is ENFORCED (exit code); the >= 1.5x pooled speedup is
+//     REPORTED here, and regressions of the pooled path's ns/trial are
+//     gated by bench_diff against the committed baseline.
+//  4. Adaptive sampling: the rounds-based stopping rule vs the fixed
+//     budget, reporting trials/sec and the per-cell trial allocation.
+//
+// Writes BenchRecorder JSON (campaign_trials_t{N}, campaign_trial_fresh /
+// _pooled, campaign_trials_adaptive) to the optional argv[1] path (default
+// BENCH_campaign.json). The `bench_diff` CMake target now gates these
+// entries against bench/baseline.json alongside the BENCH_results.json
+// ones, so trials/sec regressions in the pooled/adaptive paths fail CI like
+// any ns/op regression.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -135,6 +146,99 @@ int main(int argc, char** argv) {
   rule(76);
   std::printf("\nAggregates bit-identical across thread counts: %s\n",
               pass(identical));
+
+  // --- trial-stack pooling: fresh vs arena-reset stacks -------------------
+  // The screening-campaign shape: a 1-step horizon with a short
+  // re-randomization period, the regime where per-trial setup (registry,
+  // network, machines, replicas) dominates and pooling pays — exactly the
+  // workload of a wide triage sweep that runs thousands of cheap cells
+  // before committing full horizons to the interesting ones.
+  std::vector<CampaignCell> small_cells =
+      cross({model::SystemKind::S1, model::SystemKind::S2},
+            {bench_plan(128, 0.5), bench_plan(256, 0.25)});
+  for (CampaignCell& cell : small_cells) {
+    cell.plan.horizon_steps = 1;
+    cell.plan.step_duration = 5.0;
+    cell.plan.attack.start_time = 1.0;
+  }
+
+  CampaignConfig pool_cfg;
+  pool_cfg.trials_per_cell = 256;
+  pool_cfg.base_seed = 7;
+  pool_cfg.threads = 1;  // isolate per-trial cost from scheduling effects
+  const std::uint64_t pool_trials =
+      pool_cfg.trials_per_cell * static_cast<std::uint64_t>(small_cells.size());
+
+  std::printf("\nTrial-stack pooling (1-step screening grid, %llu trials, "
+              "1 thread):\n\n",
+              static_cast<unsigned long long>(pool_trials));
+  std::printf("%8s %12s %14s\n", "stacks", "trials/sec", "ns/trial");
+  rule(40);
+  double fresh_rate = 0.0;
+  double pooled_rate = 0.0;
+  std::uint64_t fp_fresh = 0;
+  std::uint64_t fp_pooled = 0;
+  for (bool pooled : {false, true}) {
+    pool_cfg.reuse_trial_stacks = pooled;
+    CampaignResult result;
+    const std::string name =
+        pooled ? "campaign_trial_pooled" : "campaign_trial_fresh";
+    const double ns_per_trial = recorder.time_and_add(
+        name, /*iters=*/10, 1.0,
+        [&] { result = run_campaign(small_cells, pool_cfg); }) /
+        static_cast<double>(pool_trials);
+    const double rate = 1e9 / ns_per_trial;
+    (pooled ? pooled_rate : fresh_rate) = rate;
+    (pooled ? fp_pooled : fp_fresh) = fingerprint(result);
+    std::printf("%8s %12.0f %14.0f\n", pooled ? "pooled" : "fresh", rate,
+                ns_per_trial);
+  }
+  rule(40);
+  const bool pool_identical = fp_pooled == fp_fresh;
+  identical = identical && pool_identical;
+  std::printf("pooled speedup: %.2fx (want >= 1.5x at small horizons); "
+              "aggregates identical: %s\n",
+              pooled_rate / fresh_rate, pass(pool_identical));
+
+  // --- adaptive sampling vs the fixed budget ------------------------------
+  CampaignConfig ad_cfg;
+  ad_cfg.base_seed = 7;
+  ad_cfg.threads = 1;
+  ad_cfg.adaptive.enabled = true;
+  ad_cfg.adaptive.round_trials = 16;
+  ad_cfg.adaptive.target_rel_ci = 0.10;
+  ad_cfg.adaptive.max_trials_per_cell = 192;
+  CampaignResult adaptive_result;
+  const double ad_ns = recorder.time_and_add(
+      "campaign_trials_adaptive", /*iters=*/3, 1.0,
+      [&] { adaptive_result = run_campaign(cells, ad_cfg); });
+  const double ad_rate =
+      static_cast<double>(adaptive_result.total_trials) / (ad_ns / 1e9);
+
+  std::printf("\nAdaptive sampling (target rel-CI %.2f, rounds of %llu, cap "
+              "%llu):\n\n",
+              ad_cfg.adaptive.target_rel_ci,
+              static_cast<unsigned long long>(ad_cfg.adaptive.round_trials),
+              static_cast<unsigned long long>(
+                  ad_cfg.adaptive.max_trials_per_cell));
+  std::printf("%8s %16s %8s %8s %12s %22s\n", "system", "plan", "trials",
+              "rounds", "mean EL", "95% CI");
+  rule(80);
+  for (const CellStats& cell : adaptive_result.cells) {
+    std::printf("%8s %16s %8llu %8llu %12.1f [%8.1f, %8.1f]\n",
+                model::to_string(cell.system).c_str(), cell.plan_name.c_str(),
+                static_cast<unsigned long long>(cell.trials),
+                static_cast<unsigned long long>(cell.rounds),
+                cell.mean_lifetime(), cell.lifetime_ci.lo, cell.lifetime_ci.hi);
+  }
+  rule(80);
+  const std::uint64_t fixed_budget =
+      ad_cfg.adaptive.max_trials_per_cell *
+      static_cast<std::uint64_t>(cells.size());
+  std::printf("adaptive: %llu trials at %.0f trials/sec (fixed budget at the "
+              "cap would be %llu)\n",
+              static_cast<unsigned long long>(adaptive_result.total_trials),
+              ad_rate, static_cast<unsigned long long>(fixed_budget));
 
   recorder.write_json(out_path);
   return identical ? 0 : 1;

@@ -102,16 +102,26 @@ void live_campaign_section() {
     cells.push_back({model::SystemKind::S2, plan});
   }
 
+  // Adaptive sampling: rounds of trials flow to the cells whose lifetime
+  // CI is still wide; a cell stops once its CI half-width is within
+  // target_rel_ci of its mean (or at the cap). The per-cell trial counts
+  // below show where the budget actually went.
   scenario::CampaignConfig cfg;
-  cfg.trials_per_cell = 60;
   cfg.base_seed = 2026;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.round_trials = 20;
+  cfg.adaptive.target_rel_ci = 0.18;
+  cfg.adaptive.max_trials_per_cell = 240;
   scenario::CampaignResult result = scenario::run_campaign(cells, cfg);
 
-  std::printf("\nLive campaign cross-check (%llu live trials per cell, "
-              "alpha = omega/chi):\n",
-              static_cast<unsigned long long>(cfg.trials_per_cell));
-  std::printf("%20s %6s %12s %22s %12s\n", "plan", "system", "live EL",
-              "95% CI", "model EL");
+  std::printf("\nLive campaign cross-check (adaptive: rounds of %llu, stop "
+              "at rel-CI %.2f, cap %llu; alpha = omega/chi):\n",
+              static_cast<unsigned long long>(cfg.adaptive.round_trials),
+              cfg.adaptive.target_rel_ci,
+              static_cast<unsigned long long>(
+                  cfg.adaptive.max_trials_per_cell));
+  std::printf("%20s %6s %7s %7s %12s %22s %12s\n", "plan", "system", "trials",
+              "rounds", "live EL", "95% CI", "model EL");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const scenario::CellStats& cell = result.cells[i];
     const net::ScenarioPlan& plan = cells[i].plan;
@@ -123,11 +133,19 @@ void live_campaign_section() {
                                    ? model::SystemShape::s1()
                                    : model::SystemShape::s2(plan.n_proxies);
     const double predicted = analysis::expected_lifetime_markov(shape, p);
-    std::printf("%20s %6s %12.1f [%8.1f, %8.1f] %12.1f\n",
+    std::printf("%20s %6s %7llu %7llu %12.1f [%8.1f, %8.1f] %12.1f\n",
                 cell.plan_name.c_str(),
-                model::to_string(cell.system).c_str(), cell.mean_lifetime(),
-                cell.lifetime_ci.lo, cell.lifetime_ci.hi, predicted);
+                model::to_string(cell.system).c_str(),
+                static_cast<unsigned long long>(cell.trials),
+                static_cast<unsigned long long>(cell.rounds),
+                cell.mean_lifetime(), cell.lifetime_ci.lo,
+                cell.lifetime_ci.hi, predicted);
   }
+  std::printf("(%llu total trials; a fixed budget at the cap would spend "
+              "%llu)\n",
+              static_cast<unsigned long long>(result.total_trials),
+              static_cast<unsigned long long>(
+                  cfg.adaptive.max_trials_per_cell * cells.size()));
 }
 
 }  // namespace

@@ -63,6 +63,52 @@ void DerandAttacker::add_launchpad(osl::Machine& pad,
       });
 }
 
+void DerandAttacker::reset(const AttackerConfig& config,
+                           bool indirect_active) {
+  FORTRESS_EXPECTS(!running_);
+  FORTRESS_EXPECTS(config.sybil_identities == config_.sybil_identities);
+  FORTRESS_EXPECTS(config.keyspace >= 2);
+  FORTRESS_EXPECTS(config.probes_per_step > 0);
+  config_ = config;
+  rng_ = Rng(config_.seed);
+  stats_ = AttackerStats{};
+  by_conn_.clear();
+  // Replay the fresh-wiring draw order: channels_ holds direct channels
+  // first, then per-launchpad pad channels (registration order), and the
+  // indirect offset is drawn last — matching add_direct_target* /
+  // add_launchpad* / set_indirect_channel as the campaign driver calls
+  // them.
+  for (auto& channel : channels_) {
+    channel->enum_offset = rng_.below(config_.keyspace);
+    channel->next_candidate = 0;
+    channel->learned_keys.clear();
+    channel->learned_ix = 0;
+    channel->controlled = false;
+    channel->conn.reset();
+    channel->in_flight.reset();
+    channel->timer.reset();
+    if (channel->kind == Channel::Kind::Pad) {
+      channel->pad->set_attacker_taps(
+          [this](const net::Envelope& env) { on_message(env); },
+          [this](net::ConnectionId id, net::CloseReason reason) {
+            on_connection_closed(id, "", reason);
+          });
+    }
+  }
+  if (indirect_active) {
+    // Must have been wired at construction; the proxy list is structural.
+    FORTRESS_EXPECTS(!indirect_proxies_.empty());
+    indirect_offset_ = rng_.below(config_.keyspace);
+  }
+  // When inactive this trial the (possibly non-empty) proxy list is inert:
+  // start() only arms the indirect timer for indirect_probes_per_step > 0.
+  indirect_next_ = 0;
+  indirect_rotate_ = 0;
+  request_seq_ = 0;
+  indirect_timer_.reset();
+  for (const net::Address& id : identities_) network_.attach(id, *this);
+}
+
 void DerandAttacker::start() {
   FORTRESS_EXPECTS(!running_);
   running_ = true;

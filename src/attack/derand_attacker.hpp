@@ -84,6 +84,18 @@ class DerandAttacker final : public net::Handler {
   void start();
   void stop();
 
+  /// Re-initialize for a new campaign trial on a pooled stack, KEEPING the
+  /// channel wiring (targets, launchpads, indirect proxies — the machines
+  /// behind them survive a LiveSystem::reset). Replays the construction-
+  /// time RNG draws in exactly the order the campaign driver wires a fresh
+  /// attacker (direct targets, then launchpads, then the indirect offset),
+  /// so a reset attacker behaves bit-identically to a freshly wired one.
+  /// Re-attaches identities (the network was reset) and re-installs the
+  /// launchpad taps (machine resets cleared them). Preconditions: stopped;
+  /// `config.sybil_identities` unchanged; `indirect_active` must match
+  /// whether a fresh wiring would have called set_indirect_channel.
+  void reset(const AttackerConfig& config, bool indirect_active);
+
   const AttackerStats& stats() const { return stats_; }
 
   /// Number of direct targets currently controlled.

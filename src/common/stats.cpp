@@ -68,6 +68,7 @@ void RunningStats::merge(const RunningStats& other) {
 
 ConfidenceInterval normal_ci(const RunningStats& stats, double level) {
   FORTRESS_EXPECTS(stats.count() > 1);
+  FORTRESS_EXPECTS(level > 0.0 && level < 1.0);
   double z;
   if (level >= 0.989) {
     z = 2.5758293035489004;  // 99%

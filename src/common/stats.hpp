@@ -45,7 +45,9 @@ struct ConfidenceInterval {
 };
 
 /// Normal-approximation CI for the mean of `stats` at the given confidence
-/// level (supported levels: 0.90, 0.95, 0.99). Precondition: count() > 1.
+/// level. Precondition: count() > 1 and 0 < level < 1. Levels are bucketed
+/// to the nearest supported z-score: >= 0.989 -> 99%, >= 0.949 -> 95%,
+/// everything below -> 90% (so e.g. 0.97 gets the 95% z).
 ConfidenceInterval normal_ci(const RunningStats& stats, double level = 0.95);
 
 /// Linear-interpolation quantile of a sample (q in [0,1]). The input vector

@@ -39,20 +39,51 @@ LiveConfig LiveConfig::from_plan(const net::ScenarioPlan& plan,
   return cfg;
 }
 
+net::NetworkConfig LiveSystem::net_config_for(const LiveConfig& config) {
+  net::NetworkConfig net_cfg = config.network;
+  net_cfg.rng_seed = config.seed ^ 0xABCDULL;
+  return net_cfg;
+}
+
+osl::ObfuscationConfig LiveSystem::obf_config_for(const LiveConfig& config) {
+  osl::ObfuscationConfig obf_cfg;
+  obf_cfg.step_duration = config.step_duration;
+  obf_cfg.policy = config.policy;
+  obf_cfg.keyspace = config.keyspace;
+  obf_cfg.rng_seed = config.seed ^ 0x5EEDULL;
+  return obf_cfg;
+}
+
 LiveSystem::LiveSystem(sim::Simulator& sim, LiveConfig config)
     : sim_(sim),
       config_(std::move(config)),
       registry_(config_.seed ^ 0xF0F0F0F0ULL) {
-  net::NetworkConfig net_cfg = config_.network;
-  net_cfg.rng_seed = config_.seed ^ 0xABCDULL;
   network_ = std::make_unique<net::Network>(
-      sim, std::make_unique<net::SpecLatency>(config_.latency), net_cfg);
-  osl::ObfuscationConfig obf_cfg;
-  obf_cfg.step_duration = config_.step_duration;
-  obf_cfg.policy = config_.policy;
-  obf_cfg.keyspace = config_.keyspace;
-  obf_cfg.rng_seed = config_.seed ^ 0x5EEDULL;
-  scheduler_ = std::make_unique<osl::ObfuscationScheduler>(sim, obf_cfg);
+      sim, std::make_unique<net::SpecLatency>(config_.latency),
+      net_config_for(config_));
+  scheduler_ =
+      std::make_unique<osl::ObfuscationScheduler>(sim, obf_config_for(config_));
+}
+
+void LiveSystem::reset(const net::ScenarioPlan& plan, std::uint64_t seed) {
+  // Mirrors construction: same config derivations, same seed XORs — EXCEPT
+  // the signature substrate. The KeyRegistry keeps the master it was
+  // constructed with (the pooled stack keeps its PKI across trials the way
+  // a real testbed keeps its CA): signing secrets are substrate-internal
+  // (signature.hpp's SUBSTITUTION NOTE — the paper's analysis does not
+  // depend on the signature scheme), signatures are fixed-size, and
+  // sign/verify outcomes depend only on key CONSISTENCY, so no trial
+  // observable depends on the master seed. Skipping the re-key avoids
+  // recomputing one HMAC key schedule per principal per trial — the
+  // dominant reset cost at small horizons.
+  config_ = LiveConfig::from_plan(plan, seed);
+  network_->reset(std::make_unique<net::SpecLatency>(config_.latency),
+                  net_config_for(config_));
+  scheduler_->reset(obf_config_for(config_));
+  failure_time_.reset();
+  on_failure = nullptr;
+  nameserver_->reset();
+  reset_components();
 }
 
 std::optional<std::uint64_t> LiveSystem::failure_step() const {
@@ -126,6 +157,14 @@ bool LiveS1::compromise_rule() const {
   return false;
 }
 
+void LiveS1::reset_components() {
+  for (auto& m : machines_) {
+    m->reset(config_.keyspace);
+    watch(*m);
+  }
+  for (auto& r : replicas_) r->reset();
+}
+
 std::vector<osl::Machine*> LiveS1::direct_attack_surface() {
   // The whole tier shares one key (§3), so there is exactly ONE direct
   // channel (Definition 2): probing more machines with the same enumeration
@@ -197,6 +236,14 @@ int LiveS0::currently_compromised() const {
 bool LiveS0::compromise_rule() const {
   // Definition 1: compromised as soon as more than one node is compromised.
   return currently_compromised() >= 2;
+}
+
+void LiveS0::reset_components() {
+  for (auto& m : machines_) {
+    m->reset(config_.keyspace);
+    watch(*m);
+  }
+  for (auto& r : replicas_) r->reset();
 }
 
 std::vector<osl::Machine*> LiveS0::direct_attack_surface() {
@@ -296,6 +343,19 @@ bool LiveS2::compromise_rule() const {
   }
   return currently_compromised_proxies() ==
          static_cast<int>(proxy_machines_.size());
+}
+
+void LiveS2::reset_components() {
+  for (auto& m : server_machines_) {
+    m->reset(config_.keyspace);
+    watch(*m);
+  }
+  for (auto& r : replicas_) r->reset();
+  for (auto& m : proxy_machines_) {
+    m->reset(config_.keyspace);
+    watch(*m);
+  }
+  for (auto& p : proxies_) p->reset(config_.proxy_blacklist, config_.detection);
 }
 
 std::vector<osl::Machine*> LiveS2::direct_attack_surface() {

@@ -80,6 +80,22 @@ class LiveSystem {
   /// Boot machines, start applications and the obfuscation clock.
   virtual void start() = 0;
 
+  /// Re-initialize this deployment for a NEW trial of (plan, seed) without
+  /// reconstructing it: every component returns to the state a fresh
+  /// construction with the same arguments would have — except the
+  /// signature substrate, which keeps its construction-time PKI (no trial
+  /// observable depends on it; see the note in the implementation) — but
+  /// machines, replicas, proxies, the network and all their buffers are
+  /// reused. The structural shape (system class, tier sizes) must match
+  /// the plan this system was built from — per-trial knobs (keyspace, step
+  /// duration, latency, detection, partitions, policy) may differ. The
+  /// caller resets the owning Simulator FIRST (pending events reference
+  /// it). After reset(), start() replays exactly as after
+  /// make_live_system: a reset-then-run trial produces a TrialOutcome
+  /// bit-identical to a freshly-constructed one (enforced by
+  /// ArenaTrialsMatchFreshTrials).
+  void reset(const net::ScenarioPlan& plan, std::uint64_t seed);
+
   /// Latched compromise predicate.
   bool failed() const { return failure_time_.has_value(); }
   std::optional<sim::Time> failure_time() const { return failure_time_; }
@@ -128,6 +144,17 @@ class LiveSystem {
   virtual bool compromise_rule() const = 0;
   void watch(osl::Machine& machine);
 
+  /// Subclass half of reset(): return machines/replicas/proxies to their
+  /// just-constructed state (reset + re-watch each machine) under the
+  /// already-updated config_.
+  virtual void reset_components() = 0;
+
+  /// The network/obfuscation configs a LiveConfig implies — shared by
+  /// construction and reset() so the seed-derivation scheme lives in one
+  /// place.
+  static net::NetworkConfig net_config_for(const LiveConfig& config);
+  static osl::ObfuscationConfig obf_config_for(const LiveConfig& config);
+
   sim::Simulator& sim_;
   LiveConfig config_;
   crypto::KeyRegistry registry_;
@@ -155,6 +182,7 @@ class LiveS1 final : public LiveSystem {
 
  private:
   bool compromise_rule() const override;
+  void reset_components() override;
 
   std::vector<std::unique_ptr<osl::Machine>> machines_;
   std::vector<std::unique_ptr<replication::PbReplica>> replicas_;
@@ -179,6 +207,7 @@ class LiveS0 final : public LiveSystem {
 
  private:
   bool compromise_rule() const override;
+  void reset_components() override;
 
   std::vector<std::unique_ptr<osl::Machine>> machines_;
   std::vector<std::unique_ptr<replication::SmrReplica>> replicas_;
@@ -212,6 +241,7 @@ class LiveS2 final : public LiveSystem {
 
  private:
   bool compromise_rule() const override;
+  void reset_components() override;
 
   std::vector<std::unique_ptr<osl::Machine>> proxy_machines_;
   std::vector<std::unique_ptr<osl::Machine>> server_machines_;

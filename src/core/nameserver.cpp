@@ -17,6 +17,8 @@ NameServer::NameServer(net::Network& network, crypto::KeyRegistry& registry,
 
 NameServer::~NameServer() { network_.detach(kNameServerAddress); }
 
+void NameServer::reset() { network_.attach(kNameServerAddress, *this); }
+
 void NameServer::on_message(const net::Envelope& env) {
   auto msg = Message::decode(env.payload);
   if (!msg || msg->type != MsgType::NsLookup) return;

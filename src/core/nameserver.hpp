@@ -25,6 +25,11 @@ class NameServer final : public net::Handler {
 
   const Directory& directory() const { return directory_; }
 
+  /// Re-attach to the network after a Network::reset — the campaign
+  /// trial-arena reuse path. The directory and signing key are structural
+  /// and survive (the pooled stack keeps its PKI; see LiveSystem::reset).
+  void reset();
+
   void on_message(const net::Envelope& env) override;
 
  private:

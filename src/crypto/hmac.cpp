@@ -4,7 +4,7 @@
 
 namespace fortress::crypto {
 
-Digest hmac_sha256(BytesView key, BytesView message) {
+HmacKey::HmacKey(BytesView key) {
   constexpr std::size_t kBlock = Sha256::kBlockSize;
   std::array<std::uint8_t, kBlock> key_block{};
 
@@ -20,16 +20,24 @@ Digest hmac_sha256(BytesView key, BytesView message) {
     ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
   }
+  inner_mid_.update(BytesView(ipad.data(), ipad.size()));
+  outer_mid_.update(BytesView(opad.data(), opad.size()));
+}
 
-  Sha256 inner;
-  inner.update(BytesView(ipad.data(), ipad.size()));
+Digest HmacKey::mac(BytesView message) const {
+  // Fork the cached pad midstates; only the message and digest tails are
+  // compressed per call.
+  Sha256 inner = inner_mid_;
   inner.update(message);
   Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = outer_mid_;
   outer.update(BytesView(inner_digest.data(), inner_digest.size()));
   return outer.finish();
+}
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  return HmacKey(key).mac(message);
 }
 
 Digest derive_key(BytesView key, BytesView label) {

@@ -8,33 +8,37 @@ namespace fortress::crypto {
 Signature SigningKey::sign(BytesView message) const {
   Signature sig;
   sig.signer = id_;
-  sig.tag = hmac_sha256(BytesView(secret_.data(), secret_.size()), message);
+  sig.tag = mac_.mac(message);
   return sig;
 }
 
-KeyRegistry::KeyRegistry(std::uint64_t master_seed) {
+KeyRegistry::KeyRegistry(std::uint64_t master_seed) { reset(master_seed); }
+
+void KeyRegistry::reset(std::uint64_t master_seed) {
   Bytes seed_bytes;
   append_u64_be(seed_bytes, master_seed);
-  master_ = Sha256::hash(seed_bytes);
+  Digest master = Sha256::hash(seed_bytes);
+  master_key_ = HmacKey(BytesView(master.data(), master.size()));
+  secrets_.clear();
 }
 
 Digest KeyRegistry::secret_for(const std::string& name) const {
   Bytes label = bytes_of("fortress-principal:");
   append(label, bytes_of(name));
-  return hmac_sha256(BytesView(master_.data(), master_.size()), label);
+  return master_key_.mac(BytesView(label.data(), label.size()));
 }
 
 SigningKey KeyRegistry::enroll(const std::string& name) {
   Digest secret = secret_for(name);
-  secrets_[name] = secret;
-  return SigningKey(PrincipalId{name}, secret);
+  HmacKey mac(BytesView(secret.data(), secret.size()));
+  secrets_.insert_or_assign(name, mac);
+  return SigningKey(PrincipalId{name}, mac);
 }
 
 bool KeyRegistry::verify(BytesView message, const Signature& sig) const {
   auto it = secrets_.find(sig.signer.name);
   if (it == secrets_.end()) return false;
-  Digest expected =
-      hmac_sha256(BytesView(it->second.data(), it->second.size()), message);
+  Digest expected = it->second.mac(message);
   return equal_constant_time(BytesView(expected.data(), expected.size()),
                              BytesView(sig.tag.data(), sig.tag.size()));
 }

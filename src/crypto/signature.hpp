@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 
 namespace fortress::crypto {
@@ -57,10 +58,12 @@ class SigningKey {
 
  private:
   friend class KeyRegistry;
-  SigningKey(PrincipalId id, Digest secret) : id_(std::move(id)), secret_(secret) {}
+  SigningKey(PrincipalId id, HmacKey mac) : id_(std::move(id)), mac_(mac) {}
 
   PrincipalId id_;
-  Digest secret_;
+  /// Precomputed HMAC schedule of the secret — signing costs two short
+  /// hash tails, not a full key setup per message.
+  HmacKey mac_;
 };
 
 /// The trusted root: generates per-principal secrets and verifies signatures.
@@ -74,6 +77,13 @@ class KeyRegistry {
   /// Create a registry with a master seed; all principal secrets derive
   /// deterministically from it.
   explicit KeyRegistry(std::uint64_t master_seed);
+
+  /// Re-key the whole registry from a new master seed, dropping every
+  /// enrollment. Existing SigningKey handles keep signing under the OLD
+  /// secrets and stop verifying — holders must re-enroll. (The campaign
+  /// trial arena deliberately does NOT use this: a pooled stack keeps its
+  /// PKI across trials, see LiveSystem::reset.)
+  void reset(std::uint64_t master_seed);
 
   /// Enroll a principal, returning its private signing key. Enrolling the
   /// same name twice returns a key with the same secret (idempotent).
@@ -91,8 +101,12 @@ class KeyRegistry {
  private:
   Digest secret_for(const std::string& name) const;
 
-  Digest master_;
-  std::map<std::string, Digest> secrets_;
+  /// HMAC schedule of the master secret: per-principal derivation pays only
+  /// the label tail, which keeps re-keying a pooled campaign trial cheap.
+  HmacKey master_key_;
+  /// Per-principal verification schedules, precomputed at enrollment (the
+  /// verify path runs once per protocol message).
+  std::map<std::string, HmacKey> secrets_;
 };
 
 }  // namespace fortress::crypto

@@ -17,6 +17,10 @@ namespace {
 // chunk would deadlock on the pool's one-job-at-a-time mutex; the flag lets
 // nested calls degrade to the inline path instead.
 thread_local bool t_in_chunk_job = false;
+
+// Slot index of this thread: 0 for non-workers (every caller thread), i+1
+// for persistent worker i. Assigned once at worker spawn.
+thread_local unsigned t_worker_slot = 0;
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -106,10 +110,15 @@ ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
   unsigned spawned = threads > 1 ? threads - 1 : 0;
   impl_->threads.reserve(spawned);
   for (unsigned i = 0; i < spawned; ++i) {
-    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+    impl_->threads.emplace_back([this, i] {
+      t_worker_slot = i + 1;
+      impl_->worker_loop();
+    });
   }
   n_workers_ = spawned;
 }
+
+unsigned ThreadPool::current_slot() { return t_worker_slot; }
 
 ThreadPool::~ThreadPool() {
   {

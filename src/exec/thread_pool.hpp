@@ -40,6 +40,20 @@ class ThreadPool {
   /// Number of persistent workers (excluding the caller, who also works).
   unsigned size() const { return n_workers_; }
 
+  /// Stable slot index of the current thread: 0 for any non-worker thread
+  /// (the parallel_chunks caller included), i+1 for persistent worker i OF
+  /// ITS OWN POOL — the value is a per-thread identity, not scoped to the
+  /// pool running the current job. Within one pool's jobs slots are
+  /// disjoint (jobs serialize, so at most one thread occupies each slot),
+  /// making per-slot scratch state race-free when indexed by this — but a
+  /// worker of a LARGER foreign pool can report a slot >= this pool's
+  /// slot_count(), so callers sizing arrays by slot_count() must bounds-
+  /// check (see run_campaign's fresh-path fallback).
+  static unsigned current_slot();
+
+  /// Number of distinct slots current_slot() can report (size() + 1).
+  unsigned slot_count() const { return n_workers_ + 1; }
+
   /// Process-wide shared pool, created on first use with hardware
   /// concurrency. Intended for library internals; sized once.
   static ThreadPool& shared();

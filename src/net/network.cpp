@@ -38,6 +38,18 @@ Network::Network(sim::Simulator& sim, const ScenarioPlan& plan,
     : Network(sim, std::make_unique<SpecLatency>(plan.latency),
               NetworkConfig::from_plan(plan, rng_seed)) {}
 
+void Network::reset(std::unique_ptr<LatencyModel> latency,
+                    NetworkConfig config) {
+  FORTRESS_EXPECTS(latency != nullptr);
+  latency_ = std::move(latency);
+  config_ = std::move(config);
+  rng_ = Rng(config_.rng_seed);
+  hosts_.clear();
+  connections_.clear();
+  next_conn_ = 1;
+  delivered_ = 0;
+}
+
 bool Network::link_blocked(const Address& x, const Address& y) const {
   for (const PartitionWindow& w : config_.partitions) {
     if (!w.active_at(sim_.now())) continue;

@@ -157,6 +157,14 @@ class Network {
   Network(sim::Simulator& sim, const ScenarioPlan& plan,
           std::uint64_t rng_seed);
 
+  /// Return to the freshly-constructed state under a new behaviour
+  /// (latency model + config): all hosts detach silently (no closure
+  /// notifications — the simulation they belonged to is over), all
+  /// connections drop, counters and the RNG stream restart. Part of the
+  /// campaign trial-arena reuse path; the simulator should be reset by the
+  /// caller as well, since in-flight deliveries are scheduled events.
+  void reset(std::unique_ptr<LatencyModel> latency, NetworkConfig config);
+
   /// Attach a host at `addr`. Precondition: the address is free.
   /// The handler must stay alive until detach.
   void attach(const Address& addr, Handler& handler);

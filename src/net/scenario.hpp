@@ -70,14 +70,28 @@ struct PartitionWindow {
   bool contains(const Address& addr) const;
 };
 
-/// One scheduled process crash: the target machine reboots (crash +
-/// restart with its current key) at time `at`. Addressed by deployment
-/// tier + index because concrete addresses are assigned by the LiveSystem.
+/// One scheduled fault. Addressed by deployment tier + index because
+/// concrete addresses are assigned by the LiveSystem. Boundary semantics:
+/// only faults strictly BEFORE the campaign horizon (`at < step_duration *
+/// horizon_steps`, in simulation-time units) are scheduled — a fault at or
+/// past the horizon could never influence the trial's outcome (lifetime is
+/// capped at the horizon), so the campaign drops it instead of doing dead
+/// work.
 struct FaultEvent {
   enum class Target { Server, Proxy };
+  /// What happens to the target when the event fires:
+  ///  * Recover (the default, and the only behaviour older plans had): a
+  ///    crash + immediate restart with the machine's current key (proactive
+  ///    recovery). If the target is DOWN — taken out by an earlier Crash
+  ///    event — Recover boots it back up with the key it held when it went
+  ///    down, which is what makes a crash/recovery schedule expressible.
+  ///  * Crash: the target goes down and STAYS down (skipped by the
+  ///    obfuscation scheduler) until a later Recover event revives it.
+  enum class Kind { Recover, Crash };
   Target target = Target::Server;
   int index = 0;
   sim::Time at = 0.0;
+  Kind kind = Kind::Recover;
 };
 
 /// The de-randomization attacker's probe schedule (§4.2 rates).

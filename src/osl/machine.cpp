@@ -28,6 +28,14 @@ void Machine::shutdown() {
   if (!booted_) return;
   network_.detach(config_.address, net::CloseReason::PeerClosed);
   booted_ = false;
+  // The process is gone: the attacker's implant and sessions die with it.
+  compromised_ = false;
+  attacker_conns_.clear();
+}
+
+void Machine::revive() {
+  boot(key_);
+  if (app_ != nullptr) app_->handle_reboot();
 }
 
 void Machine::reboot_common() {
@@ -48,6 +56,20 @@ void Machine::rerandomize(RandKey fresh_key) {
 }
 
 void Machine::recover() { reboot_common(); }
+
+void Machine::reset(std::uint64_t keyspace) {
+  FORTRESS_EXPECTS(keyspace >= 2);
+  config_.keyspace = keyspace;
+  key_ = 0;
+  booted_ = false;
+  compromised_ = false;
+  child_crashes_ = 0;
+  times_compromised_ = 0;
+  compromise_listeners_.clear();
+  attacker_conns_.clear();
+  tap_message_ = nullptr;
+  tap_closed_ = nullptr;
+}
 
 void Machine::handle_probe(const net::Envelope& env, RandKey guess) {
   if (compromised_ || guess == key_) {

@@ -77,8 +77,18 @@ class Machine final : public net::Handler {
   /// Precondition: not already booted.
   void boot(RandKey key);
 
-  /// Detach permanently (machine removed from service).
+  /// Detach (process death: removed from service, or a scheduled Crash
+  /// fault). The attacker's live control dies with the process — the
+  /// machine is no longer compromised — but the randomization key is
+  /// retained, so a later revive() restarts the same process image.
   void shutdown();
+
+  /// Boot a machine shutdown() took down, with the key it held when it
+  /// went down, and notify the application it is coming back from a reboot
+  /// (connections and volatile sessions are gone). The Recover half of a
+  /// crash/recovery fault schedule. Precondition: not booted, but booted
+  /// at least once (a key was assigned).
+  void revive();
 
   /// Reboot with a fresh key (proactive obfuscation). Cleanses compromise,
   /// drops all connections. Precondition: booted.
@@ -88,6 +98,13 @@ class Machine final : public net::Handler {
   /// live control (sessions die) but an attacker who knows the key can
   /// instantly re-compromise. Precondition: booted.
   void recover();
+
+  /// Return to the freshly-constructed state under a (possibly different)
+  /// keyspace: not booted, no key, no compromise history, no listeners or
+  /// attacker taps. Does NOT touch the network — callers on the campaign
+  /// trial-arena reuse path reset the network first, which already forgot
+  /// this machine's attachment.
+  void reset(std::uint64_t keyspace);
 
   bool booted() const { return booted_; }
   RandKey key() const { return key_; }

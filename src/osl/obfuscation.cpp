@@ -109,6 +109,20 @@ void ObfuscationScheduler::stop() {
   staggered_timers_.clear();
 }
 
+void ObfuscationScheduler::reset(const ObfuscationConfig& config) {
+  FORTRESS_EXPECTS(config.step_duration > 0);
+  FORTRESS_EXPECTS(config.period >= 1);
+  // stop() cancels EventIds that are stale if the simulator was already
+  // reset — cancel() just reports false for those, so the order is safe.
+  stop();
+  config_ = config;
+  timer_.set_period(config_.step_duration);
+  rng_ = Rng(config_.rng_seed);
+  steps_ = 0;
+  booted_ = false;
+  on_step = nullptr;
+}
+
 void ObfuscationScheduler::step_boundary() {
   ++steps_;
   const bool boundary =

@@ -67,6 +67,13 @@ class ObfuscationScheduler {
   void start();
   void stop();
 
+  /// Return to the pre-boot state under a new config, KEEPING the machine
+  /// registrations (they are structural) but forgetting the step count, the
+  /// RNG stream and all timers. Caller must have reset the simulator (the
+  /// timers' pending events live there) and the machines; boot_all()/start()
+  /// then replay exactly as after construction.
+  void reset(const ObfuscationConfig& config);
+
   std::uint64_t steps_completed() const { return steps_; }
 
   /// Invoked after each completed unit step (after reboots, if any).

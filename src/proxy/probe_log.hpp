@@ -39,6 +39,14 @@ class ProbeLog {
  public:
   explicit ProbeLog(DetectionConfig config) : config_(config) {}
 
+  /// Forget every observation and adopt a new detection config (campaign
+  /// trial-arena reuse path).
+  void reset(DetectionConfig config) {
+    config_ = config;
+    events_.clear();
+    totals_.clear();
+  }
+
   /// Record a suspicious event from `source` at time `now`.
   void record(const net::Address& source, Suspicion kind, sim::Time now);
 

@@ -26,6 +26,20 @@ void ProxyNode::start() {
   }
 }
 
+void ProxyNode::reset(bool blacklist_enabled, DetectionConfig detection) {
+  started_ = false;
+  // key_ survives: the pooled stack keeps its PKI (see LiveSystem::reset).
+  config_.blacklist_enabled = blacklist_enabled;
+  config_.detection = detection;
+  stats_ = ProxyStats{};
+  log_.reset(detection);
+  server_conns_.clear();
+  conn_servers_.clear();
+  last_forwarded_source_.clear();
+  pending_.clear();
+  blacklist_.clear();
+}
+
 void ProxyNode::dial_server(const net::Address& server) {
   if (!started_) return;
   if (server_conns_.contains(server)) return;

@@ -57,6 +57,13 @@ class ProxyNode final : public osl::Application {
   /// Dial the server tier. Call after this proxy's machine is booted.
   void start();
 
+  /// Return to the just-constructed state for a fresh campaign trial under
+  /// (possibly different) detection knobs: connections, pending requests,
+  /// blacklist, stats and probe log forgotten. The signing key is KEPT —
+  /// the pooled stack keeps its PKI across trials (see LiveSystem::reset).
+  /// Caller resets the simulator/network first.
+  void reset(bool blacklist_enabled, DetectionConfig detection);
+
   const ProxyStats& stats() const { return stats_; }
   const ProbeLog& probe_log() const { return log_; }
   bool blacklisted(const net::Address& source) const;

@@ -23,6 +23,19 @@ PbReplica::PbReplica(sim::Simulator& sim, net::Network& network,
   FORTRESS_EXPECTS(config_.index < config_.replicas.size());
   FORTRESS_EXPECTS(config_.heartbeat_interval > 0);
   FORTRESS_EXPECTS(config_.failover_timeout > config_.heartbeat_interval);
+  pristine_state_ = service_->snapshot();
+}
+
+void PbReplica::reset() {
+  stop();
+  // key_ survives: the pooled stack keeps its PKI (see LiveSystem::reset).
+  service_->restore(pristine_state_);
+  view_ = 0;
+  applied_seq_ = 0;
+  executed_count_ = 0;
+  last_primary_sign_of_life_ = 0.0;
+  responses_.clear();
+  requesters_.clear();
 }
 
 PbReplica::~PbReplica() { stop(); }

@@ -47,6 +47,13 @@ class PbReplica final : public osl::Application {
   void start();
   void stop();
 
+  /// Return to the just-constructed state for a fresh campaign trial:
+  /// timers stopped, view/log/response caches cleared, the service restored
+  /// to its pristine construction-time snapshot. The signing key is KEPT —
+  /// the pooled stack keeps its PKI across trials (see LiveSystem::reset).
+  /// Caller resets the simulator/network first.
+  void reset();
+
   std::uint64_t view() const { return view_; }
   bool is_primary() const { return view_ % config_.replicas.size() == config_.index; }
   std::uint64_t applied_seq() const { return applied_seq_; }
@@ -76,6 +83,10 @@ class PbReplica final : public osl::Application {
   crypto::KeyRegistry& registry_;
   crypto::SigningKey key_;
   std::unique_ptr<Service> service_;
+  /// The service's construction-time state; reset() restores it so a pooled
+  /// replica starts every trial with the same service state a factory-fresh
+  /// one would.
+  Bytes pristine_state_;
   PbConfig config_;
 
   std::uint64_t view_ = 0;

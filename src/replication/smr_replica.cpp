@@ -31,6 +31,25 @@ SmrReplica::SmrReplica(sim::Simulator& sim, net::Network& network,
   FORTRESS_EXPECTS(config_.f >= 1);
   FORTRESS_EXPECTS(config_.replicas.size() == 3 * config_.f + 1);
   FORTRESS_EXPECTS(config_.index < config_.replicas.size());
+  pristine_state_ = service_->snapshot();
+}
+
+void SmrReplica::reset() {
+  stop();
+  // key_ survives: the pooled stack keeps its PKI (see LiveSystem::reset).
+  service_->restore(pristine_state_);
+  view_ = 0;
+  next_seq_ = 0;
+  executed_seq_ = 0;
+  stale_ = false;
+  slots_.clear();
+  proposed_.clear();
+  responses_.clear();
+  requesters_.clear();
+  pending_.clear();
+  view_votes_.clear();
+  state_offers_.clear();
+  last_progress_ = 0.0;
 }
 
 SmrReplica::~SmrReplica() { stop(); }

@@ -58,6 +58,10 @@ class SmrReplica final : public osl::Application {
   void start();
   void stop();
 
+  /// Return to the just-constructed state for a fresh campaign trial (see
+  /// PbReplica::reset for the contract).
+  void reset();
+
   std::uint64_t view() const { return view_; }
   bool is_leader() const { return view_ % config_.replicas.size() == config_.index; }
   std::uint64_t executed_seq() const { return executed_seq_; }
@@ -102,6 +106,7 @@ class SmrReplica final : public osl::Application {
   crypto::KeyRegistry& registry_;
   crypto::SigningKey key_;
   std::unique_ptr<DeterministicService> service_;
+  Bytes pristine_state_;  ///< construction-time snapshot, restored by reset()
   SmrConfig config_;
 
   std::uint64_t view_ = 0;

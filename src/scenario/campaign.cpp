@@ -11,43 +11,83 @@ namespace fortress::scenario {
 
 std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell,
                          std::uint64_t trial) {
-  // Hash (base, cell, trial) through SplitMix64 so neighbouring cells and
-  // trials get statistically independent live-stack seeds.
-  SplitMix64 mix(base_seed ^ (cell * 0x9e3779b97f4a7c15ULL) ^ trial);
-  std::uint64_t s = mix.next();
+  // Absorb base, cell and trial through SEQUENTIAL SplitMix64 finalizations
+  // (hash, add next word, hash again). A single XOR-combine of all three
+  // words — the old scheme — let distinct (cell, trial) pairs with equal
+  // base ^ cell*k ^ trial feed identical mix states, a STRUCTURAL collision
+  // reachable by small integer inputs, duplicating whole live trials. With
+  // chained absorption a collision requires a genuine 64-bit coincidence
+  // (cell_mix(c1) + t1 == cell_mix(c2) + t2, ~2^-64 per pair), not an
+  // algebraic relation between the indices.
+  SplitMix64 base_mix(base_seed);
+  SplitMix64 cell_mix(base_mix.next() + cell);
+  SplitMix64 pair_mix(cell_mix.next() + trial);
+  std::uint64_t s = pair_mix.next();
   return s != 0 ? s : 1;  // seed 0 is reserved-ish; keep streams nonzero
 }
 
-TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
-                       std::uint64_t seed) {
-  // No validate() here: make_live_system below validates (via
-  // NetworkConfig::from_plan), and campaigns already validate before
-  // fanning out — per-trial re-validation would be pure repeated work.
-  sim::Simulator sim;
-  std::unique_ptr<core::LiveSystem> live =
-      core::make_live_system(sim, system, plan, seed);
-  live->start();
-  live->on_failure = [&sim] { sim.request_stop(); };
+namespace {
+
+void apply_fault(core::LiveSystem& sys, const net::FaultEvent& fault) {
+  // Resolved at fire time so the event hits whatever machine then occupies
+  // the slot; plans may address tiers a class lacks (ignored).
+  osl::Machine* m = sys.fault_target(fault.target, fault.index);
+  if (m == nullptr) return;
+  switch (fault.kind) {
+    case net::FaultEvent::Kind::Crash:
+      // Down and staying down (the obfuscation scheduler skips non-booted
+      // machines) until a Recover event revives it.
+      m->shutdown();
+      break;
+    case net::FaultEvent::Kind::Recover:
+      if (m->booted()) {
+        m->recover();  // crash + restart with the current key
+      } else {
+        // Revive a machine a Crash event took down, with the key it held
+        // when it went down (proactive recovery, not re-randomization).
+        // revive() also tells the application it rebooted, so e.g. a
+        // proxy re-dials its server tier instead of trusting dead
+        // connections.
+        m->revive();
+      }
+      break;
+  }
+}
+
+/// The trial driver shared by the fresh-stack path (run_trial) and the
+/// pooled path (TrialArena::run): schedule the plan's faults, wire the
+/// attacker, simulate to compromise or horizon, collect the outcome.
+/// `live` must be freshly constructed or freshly reset for (plan, seed).
+/// `pool` (nullable) carries a pooled attacker across trials: when the
+/// wiring this trial needs matches the cached shape, the attacker is
+/// reset in place; otherwise it is rebuilt (and cached when pooled).
+TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
+                         const net::ScenarioPlan& plan, std::uint64_t seed,
+                         AttackerPool* pool) {
+  live.start();
+  live.on_failure = [&sim] { sim.request_stop(); };
 
   const sim::Time horizon =
       plan.step_duration * static_cast<sim::Time>(plan.horizon_steps);
 
   for (const net::FaultEvent& fault : plan.faults) {
-    if (fault.at > horizon) continue;
-    core::LiveSystem* sys = live.get();
-    sim.schedule_at(fault.at, [sys, fault] {
-      // Resolved at fire time so reboots hit whatever machine then occupies
-      // the slot; plans may address tiers a class lacks (ignored).
-      osl::Machine* m = sys->fault_target(fault.target, fault.index);
-      if (m != nullptr && m->booted()) m->recover();
-    });
+    // Policy, made explicit here and in the FaultEvent schema note: a
+    // fault at exactly the horizon could still execute (run_until runs
+    // events at == until), but its effect could never influence the
+    // outcome — lifetime is capped at horizon — so scheduling it would be
+    // pure dead work.
+    if (fault.at >= horizon) continue;
+    core::LiveSystem* sys = &live;
+    sim.schedule_at(fault.at, [sys, fault] { apply_fault(*sys, fault); });
   }
 
   TrialOutcome out;
-  std::unique_ptr<attack::DerandAttacker> attacker;
+  attack::DerandAttacker* attacker = nullptr;
+  std::unique_ptr<attack::DerandAttacker> local;  // fresh-path ownership
   if (plan.attack.enabled) {
     // Give the deployment its dial-in window before the attack begins.
-    out.events_executed += sim.run_until(std::min(plan.attack.start_time, horizon));
+    out.events_executed +=
+        sim.run_until(std::min(plan.attack.start_time, horizon));
 
     attack::AttackerConfig acfg;
     acfg.keyspace = plan.keyspace;
@@ -57,33 +97,55 @@ TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
         plan.attack.indirect_fraction * plan.attack.probes_per_step;
     acfg.sybil_identities = plan.attack.sybil_identities;
     acfg.seed = seed ^ 0xA77AC4E2ULL;
-    attacker = std::make_unique<attack::DerandAttacker>(sim, live->network(),
-                                                        acfg);
-    if (plan.attack.direct_enabled) {
-      for (osl::Machine* target : live->direct_attack_surface()) {
-        attacker->add_direct_target(*target);
+
+    const std::vector<net::Address> hidden = live.hidden_server_addresses();
+    const bool indirect_active =
+        !hidden.empty() && acfg.indirect_probes_per_step > 0.0;
+    const bool pool_hit = pool != nullptr && pool->attacker != nullptr &&
+                          pool->direct_wired == plan.attack.direct_enabled &&
+                          pool->sybils == acfg.sybil_identities &&
+                          (!indirect_active || pool->indirect_wired);
+    if (pool_hit) {
+      pool->attacker->reset(acfg, indirect_active);
+      attacker = pool->attacker.get();
+    } else {
+      // Destroy a stale pooled attacker BEFORE wiring the new one: its
+      // destructor detaches the shared attacker identities.
+      if (pool != nullptr) pool->attacker.reset();
+      local =
+          std::make_unique<attack::DerandAttacker>(sim, live.network(), acfg);
+      if (plan.attack.direct_enabled) {
+        for (osl::Machine* target : live.direct_attack_surface()) {
+          local->add_direct_target(*target);
+        }
+      }
+      if (!hidden.empty()) {
+        for (osl::Machine* pad : live.launchpad_machines()) {
+          local->add_launchpad(*pad, hidden);
+        }
+        if (indirect_active) {
+          local->set_indirect_channel(live.directory().proxies);
+        }
+      }
+      attacker = local.get();
+      if (pool != nullptr) {
+        pool->attacker = std::move(local);
+        pool->direct_wired = plan.attack.direct_enabled;
+        pool->indirect_wired = indirect_active;
+        pool->sybils = acfg.sybil_identities;
       }
     }
-    const std::vector<net::Address> hidden = live->hidden_server_addresses();
-    if (!hidden.empty()) {
-      for (osl::Machine* pad : live->launchpad_machines()) {
-        attacker->add_launchpad(*pad, hidden);
-      }
-      if (acfg.indirect_probes_per_step > 0.0) {
-        attacker->set_indirect_channel(live->directory().proxies);
-      }
-    }
-    if (!live->failed()) attacker->start();
+    if (!live.failed()) attacker->start();
   }
 
   // on_failure stops the run; don't re-enter (run_until re-arms the stop
   // flag) once the outcome is decided.
-  if (!live->failed()) out.events_executed += sim.run_until(horizon);
+  if (!live.failed()) out.events_executed += sim.run_until(horizon);
 
-  out.compromised = live->failed();
-  out.lifetime_steps = live->failure_step().value_or(plan.horizon_steps);
+  out.compromised = live.failed();
+  out.lifetime_steps = live.failure_step().value_or(plan.horizon_steps);
   out.lifetime_steps = std::min(out.lifetime_steps, plan.horizon_steps);
-  out.blacklisted_sources = live->blacklisted_sources();
+  out.blacklisted_sources = live.blacklisted_sources();
   if (attacker != nullptr) {
     out.attacker = attacker->stats();
     attacker->stop();
@@ -91,63 +153,195 @@ TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
   return out;
 }
 
+}  // namespace
+
+TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
+                       std::uint64_t seed) {
+  // No validate() here: make_live_system below validates (via
+  // NetworkConfig::from_plan), and campaigns already validate before
+  // fanning out — per-trial re-validation would be pure repeated work.
+  sim::Simulator sim;
+  std::unique_ptr<core::LiveSystem> live =
+      core::make_live_system(sim, system, plan, seed);
+  return drive_trial(sim, *live, plan, seed, /*pool=*/nullptr);
+}
+
+TrialArena::TrialArena() = default;
+TrialArena::~TrialArena() = default;
+
+TrialOutcome TrialArena::run(model::SystemKind system,
+                             const net::ScenarioPlan& plan,
+                             std::uint64_t seed) {
+  const bool reusable = live_ != nullptr && built_system_ == system &&
+                        built_servers_ == plan.n_servers &&
+                        built_proxies_ == plan.n_proxies;
+  if (reusable) {
+    // Invalidate the previous trial's pending events first: LiveSystem
+    // components treat their stored EventIds as stale-after-reset.
+    sim_.reset();
+    live_->reset(plan, seed);
+  } else {
+    // Structural mismatch (or first use): tear down the old attacker and
+    // deployment (in that order — attacker channels point at the
+    // deployment's machines) while the network is still alive, then
+    // rebuild on the reused simulator — the event slab keeps its capacity
+    // across trials either way.
+    attacker_pool_.attacker.reset();
+    live_.reset();
+    sim_.reset();
+    live_ = core::make_live_system(sim_, system, plan, seed);
+    built_system_ = system;
+    built_servers_ = plan.n_servers;
+    built_proxies_ = plan.n_proxies;
+  }
+  return drive_trial(sim_, *live_, plan, seed, &attacker_pool_);
+}
+
+namespace {
+
+void absorb_outcome(CellStats& stats, const TrialOutcome& o) {
+  ++stats.trials;
+  if (o.compromised) {
+    ++stats.compromised;
+  } else {
+    ++stats.censored;
+  }
+  stats.lifetime.add(static_cast<double>(o.lifetime_steps));
+  stats.attacker.direct_probes += o.attacker.direct_probes;
+  stats.attacker.indirect_probes += o.attacker.indirect_probes;
+  stats.attacker.crashes_caused += o.attacker.crashes_caused;
+  stats.attacker.compromises += o.attacker.compromises;
+  stats.attacker.keys_learned += o.attacker.keys_learned;
+  stats.events_executed += o.events_executed;
+  stats.blacklisted_sources += o.blacklisted_sources;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
                             const CampaignConfig& config) {
-  FORTRESS_EXPECTS(config.trials_per_cell >= 1);
+  const bool adaptive = config.adaptive.enabled;
+  const std::uint64_t round_trials =
+      adaptive ? config.adaptive.round_trials : config.trials_per_cell;
+  const std::uint64_t max_trials =
+      adaptive ? config.adaptive.max_trials_per_cell : config.trials_per_cell;
+  FORTRESS_EXPECTS(round_trials >= 1);
+  FORTRESS_EXPECTS(max_trials >= 1);
+  if (adaptive) FORTRESS_EXPECTS(config.adaptive.target_rel_ci > 0.0);
   for (const CampaignCell& cell : cells) cell.plan.validate();
 
-  const std::uint64_t per_cell = config.trials_per_cell;
-  const std::uint64_t total = cells.size() * per_cell;
-  std::vector<TrialOutcome> outcomes(total);
+  struct CellState {
+    CellStats stats;
+    bool open = true;
+    std::uint64_t next_trial = 0;  ///< trials issued so far == next index
+  };
+  std::vector<CellState> states(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    states[c].stats.system = cells[c].system;
+    states[c].stats.plan_name = cells[c].plan.name;
+  }
 
-  // One task per trial: lengths are heavy-tailed (a surviving trial runs
-  // the whole horizon), so the pool's atomic-ticket scheduling does the
-  // load balancing. Slots are disjoint; no synchronization needed.
-  exec::ThreadPool::shared().parallel_chunks(
-      total, 1, config.threads,
-      [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
-        (void)chunk;
-        for (std::uint64_t task = begin; task < end; ++task) {
-          const std::uint64_t cell_ix = task / per_cell;
-          const std::uint64_t trial_ix = task % per_cell;
-          const CampaignCell& cell = cells[cell_ix];
-          outcomes[task] =
-              run_trial(cell.system, cell.plan,
-                        trial_seed(config.base_seed, cell_ix, trial_ix));
+  // One arena per pool worker slot: a slot is owned by exactly one thread
+  // at a time (jobs serialize), so arena access is race-free. The pool is
+  // per-campaign-call, not global — concurrent campaigns don't share
+  // stacks.
+  exec::ThreadPool& pool = exec::ThreadPool::shared();
+  std::vector<std::unique_ptr<TrialArena>> arenas;
+  if (config.reuse_trial_stacks) {
+    arenas.resize(pool.slot_count());
+    for (auto& a : arenas) a = std::make_unique<TrialArena>();
+  }
+
+  struct Task {
+    std::uint32_t cell;
+    std::uint64_t trial;
+  };
+  std::vector<Task> tasks;
+  std::vector<TrialOutcome> outcomes;
+
+  // Rounds: issue `round_trials` per still-open cell, fan out, reduce in
+  // task-index order, close cells whose CI meets the target (or that hit
+  // the cap). Fixed mode is the degenerate single round of
+  // `trials_per_cell` for every cell.
+  bool any_open = true;
+  while (any_open) {
+    tasks.clear();
+    for (std::size_t c = 0; c < states.size(); ++c) {
+      CellState& st = states[c];
+      if (!st.open) continue;
+      const std::uint64_t n =
+          std::min(round_trials, max_trials - st.next_trial);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        tasks.push_back({static_cast<std::uint32_t>(c), st.next_trial + i});
+      }
+      st.next_trial += n;
+      ++st.stats.rounds;
+    }
+    if (tasks.empty()) break;
+    outcomes.assign(tasks.size(), TrialOutcome{});
+
+    // One task per trial: lengths are heavy-tailed (a surviving trial runs
+    // the whole horizon), so the pool's atomic-ticket scheduling does the
+    // load balancing. Slots are disjoint; no synchronization needed.
+    pool.parallel_chunks(
+        tasks.size(), 1, config.threads,
+        [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
+          (void)chunk;
+          // A worker of a larger foreign pool (nested campaign inside
+          // someone else's parallel_chunks) can report a slot beyond the
+          // shared pool's count; such threads take the fresh-stack path —
+          // outcomes are identical either way.
+          const unsigned slot = exec::ThreadPool::current_slot();
+          TrialArena* arena =
+              config.reuse_trial_stacks && slot < arenas.size()
+                  ? arenas[slot].get()
+                  : nullptr;
+          for (std::uint64_t t = begin; t < end; ++t) {
+            const Task& task = tasks[t];
+            const CampaignCell& cell = cells[task.cell];
+            const std::uint64_t seed =
+                trial_seed(config.base_seed, task.cell, task.trial);
+            outcomes[t] = arena != nullptr
+                              ? arena->run(cell.system, cell.plan, seed)
+                              : run_trial(cell.system, cell.plan, seed);
+          }
+        });
+
+    // Serial reduction in task-index order: bit-identical for any thread
+    // count — and the close/continue decisions below depend only on it.
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      absorb_outcome(states[tasks[t].cell].stats, outcomes[t]);
+    }
+
+    any_open = false;
+    for (CellState& st : states) {
+      if (!st.open) continue;
+      if (st.stats.lifetime.count() > 1) {
+        st.stats.lifetime_ci = normal_ci(st.stats.lifetime, config.ci_level);
+      }
+      if (st.next_trial >= max_trials) {
+        st.open = false;
+        continue;
+      }
+      if (adaptive && st.stats.lifetime.count() > 1) {
+        const double half =
+            (st.stats.lifetime_ci.hi - st.stats.lifetime_ci.lo) / 2.0;
+        if (half <=
+            config.adaptive.target_rel_ci * st.stats.lifetime.mean()) {
+          st.open = false;
+          continue;
         }
-      });
+      }
+      any_open = true;
+    }
+  }
 
-  // Serial reduction in task-index order: bit-identical for any thread
-  // count.
   CampaignResult result;
   result.cells.reserve(cells.size());
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    CellStats stats;
-    stats.system = cells[c].system;
-    stats.plan_name = cells[c].plan.name;
-    for (std::uint64_t t = 0; t < per_cell; ++t) {
-      const TrialOutcome& o = outcomes[c * per_cell + t];
-      ++stats.trials;
-      if (o.compromised) {
-        ++stats.compromised;
-      } else {
-        ++stats.censored;
-      }
-      stats.lifetime.add(static_cast<double>(o.lifetime_steps));
-      stats.attacker.direct_probes += o.attacker.direct_probes;
-      stats.attacker.indirect_probes += o.attacker.indirect_probes;
-      stats.attacker.crashes_caused += o.attacker.crashes_caused;
-      stats.attacker.compromises += o.attacker.compromises;
-      stats.attacker.keys_learned += o.attacker.keys_learned;
-      stats.events_executed += o.events_executed;
-      stats.blacklisted_sources += o.blacklisted_sources;
-    }
-    if (stats.lifetime.count() > 1) {
-      stats.lifetime_ci = normal_ci(stats.lifetime, config.ci_level);
-    }
-    result.total_trials += stats.trials;
-    result.total_events += stats.events_executed;
-    result.cells.push_back(std::move(stats));
+  for (CellState& st : states) {
+    result.total_trials += st.stats.trials;
+    result.total_events += st.stats.events_executed;
+    result.cells.push_back(std::move(st.stats));
   }
   return result;
 }

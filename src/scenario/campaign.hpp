@@ -2,17 +2,21 @@
 // Monte-Carlo scale.
 //
 // A campaign evaluates a grid of cells, each cell being (system class x
-// ScenarioPlan), with `trials_per_cell` independent live trials per cell.
-// Every trial is a fully isolated experiment — its own sim::Simulator,
-// net::Network, core::LiveSystem and attack::DerandAttacker, seeded
-// deterministically from (base_seed, cell index, trial index) — so trials
-// parallelize embarrassingly over exec::ThreadPool.
+// ScenarioPlan), with either a fixed budget of `trials_per_cell` live
+// trials per cell or — in adaptive mode (AdaptiveConfig) — rounds of
+// trials that stop per cell once its lifetime CI is narrow enough. Every
+// trial is a fully isolated experiment, seeded deterministically from
+// (base_seed, cell index, trial index), so trials parallelize
+// embarrassingly over exec::ThreadPool; isolation comes either from a
+// fresh Simulator+Network+LiveSystem per trial or (the default) from a
+// per-worker pooled stack reset between trials (TrialArena).
 //
 // Determinism contract: per-trial outcomes depend only on the trial's
-// derived seed, results land in a slot indexed by the flattened (cell,
-// trial) task index, and the reduction runs serially in index order after
-// the pool drains. Campaign output is therefore BIT-identical for any
-// thread count (tested), which makes campaign statistics usable as
+// derived seed, results land in a slot indexed by the round's task index,
+// and the reduction (including adaptive close/continue decisions) runs
+// serially in index order after the pool drains each round. Campaign
+// output is therefore BIT-identical for any thread count and for either
+// isolation strategy (tested), which makes campaign statistics usable as
 // regression oracles.
 //
 // The runner drives every system class through the class-generic topology
@@ -22,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +34,11 @@
 #include "common/stats.hpp"
 #include "model/params.hpp"
 #include "net/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace fortress::core {
+class LiveSystem;
+}  // namespace fortress::core
 
 namespace fortress::scenario {
 
@@ -58,14 +68,51 @@ struct CampaignCell {
   net::ScenarioPlan plan;
 };
 
+/// Adaptive (sequential-sampling) mode: instead of a fixed trial budget per
+/// cell, cells run in deterministic ROUNDS of `round_trials` each; after
+/// every round the serial reducer closes any cell whose lifetime CI is
+/// narrow enough, and the next round's trials go only to the still-open
+/// cells — low-variance cells stop early and the budget flows to the cells
+/// whose EL estimate is still uncertain (the paper's Fig. 1 curves are
+/// exactly such per-cell means).
+///
+/// Determinism contract: a cell's trial indices grow contiguously across
+/// rounds (trial t of cell c always uses trial_seed(base, c, t)), and the
+/// close/continue decision is made by the in-order reducer between rounds —
+/// so the executed (cell, trial) seed set, and therefore every aggregate,
+/// is bit-identical for any thread count.
+struct AdaptiveConfig {
+  bool enabled = false;
+  /// Trials appended to every still-open cell per round.
+  std::uint64_t round_trials = 16;
+  /// Close a cell once half_width(CI) <= target_rel_ci * mean(lifetime).
+  /// (A zero-variance cell — all trials censored at the horizon, or all
+  /// compromised at step 0 — has a zero-width CI and closes after its
+  /// first round.)
+  double target_rel_ci = 0.10;
+  /// Hard per-cell cap: a cell that never reaches the target CI closes
+  /// here.
+  std::uint64_t max_trials_per_cell = 1024;
+};
+
 struct CampaignConfig {
+  /// Fixed mode (adaptive.enabled == false): exactly this many trials per
+  /// cell. Ignored in adaptive mode.
   std::uint64_t trials_per_cell = 32;
   /// Worker cap handed to exec::ThreadPool (0 = all hardware threads).
   /// Any value produces bit-identical results.
   unsigned threads = 0;
   std::uint64_t base_seed = 1;
-  /// Confidence level for the per-cell lifetime interval.
+  /// Confidence level for the per-cell lifetime interval (also the CI the
+  /// adaptive stopping rule tests).
   double ci_level = 0.95;
+  AdaptiveConfig adaptive;
+  /// Run trials on pooled per-worker stacks (TrialArena): the Simulator
+  /// event slab, Network buffers and LiveSystem allocations are reused via
+  /// reset() instead of reconstructed per trial. Outcomes are identical
+  /// either way (tested); false forces the fresh-stack path (the bench
+  /// compares both).
+  bool reuse_trial_stacks = true;
 };
 
 /// Aggregated statistics for one cell, reduced in trial-index order.
@@ -73,6 +120,8 @@ struct CellStats {
   model::SystemKind system = model::SystemKind::S2;
   std::string plan_name;
   std::uint64_t trials = 0;
+  /// Rounds this cell stayed open (1 in fixed mode).
+  std::uint64_t rounds = 0;
   std::uint64_t compromised = 0;
   std::uint64_t censored = 0;
   /// Lifetime in whole unit steps; censored trials contribute the horizon,
@@ -108,5 +157,50 @@ std::vector<CampaignCell> cross(const std::vector<model::SystemKind>& systems,
 /// tests can reproduce an individual campaign trial with run_trial).
 std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell,
                          std::uint64_t trial);
+
+/// Implementation detail of the pooled trial path: the attacker pooled
+/// alongside a TrialArena's deployment (its channels point at the
+/// deployment's machines). Reused via DerandAttacker::reset when the
+/// wiring a fresh trial would produce matches the cached shape flags,
+/// rebuilt otherwise — see drive_trial in campaign.cpp.
+struct AttackerPool {
+  std::unique_ptr<attack::DerandAttacker> attacker;
+  bool direct_wired = false;
+  bool indirect_wired = false;
+  unsigned sybils = 0;
+};
+
+/// A reusable live-trial stack: one Simulator + (lazily built) LiveSystem
+/// that successive trials reset instead of reconstruct. Reuse keeps the
+/// simulator's event slab at its high-water mark and the deployment's
+/// machines/replicas/proxies/network allocated; only per-trial state is
+/// re-initialized. When the requested cell's structural shape (system
+/// class, tier sizes) differs from the cached one, the stack is rebuilt
+/// fresh — campaign rounds iterate cells in order, so consecutive trials
+/// usually hit.
+///
+/// run() returns TrialOutcomes bit-identical to the free run_trial() for
+/// every (system, plan, seed) — pooling is a pure setup-cost optimization
+/// (tested). Not thread-safe; campaigns key one arena per pool worker slot
+/// (exec::ThreadPool::current_slot).
+class TrialArena {
+ public:
+  TrialArena();  // out of line: members only forward-declare LiveSystem
+  ~TrialArena();
+  TrialArena(const TrialArena&) = delete;
+  TrialArena& operator=(const TrialArena&) = delete;
+
+  TrialOutcome run(model::SystemKind system, const net::ScenarioPlan& plan,
+                   std::uint64_t seed);
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<core::LiveSystem> live_;
+  model::SystemKind built_system_ = model::SystemKind::S2;
+  int built_servers_ = 0;
+  int built_proxies_ = 0;
+
+  AttackerPool attacker_pool_;
+};
 
 }  // namespace fortress::scenario

@@ -102,6 +102,23 @@ std::uint64_t Simulator::run() {
 
 bool Simulator::step() { return pop_and_run(); }
 
+void Simulator::reset() {
+  // Destroy every pending handler and rebuild the free list over the whole
+  // slab. free_node() bumps each slot's generation, so EventIds issued
+  // before the reset can never match a post-reset slot. Freeing in reverse
+  // slot order leaves slot 0 at the head of the list, so post-reset
+  // allocation hands out ascending slots just like a fresh simulator.
+  heap_.clear();
+  cancelled_count_ = 0;
+  free_head_ = kNil;
+  for (std::size_t i = nodes_.size(); i > 0; --i) {
+    free_node(static_cast<std::uint32_t>(i - 1));
+  }
+  now_ = 0.0;
+  next_seq_ = 0;
+  stop_requested_ = false;
+}
+
 void PeriodicTimer::arm(Time delay) {
   pending_ = sim_.schedule_after(delay, [this] {
     if (!running_) return;

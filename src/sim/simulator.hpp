@@ -178,6 +178,14 @@ class Simulator {
   /// Request that run()/run_until() return after the current handler.
   void request_stop() { stop_requested_ = true; }
 
+  /// Return to the freshly-constructed state (time 0, empty queue) while
+  /// KEEPING the node slab's capacity — the point of pooling a Simulator
+  /// across campaign trials is that the slab, grown once to the workload's
+  /// high-water mark, is never reallocated again. Pending handlers are
+  /// destroyed; every outstanding EventId becomes stale (cancel() on one
+  /// returns false, exactly as for an event that already ran).
+  void reset();
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
@@ -247,7 +255,15 @@ class PeriodicTimer {
   /// Stop ticking; safe to call repeatedly.
   void stop();
 
+  /// Change the period. Precondition: not running (stop() first).
+  void set_period(Time period) {
+    FORTRESS_EXPECTS(!running_);
+    FORTRESS_EXPECTS(period > 0);
+    period_ = period;
+  }
+
   bool running() const { return running_; }
+  Time period() const { return period_; }
 
  private:
   void arm(Time delay);

@@ -95,6 +95,36 @@ TEST(ConfidenceIntervalTest, WiderAtHigherLevel) {
   EXPECT_LT(normal_ci(s, 0.95).width(), normal_ci(s, 0.99).width());
 }
 
+TEST(ConfidenceIntervalTest, LevelBucketsPinned) {
+  // normal_ci buckets the level to the nearest supported z-score (the
+  // adaptive campaign stopping rule depends on these widths): >= 0.989 ->
+  // z99, >= 0.949 -> z95, below -> z90. Pin all three, and pin that an
+  // off-grid level like 0.97 lands in the 95% bucket rather than anything
+  // bespoke.
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  const double se = s.stderr_mean();
+  constexpr double kZ90 = 1.6448536269514722;
+  constexpr double kZ95 = 1.959963984540054;
+  constexpr double kZ99 = 2.5758293035489004;
+  EXPECT_DOUBLE_EQ(normal_ci(s, 0.90).width(), 2.0 * kZ90 * se);
+  EXPECT_DOUBLE_EQ(normal_ci(s, 0.95).width(), 2.0 * kZ95 * se);
+  EXPECT_DOUBLE_EQ(normal_ci(s, 0.99).width(), 2.0 * kZ99 * se);
+  EXPECT_DOUBLE_EQ(normal_ci(s, 0.97).width(), 2.0 * kZ95 * se);   // bucketed
+  EXPECT_DOUBLE_EQ(normal_ci(s, 0.949).width(), 2.0 * kZ95 * se);  // boundary
+  EXPECT_DOUBLE_EQ(normal_ci(s, 0.5).width(), 2.0 * kZ90 * se);
+}
+
+TEST(ConfidenceIntervalTest, LevelOutOfRangeThrows) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_THROW(normal_ci(s, 0.0), ContractViolation);
+  EXPECT_THROW(normal_ci(s, 1.0), ContractViolation);
+  EXPECT_THROW(normal_ci(s, -0.5), ContractViolation);
+  EXPECT_THROW(normal_ci(s, 1.5), ContractViolation);
+}
+
 TEST(QuantileTest, MedianOfOddSample) {
   EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
 }

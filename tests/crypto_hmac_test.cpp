@@ -90,6 +90,27 @@ TEST(HmacTest, EmptyKeyAndMessage) {
             "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
 }
 
+TEST(HmacKeyTest, MatchesOneShotHmacAcrossLengths) {
+  // The precomputed-midstate schedule must be bit-identical to the one-shot
+  // HMAC for every (key length, message length) shape: short/long keys
+  // (long keys get pre-hashed), empty through multi-block messages, and a
+  // reused schedule must not accumulate state between mac() calls.
+  const std::size_t key_lens[] = {0, 1, 31, 64, 65, 200};
+  const std::size_t msg_lens[] = {0, 1, 55, 56, 64, 100, 300};
+  for (std::size_t kl : key_lens) {
+    Bytes key(kl, static_cast<std::uint8_t>(0xa5));
+    HmacKey schedule((BytesView(key)));
+    for (std::size_t ml : msg_lens) {
+      Bytes msg(ml, static_cast<std::uint8_t>(0x3c));
+      EXPECT_EQ(schedule.mac(msg), hmac_sha256(key, msg))
+          << "key len " << kl << " msg len " << ml;
+    }
+    // Repeat the first message: the schedule is stateless across calls.
+    Bytes msg(5, static_cast<std::uint8_t>(0x3c));
+    EXPECT_EQ(schedule.mac(msg), schedule.mac(msg));
+  }
+}
+
 TEST(DeriveKeyTest, DistinctLabelsDistinctKeys) {
   Bytes master = bytes_of("master-secret");
   Digest a = derive_key(master, bytes_of("purpose-a"));

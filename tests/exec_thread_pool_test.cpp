@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -132,6 +135,35 @@ TEST(ThreadPoolTest, NestedParallelChunksRunsInlineInsteadOfDeadlocking) {
   });
   EXPECT_EQ(outer_chunks.load(), 8);
   for (const auto& s : inner_seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, CurrentSlotIsStableAndDisjointPerThread) {
+  // The campaign's per-worker TrialArena pool indexes scratch state by
+  // current_slot(): the caller must be slot 0, workers 1..size(), every
+  // slot in range, and a thread must observe the SAME slot across chunks
+  // (slots are per-thread identities, not per-chunk tickets).
+  ThreadPool pool(4);
+  EXPECT_EQ(ThreadPool::current_slot(), 0u);  // non-worker thread
+  EXPECT_EQ(pool.slot_count(), pool.size() + 1);
+
+  std::mutex m;
+  std::map<std::thread::id, std::set<unsigned>> slots_by_thread;
+  pool.parallel_chunks(256, 1, 0, [&](std::uint64_t, std::uint64_t,
+                                      std::uint64_t) {
+    const unsigned slot = ThreadPool::current_slot();
+    std::lock_guard<std::mutex> lock(m);
+    slots_by_thread[std::this_thread::get_id()].insert(slot);
+  });
+
+  std::set<unsigned> all_slots;
+  for (const auto& [tid, slots] : slots_by_thread) {
+    // Stable: one slot per thread.
+    EXPECT_EQ(slots.size(), 1u);
+    const unsigned slot = *slots.begin();
+    EXPECT_LT(slot, pool.slot_count());
+    // Disjoint: no two threads share a slot.
+    EXPECT_TRUE(all_slots.insert(slot).second);
+  }
 }
 
 TEST(ThreadPoolTest, SharedPoolSupportsEightWayRequests) {

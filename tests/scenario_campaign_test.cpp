@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "analysis/markov.hpp"
 #include "core/live_system.hpp"
@@ -105,6 +106,127 @@ TEST(RunTrialTest, DetectionBlacklistsIndirectOnlyAttacker) {
   EXPECT_EQ(s1.blacklisted_sources, 0u);
 }
 
+TEST(TrialSeedTest, NoCollisionsOnDenseGrid) {
+  // The old XOR-combine derivation let distinct (cell, trial) pairs feed
+  // identical mix states, silently duplicating whole live trials. The
+  // chained-absorption derivation must be collision-free across a dense
+  // grid far larger than any real campaign's.
+  std::set<std::uint64_t> seen;
+  constexpr std::uint64_t kCells = 128;
+  constexpr std::uint64_t kTrials = 512;
+  for (std::uint64_t c = 0; c < kCells; ++c) {
+    for (std::uint64_t t = 0; t < kTrials; ++t) {
+      seen.insert(trial_seed(42, c, t));
+    }
+  }
+  EXPECT_EQ(seen.size(), kCells * kTrials);
+  // The streams must actually depend on the base seed too.
+  EXPECT_NE(trial_seed(1, 0, 0), trial_seed(2, 0, 0));
+  // Regression shape from the old scheme: pairs constructed so that
+  // cell*k ^ trial collides are now distinct.
+  constexpr std::uint64_t k = 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t a = 3 * k ^ 7;  // (cell 3, trial 7)
+  EXPECT_NE(trial_seed(a, 3, 7), trial_seed(a, 0, 0));
+}
+
+TEST(RunTrialTest, CrashFaultKeepsMachineDownUntilRecover) {
+  // chi = 8 and omega = 16/step: an attacked S1 falls almost immediately —
+  // unless its probed server is crashed for the whole run.
+  net::ScenarioPlan plan = fast_plan(8, 16.0, 0.0, 30);
+  const TrialOutcome up = run_trial(model::SystemKind::S1, plan, 7);
+  ASSERT_TRUE(up.compromised);
+
+  // Crash the probed machine (S1's surface is server 0) before the attack
+  // starts and never revive it: the attacker's probes find nothing to
+  // connect to for the entire horizon.
+  net::ScenarioPlan crashed = plan;
+  crashed.faults.push_back({net::FaultEvent::Target::Server, 0, 1.0,
+                            net::FaultEvent::Kind::Crash});
+  const TrialOutcome down = run_trial(model::SystemKind::S1, crashed, 7);
+  EXPECT_FALSE(down.compromised);
+  EXPECT_EQ(down.lifetime_steps, crashed.horizon_steps);
+
+  // Now schedule the recovery half: the machine comes back up mid-run
+  // (with the key it went down with) and the attack resumes and succeeds —
+  // the crash/recovery schedule is expressible end to end.
+  net::ScenarioPlan revived = crashed;
+  revived.faults.push_back({net::FaultEvent::Target::Server, 0, 1200.0,
+                            net::FaultEvent::Kind::Recover});
+  const TrialOutcome back = run_trial(model::SystemKind::S1, revived, 7);
+  EXPECT_TRUE(back.compromised);
+  // Compromise can only have happened after the revival at step 12.
+  EXPECT_GE(back.lifetime_steps, 12u);
+}
+
+TEST(RunTrialTest, CrashEndsAttackerControlAndReviveRedials) {
+  // Crash semantics at the machine layer: the process dies, so the
+  // attacker's live control dies with it; revive() restarts it with the
+  // SAME key and tells the application (a proxy must re-dial its servers,
+  // not trust dead connections).
+  sim::Simulator sim;
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
+  plan.attack.enabled = false;
+  auto live = core::make_live_system(sim, model::SystemKind::S2, plan, 21);
+  live->start();
+  sim.run_until(50.0);
+  osl::Machine* proxy = live->fault_target(net::FaultEvent::Target::Proxy, 0);
+  ASSERT_NE(proxy, nullptr);
+  const osl::RandKey key = proxy->key();
+  proxy->shutdown();
+  EXPECT_FALSE(proxy->booted());
+  EXPECT_FALSE(proxy->compromised());
+  sim.run_until(100.0);
+  proxy->revive();
+  EXPECT_TRUE(proxy->booted());
+  EXPECT_EQ(proxy->key(), key);
+  // handle_reboot fired: the proxy re-dials, so by the next quiescent
+  // point it has live connections to the server tier again.
+  sim.run_until(150.0);
+  EXPECT_GT(live->network().open_connections(), 0u);
+}
+
+TEST(RunTrialTest, RecoverOnBootedMachineIsOldBehaviour) {
+  // A default-kind FaultEvent on a live machine is a crash + restart with
+  // the current key — exactly what plans before Kind existed meant.
+  net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
+  plan.attack.enabled = false;
+  plan.faults.push_back({net::FaultEvent::Target::Server, 0, 350.0});
+  const TrialOutcome out = run_trial(model::SystemKind::S1, plan, 5);
+  EXPECT_FALSE(out.compromised);
+  EXPECT_EQ(out.lifetime_steps, plan.horizon_steps);
+}
+
+TEST(RunTrialTest, FaultAtHorizonBoundaryNeverFires) {
+  // The run stops AT the horizon, so a fault scheduled exactly there can
+  // never execute: the campaign must not even schedule it. A trial with
+  // such a fault is bit-identical to one with no faults at all. (Attack
+  // disabled so every run reaches the horizon and the just-inside fault
+  // below actually fires.)
+  net::ScenarioPlan plan = fast_plan(8, 16.0, 0.0, 30);
+  plan.attack.enabled = false;
+  net::ScenarioPlan boundary = plan;
+  const sim::Time horizon =
+      plan.step_duration * static_cast<sim::Time>(plan.horizon_steps);
+  boundary.faults.push_back({net::FaultEvent::Target::Server, 0, horizon,
+                             net::FaultEvent::Kind::Crash});
+  boundary.faults.push_back({net::FaultEvent::Target::Server, 0,
+                             horizon + 500.0, net::FaultEvent::Kind::Crash});
+  const TrialOutcome a = run_trial(model::SystemKind::S1, plan, 11);
+  const TrialOutcome b = run_trial(model::SystemKind::S1, boundary, 11);
+  EXPECT_EQ(a.compromised, b.compromised);
+  EXPECT_EQ(a.lifetime_steps, b.lifetime_steps);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.attacker.direct_probes, b.attacker.direct_probes);
+
+  // One tick inside the horizon, the same fault IS scheduled (and, here,
+  // changes the outcome by taking the probed server down at the end).
+  net::ScenarioPlan inside = plan;
+  inside.faults.push_back({net::FaultEvent::Target::Server, 0, horizon - 0.5,
+                           net::FaultEvent::Kind::Crash});
+  const TrialOutcome c = run_trial(model::SystemKind::S1, inside, 11);
+  EXPECT_NE(a.events_executed, c.events_executed);
+}
+
 TEST(CampaignTest, TopologyHooksPerClass) {
   sim::Simulator sim;
   net::ScenarioPlan plan = fast_plan(64, 8.0, 0.5, 10);
@@ -166,6 +288,211 @@ TEST(CampaignTest, AggregatesBitIdenticalForAnyThreadCount) {
       EXPECT_EQ(a.lifetime_ci.hi, b.lifetime_ci.hi);
     }
   }
+}
+
+void expect_outcomes_equal(const TrialOutcome& a, const TrialOutcome& b) {
+  EXPECT_EQ(a.compromised, b.compromised);
+  EXPECT_EQ(a.lifetime_steps, b.lifetime_steps);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.blacklisted_sources, b.blacklisted_sources);
+  EXPECT_EQ(a.attacker.direct_probes, b.attacker.direct_probes);
+  EXPECT_EQ(a.attacker.indirect_probes, b.attacker.indirect_probes);
+  EXPECT_EQ(a.attacker.crashes_caused, b.attacker.crashes_caused);
+  EXPECT_EQ(a.attacker.compromises, b.attacker.compromises);
+  EXPECT_EQ(a.attacker.keys_learned, b.attacker.keys_learned);
+}
+
+TEST(TrialArenaTest, ArenaTrialsMatchFreshTrials) {
+  // The whole point of the pooled path: reset-and-reuse must be
+  // indistinguishable from reconstruction, trial for trial, across system
+  // classes, plan knobs (keyspace, detection, faults) and seeds — including
+  // the rebuild paths when the structural shape changes.
+  net::ScenarioPlan small = fast_plan(64, 8.0, 0.5, 30);
+  net::ScenarioPlan big = fast_plan(128, 8.0, 0.25, 30);
+  big.name = "big";
+  big.proxy_blacklist = true;
+  big.detection_threshold = 5;
+  big.faults.push_back({net::FaultEvent::Target::Server, 1, 450.0,
+                        net::FaultEvent::Kind::Recover});
+  net::ScenarioPlan wide = fast_plan(64, 8.0, 0.5, 20);
+  wide.name = "wide";
+  wide.n_proxies = 4;
+  net::ScenarioPlan indirect_only = fast_plan(64, 8.0, 1.0, 20);
+  indirect_only.name = "indirect-only";
+  indirect_only.attack.direct_enabled = false;
+  indirect_only.attack.sybil_identities = 3;
+  net::ScenarioPlan direct_only = fast_plan(64, 8.0, 0.0, 20);
+  direct_only.name = "direct-only";  // kappa 0: indirect never wired
+  net::ScenarioPlan quiet = fast_plan(64, 8.0, 0.5, 10);
+  quiet.name = "quiet";
+  quiet.attack.enabled = false;
+
+  struct Case {
+    model::SystemKind system;
+    const net::ScenarioPlan* plan;
+    std::uint64_t seed;
+  };
+  const Case sequence[] = {
+      {model::SystemKind::S2, &small, 11},  // build
+      {model::SystemKind::S2, &small, 12},  // reuse, same plan
+      {model::SystemKind::S2, &big, 13},    // reuse, different knobs
+      {model::SystemKind::S1, &small, 14},  // rebuild: class change
+      {model::SystemKind::S1, &big, 15},    // reuse
+      {model::SystemKind::S2, &wide, 16},   // rebuild: tier size change
+      {model::SystemKind::S0, &small, 17},  // rebuild: SMR quorum
+      {model::SystemKind::S0, &small, 18},  // reuse (state transfer etc.)
+      {model::SystemKind::S2, &small, 11},  // back to the first shape
+      // Attacker-shape transitions on a reused deployment: the pooled
+      // attacker must rebuild (direct/sybil changes) or reset without the
+      // indirect draw (kappa 0), and survive an attackless trial between.
+      {model::SystemKind::S2, &indirect_only, 19},
+      {model::SystemKind::S2, &indirect_only, 20},  // attacker reuse
+      {model::SystemKind::S2, &direct_only, 21},    // attacker rebuild
+      {model::SystemKind::S2, &quiet, 22},          // no attacker at all
+      {model::SystemKind::S2, &small, 23},          // attacker rebuild again
+      {model::SystemKind::S2, &direct_only, 24},  // reuse, indirect inactive
+  };
+
+  TrialArena arena;
+  for (const Case& c : sequence) {
+    SCOPED_TRACE(testing::Message() << "system " << static_cast<int>(c.system)
+                                    << " plan " << c.plan->name << " seed "
+                                    << c.seed);
+    const TrialOutcome pooled = arena.run(c.system, *c.plan, c.seed);
+    const TrialOutcome fresh = run_trial(c.system, *c.plan, c.seed);
+    expect_outcomes_equal(pooled, fresh);
+  }
+}
+
+TEST(CampaignTest, PooledAndFreshStacksBitIdentical) {
+  std::vector<net::ScenarioPlan> plans = {fast_plan(64, 8.0, 0.5, 40),
+                                          fast_plan(128, 8.0, 0.25, 40)};
+  plans[1].name = "quarter-kappa";
+  plans[1].proxy_blacklist = true;
+  plans[1].detection_threshold = 6;
+  std::vector<CampaignCell> cells =
+      cross({model::SystemKind::S0, model::SystemKind::S1,
+             model::SystemKind::S2},
+            plans);
+
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 5;
+  cfg.base_seed = 99;
+  cfg.threads = 3;
+  cfg.reuse_trial_stacks = false;
+  const CampaignResult fresh = run_campaign(cells, cfg);
+  cfg.reuse_trial_stacks = true;
+  const CampaignResult pooled = run_campaign(cells, cfg);
+
+  ASSERT_EQ(pooled.cells.size(), fresh.cells.size());
+  EXPECT_EQ(pooled.total_trials, fresh.total_trials);
+  EXPECT_EQ(pooled.total_events, fresh.total_events);
+  for (std::size_t i = 0; i < fresh.cells.size(); ++i) {
+    const CellStats& a = fresh.cells[i];
+    const CellStats& b = pooled.cells[i];
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.compromised, b.compromised);
+    EXPECT_EQ(a.censored, b.censored);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.blacklisted_sources, b.blacklisted_sources);
+    EXPECT_EQ(a.attacker.direct_probes, b.attacker.direct_probes);
+    EXPECT_EQ(a.lifetime.mean(), b.lifetime.mean());
+    EXPECT_EQ(a.lifetime.variance(), b.lifetime.variance());
+  }
+}
+
+TEST(AdaptiveCampaignTest, AggregatesBitIdenticalForAnyThreadCount) {
+  // The tentpole determinism contract: for fixed (base_seed, config) the
+  // executed (cell, trial) seed set — and so every aggregate AND the
+  // per-cell trial counts the stopping rule produced — is identical at 1,
+  // 2 and 8 threads.
+  std::vector<net::ScenarioPlan> plans = {fast_plan(64, 8.0, 0.5, 40),
+                                          fast_plan(128, 8.0, 0.25, 60)};
+  plans[1].name = "quarter-kappa";
+  std::vector<CampaignCell> cells =
+      cross({model::SystemKind::S1, model::SystemKind::S2}, plans);
+
+  CampaignConfig cfg;
+  cfg.base_seed = 31337;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.round_trials = 4;
+  cfg.adaptive.target_rel_ci = 0.15;
+  cfg.adaptive.max_trials_per_cell = 24;
+
+  cfg.threads = 1;
+  const CampaignResult serial = run_campaign(cells, cfg);
+  for (unsigned threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const CampaignResult parallel = run_campaign(cells, cfg);
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+    EXPECT_EQ(parallel.total_trials, serial.total_trials);
+    EXPECT_EQ(parallel.total_events, serial.total_events);
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+      const CellStats& a = serial.cells[i];
+      const CellStats& b = parallel.cells[i];
+      EXPECT_EQ(a.trials, b.trials) << "cell " << i << " @" << threads;
+      EXPECT_EQ(a.rounds, b.rounds);
+      EXPECT_EQ(a.compromised, b.compromised);
+      EXPECT_EQ(a.censored, b.censored);
+      EXPECT_EQ(a.events_executed, b.events_executed);
+      EXPECT_EQ(a.attacker.direct_probes, b.attacker.direct_probes);
+      EXPECT_EQ(a.attacker.keys_learned, b.attacker.keys_learned);
+      // Bit-identical, not just close:
+      EXPECT_EQ(a.lifetime.mean(), b.lifetime.mean());
+      EXPECT_EQ(a.lifetime.variance(), b.lifetime.variance());
+      EXPECT_EQ(a.lifetime_ci.lo, b.lifetime_ci.lo);
+      EXPECT_EQ(a.lifetime_ci.hi, b.lifetime_ci.hi);
+    }
+  }
+}
+
+TEST(AdaptiveCampaignTest, LowVarianceCellStopsEarlyAndMeetsTarget) {
+  // Cell 0: attack disabled — every trial is censored at the horizon, so
+  // the lifetime sample has zero variance and the cell must close after
+  // its first round with its CI (width 0) trivially inside the target.
+  // Cell 1: a genuinely stochastic attacked cell — it needs more rounds.
+  net::ScenarioPlan calm = fast_plan(64, 8.0, 0.5, 20);
+  calm.name = "calm";
+  calm.attack.enabled = false;
+  net::ScenarioPlan noisy = fast_plan(512, 8.0, 0.5, 80);
+  noisy.name = "noisy";
+  std::vector<CampaignCell> cells = {{model::SystemKind::S1, calm},
+                                     {model::SystemKind::S1, noisy}};
+
+  CampaignConfig cfg;
+  cfg.base_seed = 7;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.round_trials = 6;
+  cfg.adaptive.target_rel_ci = 0.05;
+  cfg.adaptive.max_trials_per_cell = 120;
+  const CampaignResult r = run_campaign(cells, cfg);
+
+  const CellStats& low = r.cells[0];
+  const CellStats& high = r.cells[1];
+  EXPECT_EQ(low.trials, cfg.adaptive.round_trials);
+  EXPECT_EQ(low.rounds, 1u);
+  const double low_half = (low.lifetime_ci.hi - low.lifetime_ci.lo) / 2.0;
+  EXPECT_LE(low_half, cfg.adaptive.target_rel_ci * low.mean_lifetime());
+  EXPECT_GT(high.trials, low.trials);
+  EXPECT_GT(high.rounds, 1u);
+  // The high-variance cell either met the target or ran to the cap.
+  const double high_half = (high.lifetime_ci.hi - high.lifetime_ci.lo) / 2.0;
+  EXPECT_TRUE(high_half <=
+                  cfg.adaptive.target_rel_ci * high.mean_lifetime() ||
+              high.trials == cfg.adaptive.max_trials_per_cell);
+}
+
+TEST(AdaptiveCampaignTest, FixedModeMatchesLegacySingleRound) {
+  // adaptive.enabled = false must reproduce the fixed-budget behaviour:
+  // every cell runs exactly trials_per_cell trials in one round.
+  std::vector<CampaignCell> cells = {
+      {model::SystemKind::S1, fast_plan(64, 8.0, 0.5, 20)}};
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 9;
+  const CampaignResult r = run_campaign(cells, cfg);
+  EXPECT_EQ(r.total_trials, 9u);
+  EXPECT_EQ(r.cells[0].trials, 9u);
+  EXPECT_EQ(r.cells[0].rounds, 1u);
 }
 
 TEST(CampaignTest, CrossIsSystemsMajor) {

@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Diff a fresh benchmark JSON against a committed baseline.
+"""Diff fresh benchmark JSON against a committed baseline.
 
 Usage:
-    bench_diff.py BASELINE FRESH [--threshold 0.15]
+    bench_diff.py BASELINE FRESH [FRESH...] [--threshold 0.15]
 
-Exit status is non-zero when any benchmark present in both files regressed
-by more than THRESHOLD (fractional slowdown in ns/op), or when a baseline
-benchmark is missing from the fresh run (renames must update the baseline).
+Multiple FRESH files are merged into one result set (the baseline spans
+several bench binaries: bench_mc_throughput's BENCH_results.json and
+bench_campaign's BENCH_campaign.json). Exit status is non-zero when any
+benchmark present in both sides regressed by more than THRESHOLD
+(fractional slowdown in ns/op), or when a baseline benchmark is missing
+from the fresh run (renames must update the baseline).
 
 Two schemas are accepted, so the same tool gates both result files:
   * BenchRecorder (bench_util.hpp):  [{"name", "ns_per_op", "items_per_sec"}]
   * google-benchmark --benchmark_out: {"benchmarks": [{"name", "real_time",
     "time_unit", ...}]}  (aggregate entries like _mean/_stddev are skipped)
+
+Malformed entries (a record missing its "name"/"ns_per_op"/"real_time" key)
+fail with a message naming the file and entry instead of a bare KeyError.
 """
 
 import argparse
@@ -21,36 +27,73 @@ import sys
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+class SchemaError(ValueError):
+    pass
+
+
+def _require(entry, key, path, index):
+    """Fetch entry[key] with a diagnosable error instead of a KeyError."""
+    if key not in entry:
+        raise SchemaError(
+            f"{path}: benchmark entry #{index} is missing the '{key}' key "
+            f"(got keys: {sorted(entry)}) — regenerate the file or fix the "
+            f"baseline")
+    return entry[key]
+
+
 def load_ns_per_op(path):
     """Return {benchmark name: ns/op} from either supported schema."""
     with open(path) as f:
-        data = json.load(f)
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as err:
+            raise SchemaError(f"{path}: invalid benchmark JSON: {err}")
     out = {}
     if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
-        for b in data["benchmarks"]:
+        for i, b in enumerate(data["benchmarks"]):
             if b.get("run_type") == "aggregate":
                 continue
             scale = _TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
-            out[b["name"]] = float(b["real_time"]) * scale
+            name = _require(b, "name", path, i)
+            out[name] = float(_require(b, "real_time", path, i)) * scale
     elif isinstance(data, list):  # BenchRecorder
-        for b in data:
-            out[b["name"]] = float(b["ns_per_op"])
+        for i, b in enumerate(data):
+            name = _require(b, "name", path, i)
+            out[name] = float(_require(b, "ns_per_op", path, i))
     else:
-        raise ValueError(f"{path}: unrecognized benchmark JSON schema")
+        raise SchemaError(f"{path}: unrecognized benchmark JSON schema")
     return out
 
 
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("fresh", nargs="+",
+                    help="one or more fresh result files, merged")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="maximum tolerated fractional slowdown "
                          "(default 0.15 = 15%%)")
     args = ap.parse_args(argv)
 
-    base = load_ns_per_op(args.baseline)
-    fresh = load_ns_per_op(args.fresh)
+    try:
+        base = load_ns_per_op(args.baseline)
+        fresh, fresh_source = {}, {}
+        for path in args.fresh:
+            for name, ns in load_ns_per_op(path).items():
+                if name in fresh:
+                    raise SchemaError(
+                        f"benchmark '{name}' appears in both "
+                        f"{fresh_source[name]} and {path} — ambiguous fresh "
+                        f"result; rename one or drop the duplicate")
+                fresh[name] = ns
+                fresh_source[name] = path
+    except SchemaError as err:
+        print(f"FAIL: {err}")
+        return 1
+    except OSError as err:
+        print(f"FAIL: cannot read benchmark file: {err} "
+              f"(run the `bench` target first?)")
+        return 1
 
     regressions, missing = [], []
     print(f"{'benchmark':<40} {'baseline':>14} {'fresh':>14} {'delta':>9}")
