@@ -20,12 +20,15 @@ DerandAttacker::DerandAttacker(sim::Simulator& sim, net::Network& network,
   for (unsigned i = 1; i < config_.sybil_identities; ++i) {
     identities_.push_back(config_.address + "-sybil-" + std::to_string(i));
   }
-  for (const net::Address& id : identities_) network_.attach(id, *this);
+  identity_ids_.reserve(identities_.size());
+  for (const net::Address& id : identities_) {
+    identity_ids_.push_back(network_.attach(id, *this));
+  }
 }
 
 DerandAttacker::~DerandAttacker() {
   stop();
-  for (const net::Address& id : identities_) network_.detach(id);
+  for (net::HostId id : identity_ids_) network_.detach(id);
 }
 
 void DerandAttacker::add_direct_target(osl::Machine& target) {
@@ -33,14 +36,18 @@ void DerandAttacker::add_direct_target(osl::Machine& target) {
   auto channel = std::make_unique<Channel>();
   channel->kind = Channel::Kind::Direct;
   channel->target = &target;
-  channel->target_addr = target.address();
+  channel->target_id = target.id();
   channel->enum_offset = rng_.below(config_.keyspace);
   channels_.push_back(std::move(channel));
 }
 
 void DerandAttacker::set_indirect_channel(std::vector<net::Address> proxies) {
   FORTRESS_EXPECTS(!running_);
-  indirect_proxies_ = std::move(proxies);
+  indirect_proxies_.clear();
+  indirect_proxies_.reserve(proxies.size());
+  for (const net::Address& proxy : proxies) {
+    indirect_proxies_.push_back(network_.intern(proxy));
+  }
   indirect_offset_ = rng_.below(config_.keyspace);
 }
 
@@ -51,7 +58,7 @@ void DerandAttacker::add_launchpad(osl::Machine& pad,
     auto channel = std::make_unique<Channel>();
     channel->kind = Channel::Kind::Pad;
     channel->pad = &pad;
-    channel->target_addr = server;
+    channel->target_id = network_.intern(server);
     channel->enum_offset = rng_.below(config_.keyspace);
     channels_.push_back(std::move(channel));
   }
@@ -59,7 +66,7 @@ void DerandAttacker::add_launchpad(osl::Machine& pad,
   pad.set_attacker_taps(
       [this](const net::Envelope& env) { on_message(env); },
       [this](net::ConnectionId id, net::CloseReason reason) {
-        on_connection_closed(id, "", reason);
+        on_connection_closed(id, net::kInvalidHost, reason);
       });
 }
 
@@ -91,7 +98,7 @@ void DerandAttacker::reset(const AttackerConfig& config,
       channel->pad->set_attacker_taps(
           [this](const net::Envelope& env) { on_message(env); },
           [this](net::ConnectionId id, net::CloseReason reason) {
-            on_connection_closed(id, "", reason);
+            on_connection_closed(id, net::kInvalidHost, reason);
           });
     }
   }
@@ -106,7 +113,7 @@ void DerandAttacker::reset(const AttackerConfig& config,
   indirect_rotate_ = 0;
   request_seq_ = 0;
   indirect_timer_.reset();
-  for (const net::Address& id : identities_) network_.attach(id, *this);
+  for (net::HostId id : identity_ids_) network_.attach(id, *this);
 }
 
 void DerandAttacker::start() {
@@ -190,9 +197,9 @@ void DerandAttacker::tick(Channel& channel) {
   if (!channel.conn) {
     std::optional<net::ConnectionId> conn;
     if (channel.kind == Channel::Kind::Pad) {
-      conn = channel.pad->attacker_connect(channel.target_addr);
+      conn = channel.pad->attacker_connect(channel.target_id);
     } else {
-      conn = network_.connect(config_.address, channel.target_addr);
+      conn = network_.connect(identity_ids_.front(), channel.target_id);
     }
     if (!conn) return;  // victim mid-reboot; retry next tick
     channel.conn = conn;
@@ -205,12 +212,14 @@ void DerandAttacker::tick(Channel& channel) {
   osl::RandKey guess = next_guess(channel);
   channel.in_flight = guess;
   ++stats_.direct_probes;
-  Bytes probe = osl::encode_probe(guess);
+  Bytes probe = network_.acquire_buffer();
+  osl::encode_probe_into(probe, guess);
   bool sent = false;
   if (channel.kind == Channel::Kind::Pad) {
     sent = channel.pad->attacker_send_on(*channel.conn, std::move(probe));
   } else {
-    sent = network_.send_on(*channel.conn, config_.address, std::move(probe));
+    sent = network_.send_on(*channel.conn, identity_ids_.front(),
+                            std::move(probe));
   }
   if (!sent) {
     // Connection raced with a teardown; drop it and retry.
@@ -230,8 +239,8 @@ void DerandAttacker::tick_indirect() {
   // Rotate both the presented identity (Sybil evasion) and the proxy the
   // crafted request goes through (spreads the crash observations so no one
   // proxy accumulates them — the §2.2 load-balancing blind spot).
-  const net::Address& identity =
-      identities_[indirect_rotate_ % identities_.size()];
+  const std::size_t identity_ix = indirect_rotate_ % identities_.size();
+  const net::Address& identity = identities_[identity_ix];
 
   // A well-formed service request whose payload carries the exploit.
   replication::Message msg;
@@ -240,10 +249,12 @@ void DerandAttacker::tick_indirect() {
   msg.requester = identity;
   msg.payload = osl::encode_probe(guess);
 
-  const net::Address& proxy =
+  const net::HostId proxy =
       indirect_proxies_[indirect_rotate_ % indirect_proxies_.size()];
   ++indirect_rotate_;
-  network_.send(identity, proxy, msg.encode());
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  network_.send(identity_ids_[identity_ix], proxy, std::move(wire));
   ++stats_.indirect_probes;
 }
 
@@ -259,11 +270,12 @@ void DerandAttacker::on_message(const net::Envelope& env) {
     learn_key(channel, *channel.in_flight);
     channel.in_flight.reset();
   }
-  FORTRESS_LOG_INFO("attack") << "controls " << channel.target_addr;
+  FORTRESS_LOG_INFO("attack")
+      << "controls " << network_.address_of(channel.target_id);
 }
 
 void DerandAttacker::on_connection_closed(net::ConnectionId id,
-                                          const net::Address& /*peer*/,
+                                          net::HostId /*peer*/,
                                           net::CloseReason reason) {
   auto it = by_conn_.find(id);
   if (it == by_conn_.end()) return;

@@ -103,7 +103,7 @@ class DerandAttacker final : public net::Handler {
 
   // net::Handler:
   void on_message(const net::Envelope& env) override;
-  void on_connection_closed(net::ConnectionId id, const net::Address& peer,
+  void on_connection_closed(net::ConnectionId id, net::HostId peer,
                             net::CloseReason reason) override;
 
  private:
@@ -111,7 +111,7 @@ class DerandAttacker final : public net::Handler {
     enum class Kind { Direct, Pad } kind = Kind::Direct;
     osl::Machine* target = nullptr;  ///< Direct: the probed machine
     osl::Machine* pad = nullptr;     ///< Pad: the compromised proxy used
-    net::Address target_addr;
+    net::HostId target_id = net::kInvalidHost;
     std::uint64_t enum_offset = 0;  ///< random start within the keyspace
     std::uint64_t next_candidate = 0;
     std::vector<osl::RandKey> learned_keys;  ///< retry-first after reboots
@@ -132,12 +132,15 @@ class DerandAttacker final : public net::Handler {
   AttackerConfig config_;
   Rng rng_;
   AttackerStats stats_;
+  /// Presented source identities: the string addresses appear in crafted
+  /// wire messages; the ids are what the send path uses.
   std::vector<net::Address> identities_;
+  std::vector<net::HostId> identity_ids_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::map<net::ConnectionId, Channel*> by_conn_;
 
   // Indirect channel state.
-  std::vector<net::Address> indirect_proxies_;
+  std::vector<net::HostId> indirect_proxies_;
   std::uint64_t indirect_offset_ = 0;
   std::uint64_t indirect_next_ = 0;
   std::size_t indirect_rotate_ = 0;

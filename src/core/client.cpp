@@ -19,10 +19,16 @@ Client::Client(sim::Simulator& sim, net::Network& network,
       directory_(std::move(directory)),
       config_(std::move(config)) {
   FORTRESS_EXPECTS(directory_.fortified() || !directory_.server_addrs.empty());
-  network_.attach(config_.address, *this);
+  id_ = network_.attach(config_.address, *this);
+  const auto& targets =
+      directory_.fortified() ? directory_.proxies : directory_.server_addrs;
+  target_ids_.reserve(targets.size());
+  for (const net::Address& target : targets) {
+    target_ids_.push_back(network_.intern(target));
+  }
 }
 
-Client::~Client() { network_.detach(config_.address); }
+Client::~Client() { network_.detach(id_); }
 
 std::uint64_t Client::submit(Bytes request, ResponseCallback on_response,
                              TimeoutCallback on_timeout) {
@@ -47,12 +53,12 @@ void Client::broadcast_request(std::uint64_t seq) {
   msg.request_id = RequestId{config_.address, seq};
   msg.requester = config_.address;
   msg.payload = it->second.request;
-  Bytes wire = msg.encode();
-  const auto& targets =
-      directory_.fortified() ? directory_.proxies : directory_.server_addrs;
-  for (const net::Address& target : targets) {
-    network_.send(config_.address, target, wire);
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  for (net::HostId target : target_ids_) {
+    network_.send_copy(id_, target, wire);
   }
+  network_.recycle_buffer(std::move(wire));
 }
 
 void Client::schedule_retry(std::uint64_t seq) {

@@ -85,6 +85,10 @@ class Client final : public net::Handler {
   const crypto::KeyRegistry& registry_;
   Directory directory_;
   ClientConfig config_;
+  net::HostId id_ = net::kInvalidHost;
+  /// Request targets (proxies when fortified, servers otherwise), interned
+  /// once at construction.
+  std::vector<net::HostId> target_ids_;
   ClientStats stats_;
   std::uint64_t next_seq_ = 0;
   std::map<std::uint64_t, Outstanding> outstanding_;

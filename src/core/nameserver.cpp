@@ -12,22 +12,24 @@ NameServer::NameServer(net::Network& network, crypto::KeyRegistry& registry,
     : network_(network),
       key_(registry.enroll(kNameServerAddress)),
       directory_(std::move(directory)) {
-  network_.attach(kNameServerAddress, *this);
+  id_ = network_.attach(kNameServerAddress, *this);
 }
 
-NameServer::~NameServer() { network_.detach(kNameServerAddress); }
+NameServer::~NameServer() { network_.detach(id_); }
 
-void NameServer::reset() { network_.attach(kNameServerAddress, *this); }
+void NameServer::reset() { network_.attach(id_, *this); }
 
 void NameServer::on_message(const net::Envelope& env) {
   auto msg = Message::decode(env.payload);
   if (!msg || msg->type != MsgType::NsLookup) return;
   Message reply;
   reply.type = MsgType::NsReply;
-  reply.requester = env.from;
+  reply.requester = network_.address_of(env.from);
   reply.aux = directory_.encode();
   replication::sign_message(reply, key_);
-  network_.send(kNameServerAddress, env.from, reply.encode());
+  Bytes wire = network_.acquire_buffer();
+  reply.encode_into(wire);
+  network_.send(id_, env.from, std::move(wire));
 }
 
 }  // namespace fortress::core

@@ -36,6 +36,7 @@ class NameServer final : public net::Handler {
   net::Network& network_;
   crypto::SigningKey key_;
   Directory directory_;
+  net::HostId id_ = net::kInvalidHost;
 };
 
 }  // namespace fortress::core

@@ -38,7 +38,18 @@ SigningKey KeyRegistry::enroll(const std::string& name) {
 bool KeyRegistry::verify(BytesView message, const Signature& sig) const {
   auto it = secrets_.find(sig.signer.name);
   if (it == secrets_.end()) return false;
-  Digest expected = it->second.mac(message);
+  return verify_with(it->second, message, sig);
+}
+
+const HmacKey* KeyRegistry::schedule_for(const std::string& name) const {
+  auto it = secrets_.find(name);
+  // std::map nodes are stable: the pointer survives later enrollments.
+  return it != secrets_.end() ? &it->second : nullptr;
+}
+
+bool KeyRegistry::verify_with(const HmacKey& schedule, BytesView message,
+                              const Signature& sig) {
+  Digest expected = schedule.mac(message);
   return equal_constant_time(BytesView(expected.data(), expected.size()),
                              BytesView(sig.tag.data(), sig.tag.size()));
 }

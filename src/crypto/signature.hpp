@@ -93,6 +93,21 @@ class KeyRegistry {
   /// the signer is enrolled.
   bool verify(BytesView message, const Signature& sig) const;
 
+  /// The precomputed verification schedule of an enrolled principal, or
+  /// nullptr. The pointer is stable until reset() (enrollment never moves a
+  /// schedule), so per-message verifiers — proxies checking server
+  /// responses, SMR replicas checking peer ordering traffic — resolve each
+  /// expected signer ONCE into a direct-indexed table and skip the
+  /// per-message string-map lookup; see verify_with().
+  const HmacKey* schedule_for(const std::string& name) const;
+
+  /// Verify `sig` against an explicit schedule (obtained from
+  /// schedule_for): the amortized-lookup half of the verify path. The
+  /// CALLER asserts that `schedule` belongs to `sig.signer` — pair this
+  /// with an identity check against the expected principal.
+  static bool verify_with(const HmacKey& schedule, BytesView message,
+                          const Signature& sig);
+
   /// True iff a principal with this name has been enrolled.
   bool is_enrolled(const std::string& name) const;
 

@@ -1,0 +1,80 @@
+// interner.hpp — dense host identifiers for the live message plane.
+//
+// Every string Address a deployment mentions is interned exactly once into a
+// HostId: a small dense integer that indexes flat tables (the network's host
+// and routing tables, per-source detection tables, verifier caches). String
+// addresses remain the configuration/plan vocabulary; everything on the live
+// event path speaks HostId.
+//
+// Determinism contract: ids are assigned in first-intern (registration)
+// order, which for a deployment is its construction/attach order — a
+// deterministic function of the scenario plan. The interner is NEVER
+// cleared by Network::reset(), so a pooled campaign stack that rebuilds the
+// same deployment re-interns the same addresses to the same ids and
+// arena-reused trials stay bit-identical to fresh ones.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "net/scenario.hpp"
+
+namespace fortress::net {
+
+/// Dense identifier of an interned address. Assigned from 0 upward in
+/// registration order.
+using HostId = std::uint32_t;
+
+/// "No host" sentinel (never a valid id).
+inline constexpr HostId kInvalidHost = 0xFFFFFFFFu;
+
+class AddressInterner {
+ public:
+  /// Return the id of `addr`, assigning the next dense id on first sight.
+  HostId intern(const Address& addr) {
+    if (auto it = ids_.find(addr); it != ids_.end()) return it->second;
+    const HostId id = static_cast<HostId>(names_.size());
+    names_.push_back(addr);  // deque: the stored string never moves
+    ids_.emplace(std::string_view(names_.back()), id);
+    return id;
+  }
+
+  /// The id of `addr`, or kInvalidHost if it was never interned.
+  HostId find(const Address& addr) const {
+    auto it = ids_.find(addr);
+    return it != ids_.end() ? it->second : kInvalidHost;
+  }
+
+  /// The address behind an id. Contract-checked: `id` must be interned.
+  const Address& name(HostId id) const {
+    FORTRESS_EXPECTS(id < names_.size());
+    return names_[id];
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  // Heterogeneous lookup so find(const Address&) does not allocate.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  /// Keys are views into names_' stable storage (no second copy).
+  std::unordered_map<std::string_view, HostId, Hash, Eq> ids_;
+  std::deque<Address> names_;
+};
+
+}  // namespace fortress::net

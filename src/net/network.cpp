@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace fortress::net {
@@ -44,142 +45,238 @@ void Network::reset(std::unique_ptr<LatencyModel> latency,
   latency_ = std::move(latency);
   config_ = std::move(config);
   rng_ = Rng(config_.rng_seed);
-  hosts_.clear();
-  connections_.clear();
-  next_conn_ = 1;
+  // Interner and buffer pool survive (the arena-reuse contract); the host
+  // and connection tables restart exactly as freshly constructed.
+  std::fill(hosts_.begin(), hosts_.end(), nullptr);
+  conns_.clear();
+  conn_free_head_ = kNilSlot;
+  open_conns_ = 0;
+  conn_seq_ = 0;
   delivered_ = 0;
 }
 
-bool Network::link_blocked(const Address& x, const Address& y) const {
+bool Network::link_blocked(HostId x, HostId y) const {
+  // Only reached when partitions exist; membership is by address (the plan's
+  // declarative vocabulary), resolved through the interner.
+  const Address& ax = interner_.name(x);
+  const Address& ay = interner_.name(y);
   for (const PartitionWindow& w : config_.partitions) {
     if (!w.active_at(sim_.now())) continue;
-    if (w.contains(x) != w.contains(y)) return true;
+    if (w.contains(ax) != w.contains(ay)) return true;
   }
   return false;
 }
 
-void Network::attach(const Address& addr, Handler& handler) {
-  FORTRESS_EXPECTS(!hosts_.contains(addr));
-  hosts_[addr] = &handler;
+HostId Network::attach(const Address& addr, Handler& handler) {
+  const HostId id = interner_.intern(addr);
+  attach(id, handler);
+  return id;
+}
+
+void Network::attach(HostId id, Handler& handler) {
+  FORTRESS_EXPECTS(id < interner_.size());
+  if (hosts_.size() < interner_.size()) hosts_.resize(interner_.size());
+  FORTRESS_EXPECTS(hosts_[id] == nullptr);
+  hosts_[id] = &handler;
 }
 
 void Network::detach(const Address& addr, CloseReason reason) {
-  auto it = hosts_.find(addr);
-  if (it == hosts_.end()) return;
-  hosts_.erase(it);
+  detach(id_of(addr), reason);
+}
 
-  // Close every connection with this endpoint; notify the surviving peer.
-  std::vector<std::pair<ConnectionId, Address>> to_notify;
-  for (auto conn_it = connections_.begin(); conn_it != connections_.end();) {
-    const auto& [id, conn] = *conn_it;
-    if (conn.a == addr || conn.b == addr) {
-      const Address peer = (conn.a == addr) ? conn.b : conn.a;
-      to_notify.emplace_back(id, peer);
-      conn_it = connections_.erase(conn_it);
-    } else {
-      ++conn_it;
-    }
+void Network::detach(HostId id, CloseReason reason) {
+  if (!attached(id)) return;
+  hosts_[id] = nullptr;
+
+  // Close every connection with this endpoint; notify the surviving peer in
+  // connection-creation order (the order the old id-ordered map walk
+  // produced, which the RNG draw sequence of the notifications depends on).
+  struct Match {
+    std::uint64_t seq;
+    ConnectionId id;
+    HostId peer;
+  };
+  std::vector<Match> to_notify;
+  for (std::uint32_t slot = 0; slot < conns_.size(); ++slot) {
+    ConnSlot& c = conns_[slot];
+    if (!c.open || (c.a != id && c.b != id)) continue;
+    to_notify.push_back(
+        {c.opened_seq, make_conn_id(slot, c.gen), c.a == id ? c.b : c.a});
   }
-  for (const auto& [id, peer] : to_notify) {
-    notify_closed(peer, id, addr, reason);
+  std::sort(to_notify.begin(), to_notify.end(),
+            [](const Match& x, const Match& y) { return x.seq < y.seq; });
+  for (const Match& m : to_notify) {
+    release_conn(m.id);
+    notify_closed(m.peer, m.id, id, reason);
   }
 }
 
-bool Network::attached(const Address& addr) const {
-  return hosts_.contains(addr);
+Bytes Network::acquire_buffer() {
+  if (pool_.empty()) return Bytes{};
+  Bytes buf = std::move(pool_.back());
+  pool_.pop_back();
+  return buf;
 }
 
-void Network::deliver(Envelope env) {
+void Network::recycle_buffer(Bytes&& buf) {
+  buf.clear();
+  pool_.push_back(std::move(buf));
+}
+
+void Network::deliver(HostId from, HostId to, Bytes payload,
+                      std::optional<ConnectionId> conn) {
   // Partitioned links lose traffic at send time (nothing enters the pipe).
-  if (!config_.partitions.empty() && link_blocked(env.from, env.to)) return;
+  if (!config_.partitions.empty() && link_blocked(from, to)) {
+    recycle_buffer(std::move(payload));
+    return;
+  }
   sim::Time delay = latency_->sample(rng_);
-  sim_.schedule_after(delay, [this, env = std::move(env)]() mutable {
-    auto it = hosts_.find(env.to);
-    if (it == hosts_.end()) return;  // host gone before delivery
-    if (env.connection &&
-        !connections_.contains(*env.connection)) {
-      return;  // connection torn down in flight
-    }
-    ++delivered_;
-    it->second->on_message(env);
-  });
+  sim_.schedule_after(
+      delay, [this, from, to, conn, payload = std::move(payload)]() mutable {
+        Handler* handler = to < hosts_.size() ? hosts_[to] : nullptr;
+        if (handler == nullptr ||               // host gone before delivery
+            (conn && conn_at(*conn) == nullptr)) {  // torn down in flight
+          recycle_buffer(std::move(payload));
+          return;
+        }
+        ++delivered_;
+        handler->on_message(Envelope{from, to, BytesView(payload), conn});
+        recycle_buffer(std::move(payload));
+      });
 }
 
 void Network::send(const Address& from, const Address& to, Bytes payload) {
+  send(intern(from), intern(to), std::move(payload));
+}
+
+void Network::send(HostId from, HostId to, Bytes payload) {
   // A detached host has no network presence: traffic from an application
   // whose machine crashed or is mid-reboot is dropped at the source.
-  if (!hosts_.contains(from)) return;
+  if (!attached(from)) {
+    recycle_buffer(std::move(payload));
+    return;
+  }
   if (config_.drop_probability > 0 &&
       rng_.bernoulli(config_.drop_probability)) {
+    recycle_buffer(std::move(payload));
     return;
   }
   if (config_.duplicate_probability > 0 &&
       rng_.bernoulli(config_.duplicate_probability)) {
-    deliver(Envelope{from, to, payload, std::nullopt});
+    // The one place on the event path a payload is copied.
+    Bytes dup = acquire_buffer();
+    dup.assign(payload.begin(), payload.end());
+    deliver(from, to, std::move(dup), std::nullopt);
   }
-  deliver(Envelope{from, to, std::move(payload), std::nullopt});
+  deliver(from, to, std::move(payload), std::nullopt);
+}
+
+void Network::send_copy(HostId from, HostId to, BytesView payload) {
+  Bytes buf = acquire_buffer();
+  buf.assign(payload.begin(), payload.end());
+  send(from, to, std::move(buf));
 }
 
 std::optional<ConnectionId> Network::connect(const Address& from,
                                              const Address& to) {
+  return connect(intern(from), intern(to));
+}
+
+std::optional<ConnectionId> Network::connect(HostId from, HostId to) {
   // Refused if either end lacks network presence (caller mid-reboot, or
   // callee down) or an active partition separates the endpoints.
-  if (!hosts_.contains(from)) return std::nullopt;
-  if (!hosts_.contains(to)) return std::nullopt;
+  if (!attached(from)) return std::nullopt;
+  if (!attached(to)) return std::nullopt;
   if (!config_.partitions.empty() && link_blocked(from, to)) {
     return std::nullopt;
   }
-  ConnectionId id = next_conn_++;
-  connections_[id] = Conn{from, to};
+  std::uint32_t slot;
+  if (conn_free_head_ != kNilSlot) {
+    slot = conn_free_head_;
+    conn_free_head_ = conns_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(conns_.size());
+    conns_.emplace_back();
+  }
+  ConnSlot& c = conns_[slot];
+  c.a = from;
+  c.b = to;
+  c.open = true;
+  c.opened_seq = ++conn_seq_;
+  ++open_conns_;
+  const ConnectionId id = make_conn_id(slot, c.gen);
   sim::Time delay = latency_->sample(rng_);
   sim_.schedule_after(delay, [this, id, from, to] {
-    auto conn_it = connections_.find(id);
-    if (conn_it == connections_.end()) return;
-    auto host_it = hosts_.find(to);
-    if (host_it == hosts_.end()) return;
-    host_it->second->on_connection_opened(id, from);
+    if (conn_at(id) == nullptr) return;
+    Handler* handler = to < hosts_.size() ? hosts_[to] : nullptr;
+    if (handler == nullptr) return;
+    handler->on_connection_opened(id, from);
   });
   return id;
 }
 
 bool Network::send_on(ConnectionId id, const Address& from, Bytes payload) {
-  auto it = connections_.find(id);
-  if (it == connections_.end()) return false;
-  const Conn& conn = it->second;
-  if (conn.a != from && conn.b != from) return false;
-  const Address to = (conn.a == from) ? conn.b : conn.a;
-  Envelope env{from, to, std::move(payload), id};
-  deliver(std::move(env));
+  return send_on(id, id_of(from), std::move(payload));
+}
+
+bool Network::send_on(ConnectionId id, HostId from, Bytes payload) {
+  const ConnSlot* c = conn_at(id);
+  if (c == nullptr || (c->a != from && c->b != from)) {
+    recycle_buffer(std::move(payload));
+    return false;
+  }
+  deliver(from, c->a == from ? c->b : c->a, std::move(payload), id);
   return true;
 }
 
+bool Network::send_on_copy(ConnectionId id, HostId from, BytesView payload) {
+  Bytes buf = acquire_buffer();
+  buf.assign(payload.begin(), payload.end());
+  return send_on(id, from, std::move(buf));
+}
+
+void Network::release_conn(ConnectionId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  ConnSlot& c = conns_[slot];
+  c.open = false;
+  ++c.gen;  // stale ids (and in-flight messages on this conn) go dead
+  c.next_free = conn_free_head_;
+  conn_free_head_ = slot;
+  --open_conns_;
+}
+
+void Network::teardown(ConnectionId id, HostId endpoint, CloseReason reason) {
+  const ConnSlot* c = conn_at(id);
+  if (c == nullptr) return;
+  FORTRESS_EXPECTS(c->a == endpoint || c->b == endpoint);
+  const HostId peer = c->a == endpoint ? c->b : c->a;
+  release_conn(id);
+  notify_closed(peer, id, endpoint, reason);
+}
+
 void Network::close(ConnectionId id, const Address& closer) {
-  auto it = connections_.find(id);
-  if (it == connections_.end()) return;
-  Conn conn = it->second;
-  FORTRESS_EXPECTS(conn.a == closer || conn.b == closer);
-  connections_.erase(it);
-  const Address peer = (conn.a == closer) ? conn.b : conn.a;
-  notify_closed(peer, id, closer, CloseReason::PeerClosed);
+  teardown(id, id_of(closer), CloseReason::PeerClosed);
+}
+
+void Network::close(ConnectionId id, HostId closer) {
+  teardown(id, closer, CloseReason::PeerClosed);
 }
 
 void Network::abort(ConnectionId id, const Address& crasher) {
-  auto it = connections_.find(id);
-  if (it == connections_.end()) return;
-  Conn conn = it->second;
-  FORTRESS_EXPECTS(conn.a == crasher || conn.b == crasher);
-  connections_.erase(it);
-  const Address peer = (conn.a == crasher) ? conn.b : conn.a;
-  notify_closed(peer, id, crasher, CloseReason::PeerCrashed);
+  teardown(id, id_of(crasher), CloseReason::PeerCrashed);
 }
 
-void Network::notify_closed(const Address& endpoint, ConnectionId id,
-                            const Address& peer, CloseReason reason) {
+void Network::abort(ConnectionId id, HostId crasher) {
+  teardown(id, crasher, CloseReason::PeerCrashed);
+}
+
+void Network::notify_closed(HostId endpoint, ConnectionId id, HostId peer,
+                            CloseReason reason) {
   sim::Time delay = latency_->sample(rng_);
   sim_.schedule_after(delay, [this, endpoint, id, peer, reason] {
-    auto it = hosts_.find(endpoint);
-    if (it == hosts_.end()) return;
-    it->second->on_connection_closed(id, peer, reason);
+    Handler* handler = endpoint < hosts_.size() ? hosts_[endpoint] : nullptr;
+    if (handler == nullptr) return;
+    handler->on_connection_closed(id, peer, reason);
   });
 }
 

@@ -12,6 +12,21 @@
 // Detaching a host (process crash) drops in-flight messages addressed to it
 // and closes all its connections.
 //
+// Hot-path design (campaign trials deliver hundreds of millions of protocol
+// messages): the live event path is dense-id and allocation-free.
+//  * Addresses are interned to HostId once, at registration; the host table
+//    is a flat vector indexed by id and Envelope carries ids, not strings.
+//    Strings appear only at the configuration boundary (the Address
+//    overloads, ScenarioPlan, logging).
+//  * Connections live in a slot table with free-list reuse; ConnectionId
+//    encodes (slot, generation) so lookup is an O(1) indexed check immune to
+//    slot-reuse ABA.
+//  * Payload buffers are pooled: send()/send_on() take a Bytes the network
+//    moves end-to-end into the scheduled delivery, hands to the handler as a
+//    BytesView, and recycles. acquire_buffer() lets senders build messages
+//    directly in a pooled buffer; the datagram-duplication path is the only
+//    place a payload is copied.
+//
 // Behaviour (latency distribution, loss, duplication, partitions) is
 // injected either via the classic (LatencyModel, NetworkConfig) pair or
 // wholesale from a declarative net::ScenarioPlan (see scenario.hpp), which
@@ -19,8 +34,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,19 +41,23 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "net/interner.hpp"
 #include "net/scenario.hpp"
 #include "sim/simulator.hpp"
 
 namespace fortress::net {
 
 /// Identifier of an established connection (shared by both endpoints).
+/// Encodes (slot << 32 | generation); never 0.
 using ConnectionId = std::uint64_t;
 
-/// A delivered message.
+/// A delivered message. `payload` is a view into a network-owned pooled
+/// buffer that is recycled when the handler returns — handlers that need
+/// the bytes later must copy them.
 struct Envelope {
-  Address from;
-  Address to;
-  Bytes payload;
+  HostId from = kInvalidHost;
+  HostId to = kInvalidHost;
+  BytesView payload;
   /// Set when the message arrived over a connection.
   std::optional<ConnectionId> connection;
 };
@@ -54,7 +71,9 @@ enum class CloseReason {
 
 const char* to_string(CloseReason reason);
 
-/// Callbacks a host implements to use the network.
+/// Callbacks a host implements to use the network. Peers are identified by
+/// HostId; Network::address_of() recovers the string when needed (logging,
+/// wire fields).
 class Handler {
  public:
   virtual ~Handler() = default;
@@ -63,7 +82,7 @@ class Handler {
   virtual void on_message(const Envelope& env) = 0;
 
   /// A connection this host participated in was closed.
-  virtual void on_connection_closed(ConnectionId id, const Address& peer,
+  virtual void on_connection_closed(ConnectionId id, HostId peer,
                                     CloseReason reason) {
     (void)id;
     (void)peer;
@@ -71,7 +90,7 @@ class Handler {
   }
 
   /// An inbound connection was accepted (after the initiator's connect()).
-  virtual void on_connection_opened(ConnectionId id, const Address& peer) {
+  virtual void on_connection_opened(ConnectionId id, HostId peer) {
     (void)id;
     (void)peer;
   }
@@ -160,31 +179,79 @@ class Network {
   /// Return to the freshly-constructed state under a new behaviour
   /// (latency model + config): all hosts detach silently (no closure
   /// notifications — the simulation they belonged to is over), all
-  /// connections drop, counters and the RNG stream restart. Part of the
-  /// campaign trial-arena reuse path; the simulator should be reset by the
+  /// connections drop, counters and the RNG stream restart. The address
+  /// interner and the payload-buffer pool survive — that is the campaign
+  /// trial-arena reuse path: a rebuilt deployment re-interns the same
+  /// addresses to the same ids. The simulator should be reset by the
   /// caller as well, since in-flight deliveries are scheduled events.
   void reset(std::unique_ptr<LatencyModel> latency, NetworkConfig config);
 
-  /// Attach a host at `addr`. Precondition: the address is free.
-  /// The handler must stay alive until detach.
-  void attach(const Address& addr, Handler& handler);
+  // --- the address/id boundary ---------------------------------------------
 
-  /// Detach the host at `addr` (process exit/crash). All its connections
-  /// close; `reason` tells peers whether this looked like a crash.
-  /// No-op if the address is not attached.
+  /// Intern `addr` (idempotent registration). Components resolve their own
+  /// and their peers' ids once, at construction/start, and use ids on every
+  /// message after that.
+  HostId intern(const Address& addr) { return interner_.intern(addr); }
+
+  /// The id of `addr`, or kInvalidHost if never interned.
+  HostId id_of(const Address& addr) const { return interner_.find(addr); }
+
+  /// The address behind an interned id (logging / wire-format boundary).
+  const Address& address_of(HostId id) const { return interner_.name(id); }
+
+  const AddressInterner& interner() const { return interner_; }
+
+  // --- attachment ----------------------------------------------------------
+
+  /// Attach a host at `addr`, interning it; returns the host's id.
+  /// Precondition: the address is free. The handler must stay alive until
+  /// detach.
+  HostId attach(const Address& addr, Handler& handler);
+
+  /// Attach at an already-interned id. Precondition: the slot is free.
+  void attach(HostId id, Handler& handler);
+
+  /// Detach the host (process exit/crash). All its connections close;
+  /// `reason` tells peers whether this looked like a crash. No-op if not
+  /// attached.
+  void detach(HostId id, CloseReason reason = CloseReason::PeerClosed);
   void detach(const Address& addr, CloseReason reason = CloseReason::PeerClosed);
 
-  /// True if a host is currently attached at `addr`.
-  bool attached(const Address& addr) const;
+  /// True if a host is currently attached.
+  bool attached(HostId id) const {
+    return id < hosts_.size() && hosts_[id] != nullptr;
+  }
+  bool attached(const Address& addr) const { return attached(id_of(addr)); }
+
+  // --- payload buffers -----------------------------------------------------
+
+  /// An empty Bytes from the recycle pool (or fresh). Senders that build
+  /// messages into one hand it to send()/send_on(), which moves it through
+  /// delivery and recycles it — the whole hop allocates nothing in steady
+  /// state.
+  Bytes acquire_buffer();
+
+  /// Return a buffer to the pool (for callers that acquired one and ended
+  /// up not sending it).
+  void recycle_buffer(Bytes&& buf);
+
+  // --- messaging -----------------------------------------------------------
 
   /// Send a datagram. Silently dropped if `to` is not attached at delivery
-  /// time or the drop coin fires.
+  /// time or the drop coin fires. The payload buffer is consumed (recycled
+  /// after delivery).
+  void send(HostId from, HostId to, Bytes payload);
   void send(const Address& from, const Address& to, Bytes payload);
+
+  /// Datagram from a pooled copy of `payload` — the multi-recipient
+  /// broadcast path (encode once, send_copy per recipient).
+  void send_copy(HostId from, HostId to, BytesView payload);
 
   /// Open a connection from `from` to `to`. Returns the connection id; the
   /// acceptor learns about it via on_connection_opened after one latency.
   /// Returns nullopt if `to` is not attached (connection refused) or the
   /// link is currently partitioned (the SYN is lost).
+  std::optional<ConnectionId> connect(HostId from, HostId to);
   std::optional<ConnectionId> connect(const Address& from, const Address& to);
 
   /// Send on an established connection: exempt from datagram drop and
@@ -192,18 +259,25 @@ class Network {
   /// message sent while a PartitionWindow separates the endpoints is lost
   /// at send time with no notification; `true` only means the connection
   /// existed and `from` was an endpoint (false otherwise).
+  bool send_on(ConnectionId id, HostId from, Bytes payload);
   bool send_on(ConnectionId id, const Address& from, Bytes payload);
 
+  /// send_on from a pooled copy of `payload` (multi-recipient fan-out over
+  /// connections; see send_copy).
+  bool send_on_copy(ConnectionId id, HostId from, BytesView payload);
+
   /// Close a connection from one side; the peer is notified (PeerClosed).
+  void close(ConnectionId id, HostId closer);
   void close(ConnectionId id, const Address& closer);
 
   /// Tear down a connection because the process (child) behind `crasher`
   /// crashed; the peer is notified with PeerCrashed — the observable signal
   /// a de-randomization attacker relies on.
+  void abort(ConnectionId id, HostId crasher);
   void abort(ConnectionId id, const Address& crasher);
 
   /// Number of live connections (diagnostics).
-  std::size_t open_connections() const { return connections_.size(); }
+  std::size_t open_connections() const { return open_conns_; }
 
   /// Total messages delivered (diagnostics).
   std::uint64_t delivered_count() const { return delivered_; }
@@ -211,24 +285,55 @@ class Network {
   sim::Simulator& simulator() { return sim_; }
 
  private:
-  struct Conn {
-    Address a;  // initiator
-    Address b;  // acceptor
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// A connection slot. `gen` is bumped on release so stale ConnectionIds
+  /// fail the open check; `opened_seq` preserves creation order, which
+  /// detach() notification order (and therefore the RNG draw sequence) is
+  /// defined by.
+  struct ConnSlot {
+    HostId a = kInvalidHost;  // initiator
+    HostId b = kInvalidHost;  // acceptor
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNilSlot;
+    std::uint64_t opened_seq = 0;
+    bool open = false;
   };
 
-  void deliver(Envelope env);
-  void notify_closed(const Address& endpoint, ConnectionId id,
-                     const Address& peer, CloseReason reason);
+  static ConnectionId make_conn_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<ConnectionId>(slot) << 32) | gen;
+  }
+  const ConnSlot* conn_at(ConnectionId id) const {
+    const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= conns_.size()) return nullptr;
+    const ConnSlot& c = conns_[slot];
+    if (!c.open || c.gen != static_cast<std::uint32_t>(id)) return nullptr;
+    return &c;
+  }
+  void release_conn(ConnectionId id);
+
+  void deliver(HostId from, HostId to, Bytes payload,
+               std::optional<ConnectionId> conn);
+  void notify_closed(HostId endpoint, ConnectionId id, HostId peer,
+                     CloseReason reason);
+  void teardown(ConnectionId id, HostId endpoint, CloseReason reason);
   /// True when an active partition window separates `x` and `y` right now.
-  bool link_blocked(const Address& x, const Address& y) const;
+  bool link_blocked(HostId x, HostId y) const;
 
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   NetworkConfig config_;
   Rng rng_;
-  std::map<Address, Handler*> hosts_;
-  std::map<ConnectionId, Conn> connections_;
-  ConnectionId next_conn_ = 1;
+  AddressInterner interner_;
+  /// Flat host table indexed by HostId; nullptr = not attached.
+  std::vector<Handler*> hosts_;
+  /// Connection slot table + free list.
+  std::vector<ConnSlot> conns_;
+  std::uint32_t conn_free_head_ = kNilSlot;
+  std::size_t open_conns_ = 0;
+  std::uint64_t conn_seq_ = 0;
+  /// Recycled payload buffers (see acquire_buffer).
+  std::vector<Bytes> pool_;
   std::uint64_t delivered_ = 0;
 };
 

@@ -9,10 +9,11 @@ Machine::Machine(net::Network& network, MachineConfig config)
     : network_(network), config_(std::move(config)) {
   FORTRESS_EXPECTS(config_.keyspace >= 2);
   FORTRESS_EXPECTS(!config_.address.empty());
+  id_ = network_.intern(config_.address);
 }
 
 Machine::~Machine() {
-  if (booted_) network_.detach(config_.address, net::CloseReason::LocalDetach);
+  if (booted_) network_.detach(id_, net::CloseReason::LocalDetach);
 }
 
 void Machine::boot(RandKey key) {
@@ -21,12 +22,12 @@ void Machine::boot(RandKey key) {
   key_ = key;
   booted_ = true;
   compromised_ = false;
-  network_.attach(config_.address, *this);
+  network_.attach(id_, *this);
 }
 
 void Machine::shutdown() {
   if (!booted_) return;
-  network_.detach(config_.address, net::CloseReason::PeerClosed);
+  network_.detach(id_, net::CloseReason::PeerClosed);
   booted_ = false;
   // The process is gone: the attacker's implant and sessions die with it.
   compromised_ = false;
@@ -42,10 +43,10 @@ void Machine::reboot_common() {
   FORTRESS_EXPECTS(booted_);
   // Reboot: all connections drop (clean close — peers see an orderly
   // restart, not a child crash), attacker sessions die with them.
-  network_.detach(config_.address, net::CloseReason::PeerClosed);
+  network_.detach(id_, net::CloseReason::PeerClosed);
   compromised_ = false;
   attacker_conns_.clear();  // the implant and its sessions die with the reboot
-  network_.attach(config_.address, *this);
+  network_.attach(id_, *this);
   if (app_ != nullptr) app_->handle_reboot();
 }
 
@@ -77,15 +78,16 @@ void Machine::handle_probe(const net::Envelope& env, RandKey guess) {
       compromised_ = true;
       ++times_compromised_;
       FORTRESS_LOG_INFO("machine")
-          << config_.address << " COMPROMISED by " << env.from
-          << " (key=" << key_ << ")";
+          << config_.address << " COMPROMISED by "
+          << network_.address_of(env.from) << " (key=" << key_ << ")";
       for (const auto& listener : compromise_listeners_) listener(*this);
     }
-    Bytes ack = encode_owned_ack(key_);
+    Bytes ack = network_.acquire_buffer();
+    encode_owned_ack_into(ack, key_);
     if (env.connection) {
-      network_.send_on(*env.connection, config_.address, std::move(ack));
+      network_.send_on(*env.connection, id_, std::move(ack));
     } else {
-      network_.send(config_.address, env.from, std::move(ack));
+      network_.send(id_, env.from, std::move(ack));
     }
     return;
   }
@@ -94,7 +96,7 @@ void Machine::handle_probe(const net::Envelope& env, RandKey guess) {
   // so the machine stays attached and other sessions continue.
   ++child_crashes_;
   if (env.connection) {
-    network_.abort(*env.connection, config_.address);
+    network_.abort(*env.connection, id_);
   }
   // A datagram probe produces no observable reaction at all.
 }
@@ -123,13 +125,11 @@ void Machine::on_message(const net::Envelope& env) {
   if (app_ != nullptr) app_->handle_message(env);
 }
 
-void Machine::on_connection_opened(net::ConnectionId id,
-                                   const net::Address& peer) {
+void Machine::on_connection_opened(net::ConnectionId id, net::HostId peer) {
   if (app_ != nullptr) app_->handle_connection_opened(id, peer);
 }
 
-void Machine::on_connection_closed(net::ConnectionId id,
-                                   const net::Address& peer,
+void Machine::on_connection_closed(net::ConnectionId id, net::HostId peer,
                                    net::CloseReason reason) {
   if (attacker_conns_.erase(id) > 0) {
     if (tap_closed_) tap_closed_(id, reason);
@@ -138,10 +138,9 @@ void Machine::on_connection_closed(net::ConnectionId id,
   if (app_ != nullptr) app_->handle_connection_closed(id, peer, reason);
 }
 
-std::optional<net::ConnectionId> Machine::attacker_connect(
-    const net::Address& to) {
+std::optional<net::ConnectionId> Machine::attacker_connect(net::HostId to) {
   FORTRESS_EXPECTS(compromised_);
-  auto conn = network_.connect(config_.address, to);
+  auto conn = network_.connect(id_, to);
   if (conn) attacker_conns_.insert(*conn);
   return conn;
 }
@@ -155,12 +154,12 @@ void Machine::set_attacker_taps(
 
 bool Machine::attacker_send_on(net::ConnectionId id, Bytes payload) {
   FORTRESS_EXPECTS(compromised_);
-  return network_.send_on(id, config_.address, std::move(payload));
+  return network_.send_on(id, id_, std::move(payload));
 }
 
-void Machine::attacker_send(const net::Address& to, Bytes payload) {
+void Machine::attacker_send(net::HostId to, Bytes payload) {
   FORTRESS_EXPECTS(compromised_);
-  network_.send(config_.address, to, std::move(payload));
+  network_.send(id_, to, std::move(payload));
 }
 
 }  // namespace fortress::osl

@@ -12,6 +12,9 @@
 //    re-randomization (rerandomize()) or recovery (recover());
 //  * reboot-class operations drop all of the machine's connections.
 //
+// The machine interns its address once at construction; every message it
+// sends or receives travels on its dense HostId (see net/interner.hpp).
+//
 // Application logic (replica, proxy) plugs in via osl::Application and never
 // sees probe traffic — probes are absorbed at this layer, exactly as a
 // memory-error exploit is invisible to correct application code.
@@ -38,12 +41,12 @@ class Application {
   virtual ~Application() = default;
   virtual void handle_message(const net::Envelope& env) = 0;
   virtual void handle_connection_opened(net::ConnectionId id,
-                                        const net::Address& peer) {
+                                        net::HostId peer) {
     (void)id;
     (void)peer;
   }
   virtual void handle_connection_closed(net::ConnectionId id,
-                                        const net::Address& peer,
+                                        net::HostId peer,
                                         net::CloseReason reason) {
     (void)id;
     (void)peer;
@@ -103,7 +106,8 @@ class Machine final : public net::Handler {
   /// keyspace: not booted, no key, no compromise history, no listeners or
   /// attacker taps. Does NOT touch the network — callers on the campaign
   /// trial-arena reuse path reset the network first, which already forgot
-  /// this machine's attachment.
+  /// this machine's attachment. The machine keeps its interned id (the
+  /// interner survives a network reset).
   void reset(std::uint64_t keyspace);
 
   bool booted() const { return booted_; }
@@ -112,6 +116,8 @@ class Machine final : public net::Handler {
   std::uint64_t child_crashes() const { return child_crashes_; }
   std::uint64_t times_compromised() const { return times_compromised_; }
   const net::Address& address() const { return config_.address; }
+  /// The machine's dense network id (interned at construction).
+  net::HostId id() const { return id_; }
 
   void set_application(Application* app) { app_ = app; }
 
@@ -126,9 +132,9 @@ class Machine final : public net::Handler {
   // Once compromised, the attacker wields this machine's network identity.
   // Contract-checked: calling these on an uncompromised machine throws.
 
-  std::optional<net::ConnectionId> attacker_connect(const net::Address& to);
+  std::optional<net::ConnectionId> attacker_connect(net::HostId to);
   bool attacker_send_on(net::ConnectionId id, Bytes payload);
-  void attacker_send(const net::Address& to, Bytes payload);
+  void attacker_send(net::HostId to, Bytes payload);
 
   /// Install the attacker's observation taps: traffic and closure events on
   /// connections the attacker opened through this machine are routed to the
@@ -140,9 +146,8 @@ class Machine final : public net::Handler {
 
   // --- net::Handler --------------------------------------------------------
   void on_message(const net::Envelope& env) override;
-  void on_connection_opened(net::ConnectionId id,
-                            const net::Address& peer) override;
-  void on_connection_closed(net::ConnectionId id, const net::Address& peer,
+  void on_connection_opened(net::ConnectionId id, net::HostId peer) override;
+  void on_connection_closed(net::ConnectionId id, net::HostId peer,
                             net::CloseReason reason) override;
 
  private:
@@ -151,6 +156,7 @@ class Machine final : public net::Handler {
 
   net::Network& network_;
   MachineConfig config_;
+  net::HostId id_ = net::kInvalidHost;
   Application* app_ = nullptr;
   RandKey key_ = 0;
   bool booted_ = false;

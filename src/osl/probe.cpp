@@ -4,9 +4,14 @@ namespace fortress::osl {
 
 Bytes encode_probe(RandKey guess) {
   Bytes out;
+  encode_probe_into(out, guess);
+  return out;
+}
+
+void encode_probe_into(Bytes& out, RandKey guess) {
+  out.clear();
   append_u32_be(out, kProbeMagic);
   append_u64_be(out, guess);
-  return out;
 }
 
 std::optional<RandKey> decode_probe(BytesView payload) {
@@ -29,9 +34,14 @@ std::optional<RandKey> probe_inside_request(BytesView payload) {
 
 Bytes encode_owned_ack(RandKey key) {
   Bytes out;
+  encode_owned_ack_into(out, key);
+  return out;
+}
+
+void encode_owned_ack_into(Bytes& out, RandKey key) {
+  out.clear();
   append_u32_be(out, kProbeOwnedMagic);
   append_u64_be(out, key);
-  return out;
 }
 
 bool is_owned_ack(BytesView payload) {

@@ -26,6 +26,10 @@ inline constexpr std::uint32_t kProbeOwnedMagic = 0x4650574e;  // "FPWN"
 /// Encode a probe carrying a guessed key.
 Bytes encode_probe(RandKey guess);
 
+/// Encode a probe into an existing (typically pooled) buffer, replacing its
+/// contents — the allocation-free hot path of the attacker's probe loop.
+void encode_probe_into(Bytes& out, RandKey guess);
+
 /// Decode a probe; nullopt if `payload` is not a probe.
 std::optional<RandKey> decode_probe(BytesView payload);
 
@@ -41,6 +45,9 @@ std::optional<RandKey> probe_inside_request(BytesView payload);
 
 /// Encode the attacker-visible acknowledgement of a successful probe.
 Bytes encode_owned_ack(RandKey key);
+
+/// Ack into an existing (typically pooled) buffer, replacing its contents.
+void encode_owned_ack_into(Bytes& out, RandKey key);
 
 /// True iff `payload` is a successful-probe acknowledgement.
 bool is_owned_ack(BytesView payload);

@@ -2,12 +2,14 @@
 
 namespace fortress::proxy {
 
-void ProbeLog::record(const net::Address& source, Suspicion kind,
-                      sim::Time now) {
-  auto& events = events_[source];
-  events.push_back(Event{now, kind});
-  expire(events, now);
-  ++totals_[source];
+void ProbeLog::record(net::HostId source, Suspicion kind, sim::Time now) {
+  if (source >= sources_.size()) {
+    sources_.resize(static_cast<std::size_t>(source) + 1);
+  }
+  SourceLog& log = sources_[source];
+  log.events.push_back(Event{now, kind});
+  expire(log.events, now);
+  ++log.total;
 }
 
 void ProbeLog::expire(std::deque<Event>& events, sim::Time now) const {
@@ -16,29 +18,29 @@ void ProbeLog::expire(std::deque<Event>& events, sim::Time now) const {
   }
 }
 
-std::uint32_t ProbeLog::score(const net::Address& source,
-                              sim::Time now) const {
-  auto it = events_.find(source);
-  if (it == events_.end()) return 0;
-  expire(it->second, now);
-  return static_cast<std::uint32_t>(it->second.size());
+std::uint32_t ProbeLog::score(net::HostId source, sim::Time now) const {
+  const SourceLog* log = log_of(source);
+  if (log == nullptr) return 0;
+  expire(sources_[source].events, now);
+  return static_cast<std::uint32_t>(log->events.size());
 }
 
-bool ProbeLog::flagged(const net::Address& source, sim::Time now) const {
+bool ProbeLog::flagged(net::HostId source, sim::Time now) const {
   return score(source, now) >= config_.threshold;
 }
 
-std::vector<net::Address> ProbeLog::flagged_sources(sim::Time now) const {
-  std::vector<net::Address> out;
-  for (const auto& [source, events] : events_) {
+std::vector<net::HostId> ProbeLog::flagged_sources(sim::Time now) const {
+  std::vector<net::HostId> out;
+  for (net::HostId source = 0; source < sources_.size(); ++source) {
+    if (sources_[source].total == 0) continue;
     if (flagged(source, now)) out.push_back(source);
   }
   return out;
 }
 
-std::uint64_t ProbeLog::total_events(const net::Address& source) const {
-  auto it = totals_.find(source);
-  return it == totals_.end() ? 0 : it->second;
+std::uint64_t ProbeLog::total_events(net::HostId source) const {
+  const SourceLog* log = log_of(source);
+  return log == nullptr ? 0 : log->total;
 }
 
 }  // namespace fortress::proxy

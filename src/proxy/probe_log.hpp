@@ -8,15 +8,17 @@
 // requests and (b) server child crashes that correlate with its forwarded
 // requests. When the suspicion count inside the sliding window reaches the
 // threshold, the source is flagged (and, in the proxy, blacklisted).
+//
+// Sources are identified by dense net::HostId (the interned sender id the
+// Envelope carries), so the per-message record path indexes a flat table
+// instead of a string-keyed map.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <string>
 #include <vector>
 
-#include "net/network.hpp"
+#include "net/interner.hpp"
 #include "sim/simulator.hpp"
 
 namespace fortress::proxy {
@@ -43,24 +45,23 @@ class ProbeLog {
   /// trial-arena reuse path).
   void reset(DetectionConfig config) {
     config_ = config;
-    events_.clear();
-    totals_.clear();
+    sources_.clear();
   }
 
   /// Record a suspicious event from `source` at time `now`.
-  void record(const net::Address& source, Suspicion kind, sim::Time now);
+  void record(net::HostId source, Suspicion kind, sim::Time now);
 
   /// Number of in-window suspicious events for `source` at time `now`.
-  std::uint32_t score(const net::Address& source, sim::Time now) const;
+  std::uint32_t score(net::HostId source, sim::Time now) const;
 
   /// True when `source` meets the detection threshold at time `now`.
-  bool flagged(const net::Address& source, sim::Time now) const;
+  bool flagged(net::HostId source, sim::Time now) const;
 
-  /// All sources currently at or above the threshold.
-  std::vector<net::Address> flagged_sources(sim::Time now) const;
+  /// All sources currently at or above the threshold, ascending by id.
+  std::vector<net::HostId> flagged_sources(sim::Time now) const;
 
   /// Lifetime (non-windowed) totals, for reporting.
-  std::uint64_t total_events(const net::Address& source) const;
+  std::uint64_t total_events(net::HostId source) const;
 
   const DetectionConfig& config() const { return config_; }
 
@@ -70,11 +71,19 @@ class ProbeLog {
     Suspicion kind;
   };
 
+  struct SourceLog {
+    std::deque<Event> events;  ///< in-window events (older ones expired)
+    std::uint64_t total = 0;   ///< lifetime count
+  };
+
   void expire(std::deque<Event>& events, sim::Time now) const;
+  const SourceLog* log_of(net::HostId source) const {
+    return source < sources_.size() ? &sources_[source] : nullptr;
+  }
 
   DetectionConfig config_;
-  mutable std::map<net::Address, std::deque<Event>> events_;
-  std::map<net::Address, std::uint64_t> totals_;
+  /// Flat per-source table indexed by HostId (grown on first record).
+  mutable std::vector<SourceLog> sources_;
 };
 
 }  // namespace fortress::proxy

@@ -1,5 +1,7 @@
 #include "proxy/proxy_node.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 
@@ -17,12 +19,22 @@ ProxyNode::ProxyNode(sim::Simulator& sim, net::Network& network,
       config_(std::move(config)),
       log_(config_.detection) {
   FORTRESS_EXPECTS(!config_.servers.empty());
+  self_id_ = network_.intern(config_.address);
+  servers_.resize(config_.servers.size());
+  server_schedules_.resize(config_.servers.size(), nullptr);
+  for (std::size_t i = 0; i < config_.servers.size(); ++i) {
+    servers_[i].id = network_.intern(config_.servers[i]);
+  }
 }
 
 void ProxyNode::start() {
   started_ = true;
-  for (const net::Address& server : config_.servers) {
-    dial_server(server);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    // The server tier is fully enrolled by the time a proxy starts; cache
+    // each server's verification schedule so the per-response check skips
+    // the registry's string-map lookup.
+    server_schedules_[i] = registry_.schedule_for(config_.servers[i]);
+    dial_server(i);
   }
 }
 
@@ -33,29 +45,33 @@ void ProxyNode::reset(bool blacklist_enabled, DetectionConfig detection) {
   config_.detection = detection;
   stats_ = ProxyStats{};
   log_.reset(detection);
-  server_conns_.clear();
-  conn_servers_.clear();
-  last_forwarded_source_.clear();
+  for (ServerLink& link : servers_) {
+    link.conn.reset();
+    link.last_source = net::kInvalidHost;
+    link.dead_conns.clear();
+  }
+  std::fill(server_schedules_.begin(), server_schedules_.end(), nullptr);
   pending_.clear();
   blacklist_.clear();
 }
 
-void ProxyNode::dial_server(const net::Address& server) {
+void ProxyNode::dial_server(std::size_t index) {
   if (!started_) return;
-  if (server_conns_.contains(server)) return;
-  auto conn = network_.connect(config_.address, server);
+  ServerLink& link = servers_[index];
+  if (link.conn) return;
+  auto conn = network_.connect(self_id_, link.id);
   if (!conn) {
     // Server down (rebooting): retry after the configured delay.
     sim_.schedule_after(config_.reconnect_delay,
-                        [this, server] { dial_server(server); });
+                        [this, index] { dial_server(index); });
     return;
   }
-  server_conns_[server] = *conn;
-  conn_servers_[*conn] = server;
+  link.conn = *conn;
 }
 
 bool ProxyNode::blacklisted(const net::Address& source) const {
-  return blacklist_.contains(source);
+  const net::HostId id = network_.id_of(source);
+  return id != net::kInvalidHost && blacklisted(id);
 }
 
 void ProxyNode::handle_message(const net::Envelope& env) {
@@ -91,45 +107,52 @@ void ProxyNode::handle_client_request(const net::Envelope& env,
     return;  // identified attacker: drop silently
   }
   PendingRequest& pending = pending_[msg.request_id];
-  const bool first_time = pending.clients.empty();
   pending.clients.insert(env.from);
 
   // Re-forward on duplicates too (the earlier copy may have died with a
   // crashed child); servers dedup by request id.
   Message fwd = msg;
   fwd.requester = config_.address;
-  (void)first_time;
   forward(fwd);
 
   // Remember whom to blame if a server child now crashes.
-  for (const auto& [server, conn] : server_conns_) {
-    last_forwarded_source_[conn] = env.from;
+  for (ServerLink& link : servers_) {
+    if (link.conn) link.last_source = env.from;
   }
 }
 
 void ProxyNode::forward(const Message& msg) {
-  Bytes wire = msg.encode();
-  for (const net::Address& server : config_.servers) {
-    auto it = server_conns_.find(server);
-    if (it != server_conns_.end()) {
-      if (network_.send_on(it->second, config_.address, wire)) {
+  // Encode once into a pooled buffer; every hop below sends a pooled copy.
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    ServerLink& link = servers_[i];
+    if (link.conn) {
+      if (network_.send_on_copy(*link.conn, self_id_, wire)) {
         ++stats_.requests_forwarded;
         continue;
       }
-      // Connection died under us; fall through to datagram + redial.
-      server_conns_.erase(server);
+      // Connection died under us (torn down server-side, notification
+      // still in flight): park the attribution state so the closure, when
+      // it arrives, still blames the right source, and fall through to
+      // datagram + redial.
+      link.dead_conns.emplace_back(*link.conn, link.last_source);
+      link.conn.reset();
+      link.last_source = net::kInvalidHost;
     }
-    network_.send(config_.address, server, wire);
+    network_.send_copy(self_id_, link.id, wire);
     ++stats_.requests_forwarded;
-    dial_server(server);
+    dial_server(i);
   }
+  network_.recycle_buffer(std::move(wire));
 }
 
 void ProxyNode::handle_server_response(const net::Envelope& env,
                                        Message msg) {
   auto it = pending_.find(msg.request_id);
   if (it == pending_.end()) return;  // response to a request we never saw
-  if (!replication::verify_message(msg, registry_)) {
+  if (!replication::verify_from_indexed_peer(msg, server_schedules_,
+                                             config_.servers, registry_)) {
     ++stats_.invalid_signatures;
     log_.record(env.from, Suspicion::MalformedRequest, sim_.now());
     return;
@@ -140,55 +163,76 @@ void ProxyNode::handle_server_response(const net::Envelope& env,
   PendingRequest& pending = it->second;
   Message out = std::move(msg);
   out.type = MsgType::ProxyResponse;
-  for (const net::Address& client : pending.clients) {
+  for (net::HostId client : pending.clients) {
     if (pending.answered.contains(client)) continue;
-    out.requester = client;
+    out.requester = network_.address_of(client);
     out.over_signature.reset();
     replication::over_sign_message(out, key_);
-    network_.send(config_.address, client, out.encode());
+    Bytes wire = network_.acquire_buffer();
+    out.encode_into(wire);
+    network_.send(self_id_, client, std::move(wire));
     pending.answered.insert(client);
     ++stats_.responses_delivered;
   }
 }
 
-void ProxyNode::handle_connection_closed(net::ConnectionId id,
-                                         const net::Address& /*peer*/,
-                                         net::CloseReason reason) {
-  auto it = conn_servers_.find(id);
-  if (it == conn_servers_.end()) return;
-  const net::Address server = it->second;
-  conn_servers_.erase(it);
-  server_conns_.erase(server);
-
-  if (reason == net::CloseReason::PeerCrashed) {
-    // A server child crashed serving something we forwarded: the §2.2
-    // observation only a proxy can make. Attribute it to the last source
-    // forwarded on that connection.
-    ++stats_.server_crashes_observed;
-    auto src = last_forwarded_source_.find(id);
-    if (src != last_forwarded_source_.end()) {
-      log_.record(src->second, Suspicion::CorrelatedCrash, sim_.now());
-      if (config_.blacklist_enabled && log_.flagged(src->second, sim_.now())) {
-        if (blacklist_.insert(src->second).second) {
-          FORTRESS_LOG_INFO("proxy")
-              << config_.address << " blacklists " << src->second;
-        }
-      }
+void ProxyNode::observe_server_closure(net::HostId source,
+                                       net::CloseReason reason) {
+  if (reason != net::CloseReason::PeerCrashed) return;
+  // A server child crashed serving something we forwarded: the §2.2
+  // observation only a proxy can make. Attribute it to the last source
+  // forwarded on that connection.
+  ++stats_.server_crashes_observed;
+  if (source == net::kInvalidHost) return;
+  log_.record(source, Suspicion::CorrelatedCrash, sim_.now());
+  if (config_.blacklist_enabled && log_.flagged(source, sim_.now())) {
+    if (blacklist_.insert(source).second) {
+      FORTRESS_LOG_INFO("proxy") << config_.address << " blacklists "
+                                 << network_.address_of(source);
     }
   }
-  last_forwarded_source_.erase(id);
-  sim_.schedule_after(config_.reconnect_delay,
-                      [this, server] { dial_server(server); });
+}
+
+void ProxyNode::handle_connection_closed(net::ConnectionId id,
+                                         net::HostId /*peer*/,
+                                         net::CloseReason reason) {
+  // Find which server link this connection belonged to (tiny linear scan;
+  // closures are rare next to message traffic).
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    ServerLink& link = servers_[i];
+    if (link.conn == id) {
+      const net::HostId source = link.last_source;
+      link.conn.reset();
+      link.last_source = net::kInvalidHost;
+      observe_server_closure(source, reason);
+      sim_.schedule_after(config_.reconnect_delay,
+                          [this, i] { dial_server(i); });
+      return;
+    }
+    for (std::size_t d = 0; d < link.dead_conns.size(); ++d) {
+      if (link.dead_conns[d].first != id) continue;
+      // The notification for a connection a forward already found dead: a
+      // redial is already underway (forward() dialed); only the crash
+      // observation remains to be made.
+      const net::HostId source = link.dead_conns[d].second;
+      link.dead_conns.erase(link.dead_conns.begin() +
+                            static_cast<std::ptrdiff_t>(d));
+      observe_server_closure(source, reason);
+      return;
+    }
+  }
 }
 
 void ProxyNode::handle_reboot() {
   // Connections died with the reboot; volatile pending state is lost
   // (clients retry). Blacklist and logs are durable (written to disk).
-  server_conns_.clear();
-  conn_servers_.clear();
-  last_forwarded_source_.clear();
+  for (ServerLink& link : servers_) {
+    link.conn.reset();
+    link.last_source = net::kInvalidHost;
+    link.dead_conns.clear();
+  }
   pending_.clear();
-  for (const net::Address& server : config_.servers) dial_server(server);
+  for (std::size_t i = 0; i < servers_.size(); ++i) dial_server(i);
 }
 
 }  // namespace fortress::proxy

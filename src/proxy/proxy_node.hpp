@@ -12,6 +12,12 @@
 //     threshold (§2.2's frequency analysis) when detection is enabled.
 //
 // Proxies do no processing of request payloads and never talk to each other.
+//
+// Hot-path layout: the server tier lives in one index-aligned table
+// (ServerLink: dense id, open connection, last forwarded source, cached
+// signature-verification schedule), sources are tracked by dense HostId,
+// and wire bytes move through network-pooled buffers — the per-message path
+// touches no string keys and allocates nothing in steady state.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "crypto/signature.hpp"
 #include "net/network.hpp"
@@ -66,6 +73,9 @@ class ProxyNode final : public osl::Application {
 
   const ProxyStats& stats() const { return stats_; }
   const ProbeLog& probe_log() const { return log_; }
+  bool blacklisted(net::HostId source) const {
+    return blacklist_.contains(source);
+  }
   bool blacklisted(const net::Address& source) const;
   /// Number of distinct sources this proxy has blacklisted.
   std::size_t blacklist_size() const { return blacklist_.size(); }
@@ -73,40 +83,58 @@ class ProxyNode final : public osl::Application {
 
   // osl::Application:
   void handle_message(const net::Envelope& env) override;
-  void handle_connection_closed(net::ConnectionId id, const net::Address& peer,
+  void handle_connection_closed(net::ConnectionId id, net::HostId peer,
                                 net::CloseReason reason) override;
   void handle_reboot() override;
 
  private:
+  /// Everything the proxy tracks per server, index-aligned with
+  /// config_.servers.
+  struct ServerLink {
+    net::HostId id = net::kInvalidHost;
+    /// Open connection (absent while redialing).
+    std::optional<net::ConnectionId> conn;
+    /// Last source whose request was forwarded on `conn` — used to
+    /// attribute a child crash to a client (§2.2 correlation heuristic).
+    net::HostId last_source = net::kInvalidHost;
+    /// Connections that died under a forward (the send failed because the
+    /// server side already tore them down) whose closure NOTIFICATIONS have
+    /// not arrived yet. Attribution state is parked here — one entry per
+    /// connection, like the old per-conn map — so every §2.2 crash
+    /// observation survives the race between redials and in-flight
+    /// PeerCrashed notices. Bounded by notifications in flight; cleared on
+    /// reboot (volatile state).
+    std::vector<std::pair<net::ConnectionId, net::HostId>> dead_conns;
+  };
+
   void handle_client_request(const net::Envelope& env,
                              const replication::Message& msg);
   void handle_server_response(const net::Envelope& env,
                               replication::Message msg);
-  void dial_server(const net::Address& server);
+  void dial_server(std::size_t index);
   void forward(const replication::Message& msg);
+  void observe_server_closure(net::HostId source, net::CloseReason reason);
 
   sim::Simulator& sim_;
   net::Network& network_;
   crypto::KeyRegistry& registry_;
   crypto::SigningKey key_;
   ProxyConfig config_;
+  net::HostId self_id_ = net::kInvalidHost;
+  std::vector<ServerLink> servers_;
+  /// Cached verification schedules, index-aligned with config_.servers
+  /// (resolved at start(); the pooled stack keeps its PKI, so pointers
+  /// stay valid across trials). Fed to verify_from_indexed_peer.
+  std::vector<const crypto::HmacKey*> server_schedules_;
   ProxyStats stats_;
   ProbeLog log_;
 
-  /// Open connection per server (absent while redialing).
-  std::map<net::Address, net::ConnectionId> server_conns_;
-  /// Reverse index for closure handling.
-  std::map<net::ConnectionId, net::Address> conn_servers_;
-  /// Last source whose request was forwarded on each connection — used to
-  /// attribute a child crash to a client (§2.2 correlation heuristic).
-  std::map<net::ConnectionId, net::Address> last_forwarded_source_;
-
   struct PendingRequest {
-    std::set<net::Address> clients;       ///< who asked
-    std::set<net::Address> answered;      ///< who already got a response
+    std::set<net::HostId> clients;   ///< who asked
+    std::set<net::HostId> answered;  ///< who already got a response
   };
   std::map<replication::RequestId, PendingRequest> pending_;
-  std::set<net::Address> blacklist_;
+  std::set<net::HostId> blacklist_;
   bool started_ = false;
 };
 

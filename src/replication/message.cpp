@@ -99,8 +99,7 @@ class Reader {
   bool ok_ = true;
 };
 
-Bytes encode_core(const Message& m) {
-  Bytes out;
+void encode_core_into(Bytes& out, const Message& m) {
   append_u32_be(out, kWireMagic);
   append_u32_be(out, static_cast<std::uint32_t>(m.type));
   append_u64_be(out, m.view);
@@ -111,6 +110,11 @@ Bytes encode_core(const Message& m) {
   append_string(out, m.requester);
   append_bytes_field(out, m.payload);
   append_bytes_field(out, m.aux);
+}
+
+Bytes encode_core(const Message& m) {
+  Bytes out;
+  encode_core_into(out, m);
   return out;
 }
 
@@ -140,10 +144,16 @@ Bytes Message::over_signing_bytes() const {
 }
 
 Bytes Message::encode() const {
-  Bytes out = encode_core(*this);
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+void Message::encode_into(Bytes& out) const {
+  out.clear();
+  encode_core_into(out, *this);
   append_signature(out, signature);
   append_signature(out, over_signature);
-  return out;
 }
 
 std::optional<Message> Message::decode(BytesView data) {
@@ -175,9 +185,29 @@ void over_sign_message(Message& msg, const crypto::SigningKey& key) {
   msg.over_signature = key.sign(msg.over_signing_bytes());
 }
 
+bool verify_message(const Message& msg, const crypto::HmacKey& schedule) {
+  if (!msg.signature) return false;
+  return crypto::KeyRegistry::verify_with(schedule, msg.signing_bytes(),
+                                          *msg.signature);
+}
+
 bool verify_message(const Message& msg, const crypto::KeyRegistry& registry) {
   if (!msg.signature) return false;
   return registry.verify(msg.signing_bytes(), *msg.signature);
+}
+
+bool verify_from_indexed_peer(const Message& msg,
+                              std::span<const crypto::HmacKey* const> schedules,
+                              std::span<const std::string> names,
+                              const crypto::KeyRegistry& registry) {
+  if (msg.signature && msg.sender_index < schedules.size()) {
+    const crypto::HmacKey* schedule = schedules[msg.sender_index];
+    if (schedule != nullptr &&
+        msg.signature->signer.name == names[msg.sender_index]) {
+      return verify_message(msg, *schedule);
+    }
+  }
+  return verify_message(msg, registry);
 }
 
 bool verify_over_signature(const Message& msg,

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -67,6 +68,10 @@ struct Message {
   /// Full wire encoding (including signatures).
   Bytes encode() const;
 
+  /// Encode into an existing (typically network-pooled) buffer, replacing
+  /// its contents — the allocation-free send path.
+  void encode_into(Bytes& out) const;
+
   /// The byte string a signature covers: everything except the signature
   /// fields. An over-signature covers signing_bytes() PLUS the inner
   /// signature (so the proxy endorses a specific server-signed response).
@@ -86,6 +91,25 @@ void over_sign_message(Message& msg, const crypto::SigningKey& key);
 
 /// Verify the server signature against `registry`.
 bool verify_message(const Message& msg, const crypto::KeyRegistry& registry);
+
+/// Verify the server signature against an explicit precomputed schedule
+/// (crypto::KeyRegistry::schedule_for) — the amortized per-sender path:
+/// the caller has already matched `msg.signature->signer` to the principal
+/// the schedule belongs to (e.g. by the message's sender_index).
+bool verify_message(const Message& msg, const crypto::HmacKey& schedule);
+
+/// THE amortized indexed-peer verify, shared by every per-message verifier
+/// (proxy checking server responses, SMR replica checking ordering
+/// traffic): when msg.sender_index addresses a cached schedule AND the
+/// claimed signer is exactly names[sender_index], verify against that
+/// schedule; anything unusual (missing signature, out-of-range index,
+/// unresolved schedule, index/signer mismatch) falls back to the
+/// registry's by-name lookup, preserving its acceptance semantics exactly.
+/// `schedules` is index-aligned with `names` (entries may be nullptr).
+bool verify_from_indexed_peer(const Message& msg,
+                              std::span<const crypto::HmacKey* const> schedules,
+                              std::span<const std::string> names,
+                              const crypto::KeyRegistry& registry);
 
 /// Verify the proxy over-signature (and require the inner one to be present).
 bool verify_over_signature(const Message& msg,

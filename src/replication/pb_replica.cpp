@@ -24,6 +24,11 @@ PbReplica::PbReplica(sim::Simulator& sim, net::Network& network,
   FORTRESS_EXPECTS(config_.heartbeat_interval > 0);
   FORTRESS_EXPECTS(config_.failover_timeout > config_.heartbeat_interval);
   pristine_state_ = service_->snapshot();
+  replica_ids_.reserve(config_.replicas.size());
+  for (const net::Address& addr : config_.replicas) {
+    replica_ids_.push_back(network_.intern(addr));
+  }
+  id_ = replica_ids_[config_.index];
 }
 
 void PbReplica::reset() {
@@ -56,15 +61,20 @@ void PbReplica::stop() {
 }
 
 void PbReplica::broadcast(const Message& msg) {
-  Bytes wire = msg.encode();
-  for (std::uint32_t i = 0; i < config_.replicas.size(); ++i) {
+  // Encode once into a pooled buffer; each recipient gets a pooled copy.
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  for (std::uint32_t i = 0; i < replica_ids_.size(); ++i) {
     if (i == config_.index) continue;
-    network_.send(address(), config_.replicas[i], wire);
+    network_.send_copy(id_, replica_ids_[i], wire);
   }
+  network_.recycle_buffer(std::move(wire));
 }
 
-void PbReplica::send_to(const net::Address& to, const Message& msg) {
-  network_.send(address(), to, msg.encode());
+void PbReplica::send_to(net::HostId to, const Message& msg) {
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  network_.send(id_, to, std::move(wire));
 }
 
 void PbReplica::handle_message(const net::Envelope& env) {
@@ -110,7 +120,7 @@ void PbReplica::handle_request(const net::Envelope& env, const Message& msg) {
   update.seq = applied_seq_;
   update.sender_index = config_.index;
   update.request_id = rid;
-  update.requester = env.from;
+  update.requester = network_.address_of(env.from);
   update.payload = response;
   update.aux = service_->snapshot();
   broadcast(update);
@@ -123,21 +133,30 @@ void PbReplica::handle_state_update(const Message& msg) {
   if (msg.view > view_) adopt_view(msg.view);
   if (msg.sender_index != msg.view % config_.replicas.size()) return;
   last_primary_sign_of_life_ = sim_.now();
+  // Resolve the wire-carried requester WITHOUT interning: an address the
+  // interner has never seen was never attachable on this network, so a
+  // response to it could only be dropped — and a forged StateUpdate must
+  // not grow the trial-persistent interner with garbage strings.
+  const net::HostId requester = msg.requester.empty()
+                                    ? net::kInvalidHost
+                                    : network_.id_of(msg.requester);
   if (msg.seq <= applied_seq_) {
     // Duplicate/old update; still make sure the requester gets an answer.
-    if (responses_.contains(msg.request_id) && !msg.requester.empty()) {
-      send_response(msg.request_id, msg.requester);
+    if (responses_.contains(msg.request_id) && requester != net::kInvalidHost) {
+      send_response(msg.request_id, requester);
     }
     return;
   }
   service_->restore(msg.aux);
   applied_seq_ = msg.seq;
   responses_[msg.request_id] = msg.payload;
-  if (!msg.requester.empty()) requesters_[msg.request_id].insert(msg.requester);
+  if (requester != net::kInvalidHost) {
+    requesters_[msg.request_id].insert(requester);
+  }
   respond_to_all(msg.request_id);
 }
 
-void PbReplica::send_response(const RequestId& rid, const net::Address& to) {
+void PbReplica::send_response(const RequestId& rid, net::HostId to) {
   auto it = responses_.find(rid);
   FORTRESS_EXPECTS(it != responses_.end());
   Message resp;
@@ -146,7 +165,7 @@ void PbReplica::send_response(const RequestId& rid, const net::Address& to) {
   resp.seq = applied_seq_;
   resp.sender_index = config_.index;
   resp.request_id = rid;
-  resp.requester = to;
+  resp.requester = network_.address_of(to);
   resp.payload = it->second;
   sign_message(resp, key_);
   send_to(to, resp);
@@ -155,7 +174,7 @@ void PbReplica::send_response(const RequestId& rid, const net::Address& to) {
 void PbReplica::respond_to_all(const RequestId& rid) {
   auto it = requesters_.find(rid);
   if (it == requesters_.end()) return;
-  for (const net::Address& requester : it->second) {
+  for (net::HostId requester : it->second) {
     send_response(rid, requester);
   }
 }

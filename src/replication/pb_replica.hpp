@@ -70,10 +70,10 @@ class PbReplica final : public osl::Application {
   void handle_state_update(const Message& msg);
   void handle_heartbeat(const Message& msg);
   void handle_view_change(const Message& msg);
-  void send_response(const RequestId& rid, const net::Address& to);
+  void send_response(const RequestId& rid, net::HostId to);
   void respond_to_all(const RequestId& rid);
   void broadcast(const Message& msg);
-  void send_to(const net::Address& to, const Message& msg);
+  void send_to(net::HostId to, const Message& msg);
   void check_failover();
   void send_heartbeat();
   void adopt_view(std::uint64_t view);
@@ -82,6 +82,10 @@ class PbReplica final : public osl::Application {
   net::Network& network_;
   crypto::KeyRegistry& registry_;
   crypto::SigningKey key_;
+  /// This replica's dense id and its peers' ids (index-aligned with
+  /// config_.replicas), interned once at construction.
+  net::HostId id_ = net::kInvalidHost;
+  std::vector<net::HostId> replica_ids_;
   std::unique_ptr<Service> service_;
   /// The service's construction-time state; reset() restores it so a pooled
   /// replica starts every trial with the same service state a factory-fresh
@@ -96,8 +100,9 @@ class PbReplica final : public osl::Application {
 
   /// Completed requests and their responses (dedup + re-reply cache).
   std::map<RequestId, Bytes> responses_;
-  /// Who asked for each request (every proxy sends every request).
-  std::map<RequestId, std::set<net::Address>> requesters_;
+  /// Who asked for each request (every proxy sends every request), by
+  /// dense id. Iterated ascending — registration order.
+  std::map<RequestId, std::set<net::HostId>> requesters_;
 
   sim::PeriodicTimer heartbeat_timer_;
   sim::PeriodicTimer failover_timer_;

@@ -32,6 +32,11 @@ SmrReplica::SmrReplica(sim::Simulator& sim, net::Network& network,
   FORTRESS_EXPECTS(config_.replicas.size() == 3 * config_.f + 1);
   FORTRESS_EXPECTS(config_.index < config_.replicas.size());
   pristine_state_ = service_->snapshot();
+  replica_ids_.reserve(config_.replicas.size());
+  for (const net::Address& addr : config_.replicas) {
+    replica_ids_.push_back(network_.intern(addr));
+  }
+  id_ = replica_ids_[config_.index];
 }
 
 void SmrReplica::reset() {
@@ -77,15 +82,36 @@ crypto::Digest SmrReplica::digest_of(const RequestId& rid, BytesView request) {
 }
 
 void SmrReplica::broadcast(const Message& msg) {
-  Bytes wire = msg.encode();
-  for (std::uint32_t i = 0; i < config_.replicas.size(); ++i) {
+  // Encode once into a pooled buffer; each recipient gets a pooled copy.
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  for (std::uint32_t i = 0; i < replica_ids_.size(); ++i) {
     if (i == config_.index) continue;
-    network_.send(address(), config_.replicas[i], wire);
+    network_.send_copy(id_, replica_ids_[i], wire);
   }
+  network_.recycle_buffer(std::move(wire));
 }
 
-void SmrReplica::send_to(const net::Address& to, const Message& msg) {
-  network_.send(address(), to, msg.encode());
+void SmrReplica::send_to(net::HostId to, const Message& msg) {
+  Bytes wire = network_.acquire_buffer();
+  msg.encode_into(wire);
+  network_.send(id_, to, std::move(wire));
+}
+
+bool SmrReplica::verify_from_peer(const Message& msg) const {
+  // Ordering traffic is signed by the replica the message's sender_index
+  // names, so verification goes through the shared direct-indexed helper.
+  // Schedules resolve lazily on first use: every peer of the tier is
+  // enrolled by the time traffic flows, and the arena keeps its PKI, so
+  // the cached pointers stay valid across pooled trials.
+  if (peer_schedules_.empty()) {
+    peer_schedules_.resize(config_.replicas.size(), nullptr);
+    for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+      peer_schedules_[i] = registry_.schedule_for(config_.replicas[i]);
+    }
+  }
+  return verify_from_indexed_peer(msg, peer_schedules_, config_.replicas,
+                                  registry_);
 }
 
 void SmrReplica::handle_message(const net::Envelope& env) {
@@ -96,13 +122,13 @@ void SmrReplica::handle_message(const net::Envelope& env) {
       handle_request(env, *msg);
       break;
     case MsgType::PrePrepare:
-      if (verify_message(*msg, registry_)) handle_pre_prepare(*msg);
+      if (verify_from_peer(*msg)) handle_pre_prepare(*msg);
       break;
     case MsgType::PrepareAck:
-      if (verify_message(*msg, registry_)) handle_prepare_ack(*msg);
+      if (verify_from_peer(*msg)) handle_prepare_ack(*msg);
       break;
     case MsgType::ViewChange:
-      if (verify_message(*msg, registry_)) handle_view_change(*msg);
+      if (verify_from_peer(*msg)) handle_view_change(*msg);
       break;
     case MsgType::Heartbeat:
       if (msg->view >= view_) {
@@ -209,13 +235,13 @@ void SmrReplica::try_execute() {
     ++executed_seq_;
     last_progress_ = sim_.now();
     responses_[slot.rid] = response;
-    for (const net::Address& requester : requesters_[slot.rid]) {
+    for (net::HostId requester : requesters_[slot.rid]) {
       respond(slot.rid, requester);
     }
   }
 }
 
-void SmrReplica::respond(const RequestId& rid, const net::Address& to) {
+void SmrReplica::respond(const RequestId& rid, net::HostId to) {
   auto it = responses_.find(rid);
   FORTRESS_EXPECTS(it != responses_.end());
   Message resp;
@@ -224,7 +250,7 @@ void SmrReplica::respond(const RequestId& rid, const net::Address& to) {
   resp.seq = executed_seq_;
   resp.sender_index = config_.index;
   resp.request_id = rid;
-  resp.requester = to;
+  resp.requester = network_.address_of(to);
   resp.payload = it->second;
   sign_message(resp, key_);
   send_to(to, resp);
@@ -303,6 +329,7 @@ void SmrReplica::request_state() {
 
 void SmrReplica::handle_state_request(const Message& msg) {
   if (stale_) return;  // cannot vouch for state we are still fetching
+  if (msg.sender_index >= replica_ids_.size()) return;  // hostile index
   Message reply;
   reply.type = MsgType::StateReply;
   reply.view = view_;
@@ -310,12 +337,12 @@ void SmrReplica::handle_state_request(const Message& msg) {
   reply.sender_index = config_.index;
   reply.aux = service_->snapshot();
   sign_message(reply, key_);
-  send_to(config_.replicas[msg.sender_index], reply);
+  send_to(replica_ids_[msg.sender_index], reply);
 }
 
 void SmrReplica::handle_state_reply(const Message& msg) {
   if (!stale_) return;
-  if (!verify_message(msg, registry_)) return;
+  if (!verify_from_peer(msg)) return;
   if (msg.seq < executed_seq_) return;  // older than what we already have
   crypto::Digest d = crypto::Sha256::hash(msg.aux);
   auto key = std::make_pair(msg.seq, to_hex(BytesView(d.data(), d.size())));

@@ -93,12 +93,16 @@ class SmrReplica final : public osl::Application {
   void handle_state_reply(const Message& msg);
   void propose(const RequestId& rid, const Bytes& request);
   void try_execute();
-  void respond(const RequestId& rid, const net::Address& to);
+  void respond(const RequestId& rid, net::HostId to);
   void check_progress();
   void adopt_view(std::uint64_t view);
   void broadcast(const Message& msg);
-  void send_to(const net::Address& to, const Message& msg);
+  void send_to(net::HostId to, const Message& msg);
   void request_state();
+  /// Verify a peer-signed ordering message; uses the direct-indexed
+  /// schedule for the claimed sender_index when the signer matches,
+  /// falling back to the registry's by-name lookup otherwise.
+  bool verify_from_peer(const Message& msg) const;
   static crypto::Digest digest_of(const RequestId& rid, BytesView request);
 
   sim::Simulator& sim_;
@@ -108,6 +112,13 @@ class SmrReplica final : public osl::Application {
   std::unique_ptr<DeterministicService> service_;
   Bytes pristine_state_;  ///< construction-time snapshot, restored by reset()
   SmrConfig config_;
+  /// Dense ids, index-aligned with config_.replicas (interned at ctor).
+  net::HostId id_ = net::kInvalidHost;
+  std::vector<net::HostId> replica_ids_;
+  /// Per-peer verification schedules, resolved lazily at first start()
+  /// (every replica of the tier is enrolled by then; stable across pooled
+  /// trials because the arena keeps its PKI).
+  mutable std::vector<const crypto::HmacKey*> peer_schedules_;
 
   std::uint64_t view_ = 0;
   std::uint64_t next_seq_ = 0;      ///< leader-side allocator (last assigned)
@@ -117,7 +128,7 @@ class SmrReplica final : public osl::Application {
   std::map<std::uint64_t, Slot> slots_;          ///< by sequence number
   std::map<RequestId, std::uint64_t> proposed_;  ///< rid -> seq
   std::map<RequestId, Bytes> responses_;
-  std::map<RequestId, std::set<net::Address>> requesters_;
+  std::map<RequestId, std::set<net::HostId>> requesters_;
   std::map<RequestId, Bytes> pending_;  ///< unproposed requests (non-leader buffer)
 
   /// View-change votes: view -> voter indices.

@@ -10,41 +10,55 @@
 namespace fortress::net {
 namespace {
 
-/// Records every callback it receives.
+/// Records every callback it receives. Envelopes carry dense HostIds and a
+/// payload view into a recycled buffer, so the recorder resolves ids back to
+/// addresses and copies the payload out while the callback is live.
 class RecordingHandler : public Handler {
  public:
-  void on_message(const Envelope& env) override { messages.push_back(env); }
-  void on_connection_closed(ConnectionId id, const Address& peer,
-                            CloseReason reason) override {
-    closed.push_back({id, peer, reason});
+  explicit RecordingHandler(Network& net) : net_(net) {}
+
+  void on_message(const Envelope& env) override {
+    messages.push_back({net_.address_of(env.from), net_.address_of(env.to),
+                        Bytes(env.payload.begin(), env.payload.end()),
+                        env.connection});
   }
-  void on_connection_opened(ConnectionId id, const Address& peer) override {
-    opened.push_back({id, peer});
+  void on_connection_closed(ConnectionId id, HostId peer,
+                            CloseReason reason) override {
+    closed.push_back({id, net_.address_of(peer), reason});
+  }
+  void on_connection_opened(ConnectionId id, HostId peer) override {
+    opened.push_back({id, net_.address_of(peer)});
   }
 
+  struct Received {
+    Address from;
+    Address to;
+    Bytes payload;
+    std::optional<ConnectionId> connection;
+  };
   struct Closed {
     ConnectionId id;
     Address peer;
     CloseReason reason;
   };
-  std::vector<Envelope> messages;
+  std::vector<Received> messages;
   std::vector<Closed> closed;
   std::vector<std::pair<ConnectionId, Address>> opened;
+
+ private:
+  Network& net_;
 };
 
 class NetworkTest : public ::testing::Test {
  protected:
-  NetworkTest()
-      : net_(sim_, std::make_unique<FixedLatency>(1.0)) {
+  NetworkTest() {
     net_.attach("a", a_);
     net_.attach("b", b_);
   }
 
   sim::Simulator sim_;
   Network net_{sim_, std::make_unique<FixedLatency>(1.0)};
-  RecordingHandler a_, b_;
-
- private:
+  RecordingHandler a_{net_}, b_{net_};
 };
 
 TEST_F(NetworkTest, DatagramDelivery) {
@@ -105,7 +119,7 @@ TEST_F(NetworkTest, ConnectionMessagesFlowBothWays) {
 }
 
 TEST_F(NetworkTest, SendOnByNonEndpointRejected) {
-  RecordingHandler c;
+  RecordingHandler c{net_};
   net_.attach("c", c);
   auto conn = net_.connect("a", "b");
   ASSERT_TRUE(conn.has_value());
@@ -150,7 +164,7 @@ TEST_F(NetworkTest, MessageInFlightWhenConnectionDiesIsDropped) {
 }
 
 TEST_F(NetworkTest, DetachClosesAllConnectionsWithReason) {
-  RecordingHandler c;
+  RecordingHandler c{net_};
   net_.attach("c", c);
   auto c1 = net_.connect("a", "b");
   auto c2 = net_.connect("c", "b");
@@ -165,7 +179,7 @@ TEST_F(NetworkTest, DetachClosesAllConnectionsWithReason) {
 }
 
 TEST_F(NetworkTest, AttachTwiceViolatesContract) {
-  RecordingHandler dup;
+  RecordingHandler dup{net_};
   EXPECT_THROW(net_.attach("a", dup), ContractViolation);
 }
 
@@ -175,7 +189,7 @@ TEST_F(NetworkTest, DetachUnknownIsNoop) {
 
 TEST_F(NetworkTest, ReattachAfterDetach) {
   net_.detach("b");
-  RecordingHandler b2;
+  RecordingHandler b2{net_};
   net_.attach("b", b2);
   net_.send("a", "b", Bytes{5});
   sim_.run();
@@ -187,7 +201,7 @@ TEST(NetworkDropTest, DropProbabilityOneDropsEverything) {
   NetworkConfig cfg;
   cfg.drop_probability = 1.0;
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   for (int i = 0; i < 50; ++i) net.send("a", "b", Bytes{1});
@@ -200,7 +214,7 @@ TEST(NetworkDropTest, ConnectionsAreReliableDespiteDrops) {
   NetworkConfig cfg;
   cfg.drop_probability = 1.0;  // drops apply to datagrams only
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   auto conn = net.connect("a", "b");
@@ -242,7 +256,7 @@ TEST(NetworkDupTest, DuplicateProbabilityOneDeliversDatagramTwice) {
   NetworkConfig cfg;
   cfg.duplicate_probability = 1.0;
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   net.send("a", "b", Bytes{7});
@@ -257,7 +271,7 @@ TEST(NetworkDupTest, ConnectionsNeverDuplicate) {
   NetworkConfig cfg;
   cfg.duplicate_probability = 1.0;  // duplication applies to datagrams only
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   auto conn = net.connect("a", "b");
@@ -273,7 +287,7 @@ TEST(NetworkPartitionTest, ActiveWindowBlocksBothDirections) {
   NetworkConfig cfg;
   cfg.partitions.push_back(PartitionWindow{0.0, 10.0, {"a"}});
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b, c;
+  RecordingHandler a{net}, b{net}, c{net};
   net.attach("a", a);
   net.attach("b", b);
   net.attach("c", c);
@@ -291,7 +305,7 @@ TEST(NetworkPartitionTest, TrafficFlowsAfterWindowEnds) {
   NetworkConfig cfg;
   cfg.partitions.push_back(PartitionWindow{0.0, 10.0, {"a"}});
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   // Partition loss is evaluated at SEND time, so heal the window first.
@@ -310,7 +324,7 @@ TEST(NetworkPartitionTest, ConnectionMessageSentDuringWindowIsLost) {
   NetworkConfig cfg;
   cfg.partitions.push_back(PartitionWindow{5.0, 10.0, {"a"}});
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   auto conn = net.connect("a", "b");  // established before the window
@@ -333,7 +347,7 @@ TEST(NetworkPartitionTest, ConnectRefusedAcrossActivePartition) {
   NetworkConfig cfg;
   cfg.partitions.push_back(PartitionWindow{0.0, 10.0, {"a"}});
   Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   EXPECT_FALSE(net.connect("a", "b").has_value());
@@ -347,7 +361,7 @@ TEST(NetworkScenarioTest, PlanConstructedNetworkHonorsLatencySpec) {
   ScenarioPlan plan;
   plan.latency = LatencySpec::uniform(2.0, 4.0);
   Network net(sim, plan, /*rng_seed=*/5);
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   for (int i = 0; i < 20; ++i) net.send("a", "b", Bytes{1});
@@ -360,7 +374,7 @@ TEST(NetworkScenarioTest, PlanConstructedNetworkHonorsLatencySpec) {
 TEST(NetworkLatencyTest, UniformLatencyWithinBounds) {
   sim::Simulator sim;
   Network net(sim, std::make_unique<UniformLatency>(2.0, 4.0));
-  RecordingHandler a, b;
+  RecordingHandler a{net}, b{net};
   net.attach("a", a);
   net.attach("b", b);
   for (int i = 0; i < 20; ++i) net.send("a", "b", Bytes{1});

@@ -15,15 +15,15 @@ namespace {
 class RecordingApp : public Application {
  public:
   void handle_message(const net::Envelope& env) override {
-    messages.push_back(env);
+    payloads.push_back(Bytes(env.payload.begin(), env.payload.end()));
   }
-  void handle_connection_closed(net::ConnectionId, const net::Address&,
+  void handle_connection_closed(net::ConnectionId, net::HostId,
                                 net::CloseReason reason) override {
     close_reasons.push_back(reason);
   }
   void handle_reboot() override { ++reboots; }
 
-  std::vector<net::Envelope> messages;
+  std::vector<Bytes> payloads;
   std::vector<net::CloseReason> close_reasons;
   int reboots = 0;
 };
@@ -33,7 +33,7 @@ class AttackerHandler : public net::Handler {
   void on_message(const net::Envelope& env) override {
     if (is_owned_ack(env.payload)) ++owned_acks;
   }
-  void on_connection_closed(net::ConnectionId, const net::Address&,
+  void on_connection_closed(net::ConnectionId, net::HostId,
                             net::CloseReason reason) override {
     if (reason == net::CloseReason::PeerCrashed) ++crashes_observed;
     ++closures;
@@ -152,15 +152,15 @@ TEST_F(MachineTest, ProbesNeverReachApplication) {
   net_.send("attacker", "target", encode_probe(4));
   net_.send("attacker", "target", encode_probe(5));
   sim_.run();
-  EXPECT_TRUE(app_.messages.empty());
+  EXPECT_TRUE(app_.payloads.empty());
 }
 
 TEST_F(MachineTest, NonProbeTrafficReachesApplication) {
   machine_.boot(5);
   net_.send("attacker", "target", bytes_of("legit request"));
   sim_.run();
-  ASSERT_EQ(app_.messages.size(), 1u);
-  EXPECT_EQ(string_of(app_.messages[0].payload), "legit request");
+  ASSERT_EQ(app_.payloads.size(), 1u);
+  EXPECT_EQ(string_of(app_.payloads[0]), "legit request");
 }
 
 TEST_F(MachineTest, OtherConnectionsSurviveChildCrash) {
@@ -222,8 +222,9 @@ TEST_F(MachineTest, RebootDropsConnections) {
 
 TEST_F(MachineTest, AttackerCapabilitiesRequireCompromise) {
   machine_.boot(5);
-  EXPECT_THROW(machine_.attacker_connect("anywhere"), ContractViolation);
-  EXPECT_THROW(machine_.attacker_send("anywhere", Bytes{}), ContractViolation);
+  const net::HostId anywhere = net_.intern("anywhere");
+  EXPECT_THROW(machine_.attacker_connect(anywhere), ContractViolation);
+  EXPECT_THROW(machine_.attacker_send(anywhere, Bytes{}), ContractViolation);
 }
 
 TEST_F(MachineTest, CompromisedMachineActsWithItsIdentity) {
@@ -233,7 +234,7 @@ TEST_F(MachineTest, CompromisedMachineActsWithItsIdentity) {
   net_.send("attacker", "target", encode_probe(5));
   sim_.run();
   ASSERT_TRUE(machine_.compromised());
-  auto conn = machine_.attacker_connect("server");
+  auto conn = machine_.attacker_connect(net_.id_of("server"));
   ASSERT_TRUE(conn.has_value());
   sim_.run();
   EXPECT_TRUE(machine_.attacker_send_on(*conn, bytes_of("from proxy")));

@@ -105,38 +105,41 @@ class ProxyTest : public ::testing::Test {
 };
 
 TEST(ProbeLogTest, ScoreAndWindowExpiry) {
+  const net::HostId evil = 7;
   ProbeLog log(DetectionConfig{100.0, 3});
-  log.record("evil", Suspicion::MalformedRequest, 10.0);
-  log.record("evil", Suspicion::CorrelatedCrash, 20.0);
-  EXPECT_EQ(log.score("evil", 25.0), 2u);
-  EXPECT_FALSE(log.flagged("evil", 25.0));
-  log.record("evil", Suspicion::CorrelatedCrash, 30.0);
-  EXPECT_TRUE(log.flagged("evil", 35.0));
+  log.record(evil, Suspicion::MalformedRequest, 10.0);
+  log.record(evil, Suspicion::CorrelatedCrash, 20.0);
+  EXPECT_EQ(log.score(evil, 25.0), 2u);
+  EXPECT_FALSE(log.flagged(evil, 25.0));
+  log.record(evil, Suspicion::CorrelatedCrash, 30.0);
+  EXPECT_TRUE(log.flagged(evil, 35.0));
   // Events age out of the window: at t=115 only the 20.0 and 30.0 events
   // remain; at t=200 all have expired.
-  EXPECT_EQ(log.score("evil", 115.0), 2u);
-  EXPECT_FALSE(log.flagged("evil", 115.0));
-  EXPECT_EQ(log.score("evil", 200.0), 0u);
-  EXPECT_EQ(log.total_events("evil"), 3u);
+  EXPECT_EQ(log.score(evil, 115.0), 2u);
+  EXPECT_FALSE(log.flagged(evil, 115.0));
+  EXPECT_EQ(log.score(evil, 200.0), 0u);
+  EXPECT_EQ(log.total_events(evil), 3u);
 }
 
 TEST(ProbeLogTest, SourcesAreIndependent) {
+  const net::HostId a = 1, b = 2;
   ProbeLog log(DetectionConfig{100.0, 2});
-  log.record("a", Suspicion::MalformedRequest, 1.0);
-  log.record("a", Suspicion::MalformedRequest, 2.0);
-  log.record("b", Suspicion::MalformedRequest, 3.0);
-  EXPECT_TRUE(log.flagged("a", 5.0));
-  EXPECT_FALSE(log.flagged("b", 5.0));
+  log.record(a, Suspicion::MalformedRequest, 1.0);
+  log.record(a, Suspicion::MalformedRequest, 2.0);
+  log.record(b, Suspicion::MalformedRequest, 3.0);
+  EXPECT_TRUE(log.flagged(a, 5.0));
+  EXPECT_FALSE(log.flagged(b, 5.0));
   auto flagged = log.flagged_sources(5.0);
   ASSERT_EQ(flagged.size(), 1u);
-  EXPECT_EQ(flagged[0], "a");
+  EXPECT_EQ(flagged[0], a);
 }
 
 TEST(ProbeLogTest, UnknownSourceScoresZero) {
+  const net::HostId ghost = 42;
   ProbeLog log(DetectionConfig{});
-  EXPECT_EQ(log.score("ghost", 1.0), 0u);
-  EXPECT_FALSE(log.flagged("ghost", 1.0));
-  EXPECT_EQ(log.total_events("ghost"), 0u);
+  EXPECT_EQ(log.score(ghost, 1.0), 0u);
+  EXPECT_FALSE(log.flagged(ghost, 1.0));
+  EXPECT_EQ(log.total_events(ghost), 0u);
 }
 
 TEST_F(ProxyTest, ForwardsAndOverSignsResponses) {
@@ -174,7 +177,7 @@ TEST_F(ProxyTest, MalformedRequestsAreLoggedNotForwarded) {
   sim_.run_until(sim_.now() + 5.0);
   EXPECT_EQ(proxy_->stats().malformed_requests, 1u);
   EXPECT_EQ(proxy_->stats().requests_forwarded, forwarded_before);
-  EXPECT_EQ(proxy_->probe_log().total_events("attacker"), 1u);
+  EXPECT_EQ(proxy_->probe_log().total_events(net_.id_of("attacker")), 1u);
 }
 
 TEST_F(ProxyTest, EmbeddedProbeCrashesServerChildAndProxyObserves) {
@@ -194,7 +197,7 @@ TEST_F(ProxyTest, EmbeddedProbeCrashesServerChildAndProxyObserves) {
   }
   // ...the PROXY observed it and attributed it to the attacker...
   EXPECT_GE(proxy_->stats().server_crashes_observed, 1u);
-  EXPECT_GE(proxy_->probe_log().total_events("attacker"), 1u);
+  EXPECT_GE(proxy_->probe_log().total_events(net_.id_of("attacker")), 1u);
   // ...and the attacker got no response at all.
   EXPECT_TRUE(attacker.responses.empty());
 }

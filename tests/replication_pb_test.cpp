@@ -116,6 +116,19 @@ TEST_F(PbTest, AllReplicasSignAndAnswer) {
   }
 }
 
+TEST_F(PbTest, BackupsAnswerRequesterLearnedFromStateUpdate) {
+  // Regression (dense-id plane): when a request reaches ONLY the primary
+  // (dropped datagrams, or a proxy that connected to one server), backups
+  // learn the requester exclusively from the StateUpdate's requester field
+  // — which must round-trip the sender's real address, not a mangled id.
+  boot_and_start();
+  RequestId rid{"client", 1};
+  client_.send_request(rid, "PUT a 1", {addrs_[0]});  // primary only
+  sim_.run_until(30.0);
+  auto responders = client_.responders(rid, "OK");
+  EXPECT_EQ(responders.size(), 3u);  // backups answered via the update
+}
+
 TEST_F(PbTest, OnlyPrimaryExecutes) {
   boot_and_start();
   RequestId rid{"client", 1};

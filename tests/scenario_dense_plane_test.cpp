@@ -1,0 +1,138 @@
+// Golden-value bit-identity test for the dense-id message plane (PR 4).
+//
+// The refactor that moved the live event path from string-keyed maps to
+// interned HostIds, flat routing tables and pooled payload buffers was
+// required to be OBSERVATIONALLY INVISIBLE: every campaign aggregate —
+// trial counts, compromise splits, the bit patterns of the lifetime
+// mean/variance, attacker counters, simulator event counts, blacklist
+// totals — must be exactly what the string-keyed plane produced.
+//
+// The golden table below was captured by running THIS grid on the PR-3
+// codebase (commit 3538fe8, before the dense-id plane existed). The grid
+// deliberately crosses every system class with two adversarial plans that
+// exercise the rekeyed paths: sybil identities (per-source detection
+// tables), proxy blacklisting, datagram drop/duplication (the payload-pool
+// copy path), exponential latency, and crash/recover fault schedules.
+//
+// Both trial-isolation strategies must reproduce the table: pooled
+// per-worker arenas (interner/id stability across reset) and fresh
+// per-trial stacks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "scenario/campaign.hpp"
+
+namespace fortress::scenario {
+namespace {
+
+net::ScenarioPlan plan_a() {
+  net::ScenarioPlan p;
+  p.name = "golden-a";
+  p.keyspace = 128;
+  p.attack.probes_per_step = 8.0;
+  p.attack.indirect_fraction = 0.5;
+  p.horizon_steps = 30;
+  p.latency = net::LatencySpec::uniform(0.01, 0.02);
+  return p;
+}
+
+net::ScenarioPlan plan_b() {
+  net::ScenarioPlan p;
+  p.name = "golden-b";
+  p.keyspace = 256;
+  p.attack.probes_per_step = 16.0;
+  p.attack.indirect_fraction = 0.25;
+  p.attack.sybil_identities = 3;
+  p.horizon_steps = 20;
+  p.step_duration = 50.0;
+  p.latency = net::LatencySpec::exponential(0.01, 0.05);
+  p.drop_probability = 0.05;
+  p.duplicate_probability = 0.02;
+  p.proxy_blacklist = true;
+  p.detection_threshold = 4;
+  p.detection_window = 200.0;
+  p.faults.push_back({net::FaultEvent::Target::Server, 0, 400.0,
+                      net::FaultEvent::Kind::Recover});
+  p.faults.push_back({net::FaultEvent::Target::Proxy, 1, 300.0,
+                      net::FaultEvent::Kind::Crash});
+  p.faults.push_back({net::FaultEvent::Target::Proxy, 1, 600.0,
+                      net::FaultEvent::Kind::Recover});
+  return p;
+}
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+struct GoldenCell {
+  std::uint64_t trials, compromised, censored;
+  std::uint64_t lifetime_mean_bits, lifetime_variance_bits;
+  std::uint64_t direct_probes, indirect_probes, crashes_caused, compromises,
+      keys_learned;
+  std::uint64_t events_executed, blacklisted_sources;
+};
+
+// Captured on the PR-3 (string-keyed message plane) build; cells in
+// cross({S0, S1, S2}, {golden-a, golden-b}) order.
+constexpr GoldenCell kGolden[6] = {
+    {6ull, 3ull, 3ull, 0x40362aaaaaaaaaaaull, 0x405bd77777777776ull, 4256ull,
+     0ull, 4227ull, 26ull, 26ull, 50786ull, 0ull},
+    {6ull, 2ull, 4ull, 0x4032aaaaaaaaaaaaull, 0x4012aaaaaaaaaaabull, 7001ull,
+     0ull, 6964ull, 26ull, 26ull, 43851ull, 0ull},
+    {6ull, 5ull, 1ull, 0x4024555555555555ull, 0x405c711111111110ull, 502ull,
+     0ull, 497ull, 0ull, 0ull, 12068ull, 0ull},
+    {6ull, 5ull, 1ull, 0x401eaaaaaaaaaaaaull, 0x4047bbbbbbbbbbbbull, 767ull,
+     0ull, 762ull, 0ull, 0ull, 6936ull, 0ull},
+    {6ull, 5ull, 1ull, 0x402faaaaaaaaaaabull, 0x4061122222222222ull, 2495ull,
+     389ull, 2469ull, 24ull, 24ull, 41981ull, 0ull},
+    {6ull, 1ull, 5ull, 0x4033800000000000ull, 0x3ff7fffffffffffdull, 5332ull,
+     465ull, 5306ull, 20ull, 20ull, 53794ull, 18ull},
+};
+
+void expect_matches_golden(const CampaignResult& result) {
+  ASSERT_EQ(result.cells.size(), 6u);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    const CellStats& c = result.cells[i];
+    const GoldenCell& g = kGolden[i];
+    EXPECT_EQ(c.trials, g.trials);
+    EXPECT_EQ(c.compromised, g.compromised);
+    EXPECT_EQ(c.censored, g.censored);
+    EXPECT_EQ(bits(c.lifetime.mean()), g.lifetime_mean_bits);
+    EXPECT_EQ(bits(c.lifetime.variance()), g.lifetime_variance_bits);
+    EXPECT_EQ(c.attacker.direct_probes, g.direct_probes);
+    EXPECT_EQ(c.attacker.indirect_probes, g.indirect_probes);
+    EXPECT_EQ(c.attacker.crashes_caused, g.crashes_caused);
+    EXPECT_EQ(c.attacker.compromises, g.compromises);
+    EXPECT_EQ(c.attacker.keys_learned, g.keys_learned);
+    EXPECT_EQ(c.events_executed, g.events_executed);
+    EXPECT_EQ(c.blacklisted_sources, g.blacklisted_sources);
+  }
+}
+
+CampaignResult run_golden_grid(bool pooled) {
+  std::vector<CampaignCell> cells =
+      cross({model::SystemKind::S0, model::SystemKind::S1,
+             model::SystemKind::S2},
+            {plan_a(), plan_b()});
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 6;
+  cfg.base_seed = 42;
+  cfg.threads = 1;
+  cfg.reuse_trial_stacks = pooled;
+  return run_campaign(cells, cfg);
+}
+
+TEST(DensePlaneGoldenTest, PooledArenaAggregatesMatchStringPlaneGolden) {
+  expect_matches_golden(run_golden_grid(/*pooled=*/true));
+}
+
+TEST(DensePlaneGoldenTest, FreshStackAggregatesMatchStringPlaneGolden) {
+  expect_matches_golden(run_golden_grid(/*pooled=*/false));
+}
+
+}  // namespace
+}  // namespace fortress::scenario

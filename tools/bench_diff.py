@@ -2,7 +2,7 @@
 """Diff fresh benchmark JSON against a committed baseline.
 
 Usage:
-    bench_diff.py BASELINE FRESH [FRESH...] [--threshold 0.15]
+    bench_diff.py BASELINE FRESH [FRESH...] [--threshold 0.15] [--report]
 
 Multiple FRESH files are merged into one result set (the baseline spans
 several bench binaries: bench_mc_throughput's BENCH_results.json and
@@ -18,6 +18,10 @@ Two schemas are accepted, so the same tool gates both result files:
 
 Malformed entries (a record missing its "name"/"ns_per_op"/"real_time" key)
 fail with a message naming the file and entry instead of a bare KeyError.
+
+--report additionally prints a Markdown before/after table (baseline ns/op,
+fresh ns/op, delta, speedup) ready to paste into a PR description; the
+pass/fail gate and exit status are unchanged.
 """
 
 import argparse
@@ -73,6 +77,9 @@ def main(argv=None):
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="maximum tolerated fractional slowdown "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--report", action="store_true",
+                    help="also print a Markdown before/after table "
+                         "(for PR descriptions)")
     args = ap.parse_args(argv)
 
     try:
@@ -112,6 +119,22 @@ def main(argv=None):
               f"{delta:>+8.1%}{flag}")
     for name in sorted(set(fresh) - set(base)):
         print(f"{name:<40} {'(new)':>14} {fresh[name]:>12.1f}ns")
+
+    if args.report:
+        print()
+        print("| benchmark | before (ns/op) | after (ns/op) | delta | "
+              "speedup |")
+        print("|---|---:|---:|---:|---:|")
+        for name in sorted(set(base) | set(fresh)):
+            if name not in fresh:
+                print(f"| {name} | {base[name]:,.1f} | (missing) | — | — |")
+            elif name not in base:
+                print(f"| {name} | (new) | {fresh[name]:,.1f} | — | — |")
+            else:
+                delta = fresh[name] / base[name] - 1.0
+                speedup = base[name] / fresh[name]
+                print(f"| {name} | {base[name]:,.1f} | {fresh[name]:,.1f} | "
+                      f"{delta:+.1%} | {speedup:.2f}x |")
 
     print()
     if regressions:
