@@ -46,39 +46,9 @@ std::string string_of(BytesView data) {
   return std::string(data.begin(), data.end());
 }
 
-void append_u64_be(Bytes& out, std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
-  }
-}
-
-void append_u32_be(Bytes& out, std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
-  }
-}
-
-std::uint64_t read_u64_be(BytesView data, std::size_t offset) {
-  if (offset + 8 > data.size()) {
-    throw std::out_of_range("read_u64_be: buffer too small");
-  }
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < 8; ++i) {
-    v = (v << 8) | data[offset + i];
-  }
-  return v;
-}
-
-std::uint32_t read_u32_be(BytesView data, std::size_t offset) {
-  if (offset + 4 > data.size()) {
-    throw std::out_of_range("read_u32_be: buffer too small");
-  }
-  std::uint32_t v = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    v = (v << 8) | data[offset + i];
-  }
-  return v;
-}
+namespace detail {
+void throw_short_read(const char* what) { throw std::out_of_range(what); }
+}  // namespace detail
 
 void append(Bytes& out, BytesView data) {
   out.insert(out.end(), data.begin(), data.end());

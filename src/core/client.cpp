@@ -7,6 +7,7 @@
 namespace fortress::core {
 
 using replication::Message;
+using replication::MessageView;
 using replication::MsgType;
 using replication::RequestId;
 
@@ -79,29 +80,30 @@ void Client::schedule_retry(std::uint64_t seq) {
   });
 }
 
-bool Client::acceptable(const Message& msg, Outstanding& out) {
+bool Client::acceptable(const MessageView& msg, Outstanding& out) {
   const auto& principals = directory_.server_principals;
-  auto known_server = [&](const std::string& name) {
+  auto known_server = [&](std::string_view name) {
     return std::find(principals.begin(), principals.end(), name) !=
            principals.end();
   };
 
   if (directory_.fortified()) {
     // Double-signature rule: over-signature by a known proxy AND inner
-    // signature by a known server principal.
-    if (msg.type != MsgType::ProxyResponse) return false;
-    if (!msg.signature || !msg.over_signature) return false;
-    if (!known_server(msg.signature->signer.name)) return false;
+    // signature by a known server principal. All checks run on the
+    // borrowed view; nothing allocates until a response is accepted.
+    if (msg.type() != MsgType::ProxyResponse) return false;
+    if (!msg.signature() || !msg.over_signature()) return false;
+    if (!known_server(msg.signature()->signer)) return false;
     auto proxy_known =
         std::find(directory_.proxies.begin(), directory_.proxies.end(),
-                  msg.over_signature->signer.name) != directory_.proxies.end();
+                  msg.over_signature()->signer) != directory_.proxies.end();
     if (!proxy_known) return false;
     return replication::verify_message(msg, registry_) &&
            replication::verify_over_signature(msg, registry_);
   }
 
-  if (msg.type != MsgType::Response) return false;
-  if (!msg.signature || !known_server(msg.signature->signer.name)) {
+  if (msg.type() != MsgType::Response) return false;
+  if (!msg.signature() || !known_server(msg.signature()->signer)) {
     return false;
   }
   if (!replication::verify_message(msg, registry_)) return false;
@@ -111,26 +113,31 @@ bool Client::acceptable(const Message& msg, Outstanding& out) {
   }
 
   // SMR: collect matching votes from f+1 distinct principals.
-  std::string key = to_hex(msg.payload);
-  out.votes[key].insert(msg.signature->signer.name);
-  out.vote_payloads[key] = msg.payload;
+  std::string key = to_hex(msg.payload());
+  out.votes[key].insert(std::string(msg.signature()->signer));
+  auto& payload = out.vote_payloads[key];
+  payload.assign(msg.payload().begin(), msg.payload().end());
   return out.votes[key].size() >= directory_.f + 1;
 }
 
 void Client::on_message(const net::Envelope& env) {
-  auto msg = Message::decode(env.payload);
+  // Zero-copy accept path: everything up to acceptance runs on the
+  // borrowed view; only an accepted payload is materialized.
+  auto msg = MessageView::decode(env.payload);
   if (!msg) return;
-  if (msg->type != MsgType::Response && msg->type != MsgType::ProxyResponse) {
+  if (msg->type() != MsgType::Response &&
+      msg->type() != MsgType::ProxyResponse) {
     return;
   }
-  if (msg->request_id.client != config_.address) return;
-  auto it = outstanding_.find(msg->request_id.seq);
+  if (msg->request_client() != config_.address) return;
+  auto it = outstanding_.find(msg->request_seq());
   if (it == outstanding_.end()) return;  // duplicate of a completed request
   if (!acceptable(*msg, it->second)) {
     ++stats_.rejected_responses;
     return;
   }
-  complete(msg->request_id.seq, msg->payload);
+  complete(msg->request_seq(),
+           Bytes(msg->payload().begin(), msg->payload().end()));
 }
 
 void Client::complete(std::uint64_t seq, const Bytes& response) {

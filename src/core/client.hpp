@@ -77,7 +77,7 @@ class Client final : public net::Handler {
 
   void broadcast_request(std::uint64_t seq);
   void schedule_retry(std::uint64_t seq);
-  bool acceptable(const replication::Message& msg, Outstanding& out);
+  bool acceptable(const replication::MessageView& msg, Outstanding& out);
   void complete(std::uint64_t seq, const Bytes& response);
 
   sim::Simulator& sim_;

@@ -5,6 +5,7 @@
 namespace fortress::core {
 
 using replication::Message;
+using replication::MessageView;
 using replication::MsgType;
 
 NameServer::NameServer(net::Network& network, crypto::KeyRegistry& registry,
@@ -20,8 +21,10 @@ NameServer::~NameServer() { network_.detach(id_); }
 void NameServer::reset() { network_.attach(id_, *this); }
 
 void NameServer::on_message(const net::Envelope& env) {
-  auto msg = Message::decode(env.payload);
-  if (!msg || msg->type != MsgType::NsLookup) return;
+  // Lookups carry nothing the reply depends on: validate + type-check on
+  // the borrowed view and drop everything else allocation-free.
+  auto msg = MessageView::decode(env.payload);
+  if (!msg || msg->type() != MsgType::NsLookup) return;
   Message reply;
   reply.type = MsgType::NsReply;
   reply.requester = network_.address_of(env.from);

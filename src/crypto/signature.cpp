@@ -36,12 +36,11 @@ SigningKey KeyRegistry::enroll(const std::string& name) {
 }
 
 bool KeyRegistry::verify(BytesView message, const Signature& sig) const {
-  auto it = secrets_.find(sig.signer.name);
-  if (it == secrets_.end()) return false;
-  return verify_with(it->second, message, sig);
+  return verify_tag(message, sig.signer.name,
+                    BytesView(sig.tag.data(), sig.tag.size()));
 }
 
-const HmacKey* KeyRegistry::schedule_for(const std::string& name) const {
+const HmacKey* KeyRegistry::schedule_for(std::string_view name) const {
   auto it = secrets_.find(name);
   // std::map nodes are stable: the pointer survives later enrollments.
   return it != secrets_.end() ? &it->second : nullptr;
@@ -49,13 +48,25 @@ const HmacKey* KeyRegistry::schedule_for(const std::string& name) const {
 
 bool KeyRegistry::verify_with(const HmacKey& schedule, BytesView message,
                               const Signature& sig) {
-  Digest expected = schedule.mac(message);
-  return equal_constant_time(BytesView(expected.data(), expected.size()),
-                             BytesView(sig.tag.data(), sig.tag.size()));
+  return verify_tag_with(schedule, message,
+                         BytesView(sig.tag.data(), sig.tag.size()));
 }
 
-bool KeyRegistry::is_enrolled(const std::string& name) const {
-  return secrets_.contains(name);
+bool KeyRegistry::verify_tag(BytesView message, std::string_view signer,
+                             BytesView tag) const {
+  auto it = secrets_.find(signer);
+  if (it == secrets_.end()) return false;
+  return verify_tag_with(it->second, message, tag);
+}
+
+bool KeyRegistry::verify_tag_with(const HmacKey& schedule, BytesView message,
+                                  BytesView tag) {
+  Digest expected = schedule.mac(message);
+  return equal_constant_time(BytesView(expected.data(), expected.size()), tag);
+}
+
+bool KeyRegistry::is_enrolled(std::string_view name) const {
+  return secrets_.find(name) != secrets_.end();
 }
 
 }  // namespace fortress::crypto

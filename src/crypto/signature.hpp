@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
@@ -98,8 +99,9 @@ class KeyRegistry {
   /// schedule), so per-message verifiers — proxies checking server
   /// responses, SMR replicas checking peer ordering traffic — resolve each
   /// expected signer ONCE into a direct-indexed table and skip the
-  /// per-message string-map lookup; see verify_with().
-  const HmacKey* schedule_for(const std::string& name) const;
+  /// per-message string-map lookup; see verify_with(). Accepts a borrowed
+  /// name (no allocation — the MessageView verify path).
+  const HmacKey* schedule_for(std::string_view name) const;
 
   /// Verify `sig` against an explicit schedule (obtained from
   /// schedule_for): the amortized-lookup half of the verify path. The
@@ -108,8 +110,16 @@ class KeyRegistry {
   static bool verify_with(const HmacKey& schedule, BytesView message,
                           const Signature& sig);
 
+  /// Tag-level verify for borrowed signatures (MessageView): same
+  /// acceptance as verify()/verify_with() without materializing a
+  /// Signature. `tag` must be Digest-sized (anything else never verifies).
+  bool verify_tag(BytesView message, std::string_view signer,
+                  BytesView tag) const;
+  static bool verify_tag_with(const HmacKey& schedule, BytesView message,
+                              BytesView tag);
+
   /// True iff a principal with this name has been enrolled.
-  bool is_enrolled(const std::string& name) const;
+  bool is_enrolled(std::string_view name) const;
 
   std::size_t enrolled_count() const { return secrets_.size(); }
 
@@ -120,8 +130,9 @@ class KeyRegistry {
   /// the label tail, which keeps re-keying a pooled campaign trial cheap.
   HmacKey master_key_;
   /// Per-principal verification schedules, precomputed at enrollment (the
-  /// verify path runs once per protocol message).
-  std::map<std::string, HmacKey> secrets_;
+  /// verify path runs once per protocol message). Transparent ordering so
+  /// borrowed (string_view) names probe without allocating.
+  std::map<std::string, HmacKey, std::less<>> secrets_;
 };
 
 }  // namespace fortress::crypto

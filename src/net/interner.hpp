@@ -43,8 +43,9 @@ class AddressInterner {
     return id;
   }
 
-  /// The id of `addr`, or kInvalidHost if it was never interned.
-  HostId find(const Address& addr) const {
+  /// The id of `addr`, or kInvalidHost if it was never interned. Accepts a
+  /// borrowed name (wire-carried addresses resolve without allocating).
+  HostId find(std::string_view addr) const {
     auto it = ids_.find(addr);
     return it != ids_.end() ? it->second : kInvalidHost;
   }

@@ -53,16 +53,48 @@ void Network::reset(std::unique_ptr<LatencyModel> latency,
   open_conns_ = 0;
   conn_seq_ = 0;
   delivered_ = 0;
+  // The new config's windows need fresh membership bitsets (the interner
+  // survives, so they rebuild lazily over the same ids).
+  partition_bits_.clear();
+  partition_ids_synced_ = 0;
+}
+
+void Network::sync_partition_bits() const {
+  // Windows declare membership by address (the plan's vocabulary); the
+  // per-message check wants a bit test on dense ids. Classify each id once,
+  // the first time a partition check sees it — new ids only appear at the
+  // tail, so this walks each address exactly once per reset.
+  if (partition_bits_.size() != config_.partitions.size()) {
+    partition_bits_.assign(config_.partitions.size(), {});
+    partition_ids_synced_ = 0;
+  }
+  const std::size_t total = interner_.size();
+  const std::size_t words = (total + 63) / 64;
+  for (std::size_t w = 0; w < config_.partitions.size(); ++w) {
+    partition_bits_[w].resize(words, 0);
+    for (std::size_t id = partition_ids_synced_; id < total; ++id) {
+      if (config_.partitions[w].contains(
+              interner_.name(static_cast<HostId>(id)))) {
+        partition_bits_[w][id / 64] |= 1ull << (id % 64);
+      }
+    }
+  }
+  partition_ids_synced_ = total;
 }
 
 bool Network::link_blocked(HostId x, HostId y) const {
-  // Only reached when partitions exist; membership is by address (the plan's
-  // declarative vocabulary), resolved through the interner.
-  const Address& ax = interner_.name(x);
-  const Address& ay = interner_.name(y);
-  for (const PartitionWindow& w : config_.partitions) {
-    if (!w.active_at(sim_.now())) continue;
-    if (w.contains(ax) != w.contains(ay)) return true;
+  // Only reached when partitions exist.
+  if (partition_ids_synced_ < interner_.size() ||
+      partition_bits_.size() != config_.partitions.size()) {
+    sync_partition_bits();
+  }
+  const sim::Time now = sim_.now();
+  for (std::size_t w = 0; w < config_.partitions.size(); ++w) {
+    if (!config_.partitions[w].active_at(now)) continue;
+    const std::vector<std::uint64_t>& bits = partition_bits_[w];
+    const bool in_x = (bits[x / 64] >> (x % 64)) & 1;
+    const bool in_y = (bits[y / 64] >> (y % 64)) & 1;
+    if (in_x != in_y) return true;
   }
   return false;
 }

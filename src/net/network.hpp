@@ -193,8 +193,9 @@ class Network {
   /// message after that.
   HostId intern(const Address& addr) { return interner_.intern(addr); }
 
-  /// The id of `addr`, or kInvalidHost if never interned.
-  HostId id_of(const Address& addr) const { return interner_.find(addr); }
+  /// The id of `addr`, or kInvalidHost if never interned. Accepts a
+  /// borrowed name (a MessageView's wire-carried requester).
+  HostId id_of(std::string_view addr) const { return interner_.find(addr); }
 
   /// The address behind an interned id (logging / wire-format boundary).
   const Address& address_of(HostId id) const { return interner_.name(id); }
@@ -276,6 +277,12 @@ class Network {
   void abort(ConnectionId id, HostId crasher);
   void abort(ConnectionId id, const Address& crasher);
 
+  /// Diagnostics/testing: whether an active partition window separates
+  /// `x` and `y` right now (always false when the config has no windows).
+  bool partitioned(HostId x, HostId y) const {
+    return !config_.partitions.empty() && link_blocked(x, y);
+  }
+
   /// Number of live connections (diagnostics).
   std::size_t open_connections() const { return open_conns_; }
 
@@ -319,6 +326,9 @@ class Network {
   void teardown(ConnectionId id, HostId endpoint, CloseReason reason);
   /// True when an active partition window separates `x` and `y` right now.
   bool link_blocked(HostId x, HostId y) const;
+  /// Extend the per-window membership bitsets to cover every interned id
+  /// (addresses may be interned at any time; ids only grow).
+  void sync_partition_bits() const;
 
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -335,6 +345,13 @@ class Network {
   /// Recycled payload buffers (see acquire_buffer).
   std::vector<Bytes> pool_;
   std::uint64_t delivered_ = 0;
+  /// Per-window island membership as HostId bitsets, one per
+  /// config_.partitions entry, built lazily from the interner (lazily
+  /// because hosts keep interning after construction; mutable because the
+  /// sync happens under const link_blocked). partition_ids_synced_ counts
+  /// the interner entries already classified.
+  mutable std::vector<std::vector<std::uint64_t>> partition_bits_;
+  mutable std::size_t partition_ids_synced_ = 0;
 };
 
 }  // namespace fortress::net

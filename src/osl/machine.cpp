@@ -115,7 +115,10 @@ void Machine::on_message(const net::Envelope& env) {
   // Indirect attack: a probe smuggled inside a service request (the exploit
   // fires while the child parses the request, before any application logic
   // can inspect it). Only machines that actually process request payloads
-  // are vulnerable — proxies forward without parsing (§3).
+  // are vulnerable — proxies forward without parsing (§3). The scan hops
+  // via memchr (see probe.cpp); the dispatch below hands the application
+  // the same borrowed payload view, which replication::MessageView decodes
+  // without copying — nothing on this path allocates.
   if (config_.processes_request_payloads) {
     if (auto embedded = probe_inside_request(env.payload)) {
       handle_probe(env, *embedded);

@@ -8,7 +8,9 @@
 namespace fortress::proxy {
 
 using replication::Message;
+using replication::MessageView;
 using replication::MsgType;
+using replication::RequestKeyRef;
 
 ProxyNode::ProxyNode(sim::Simulator& sim, net::Network& network,
                      crypto::KeyRegistry& registry, ProxyConfig config)
@@ -75,7 +77,9 @@ bool ProxyNode::blacklisted(const net::Address& source) const {
 }
 
 void ProxyNode::handle_message(const net::Envelope& env) {
-  auto msg = Message::decode(env.payload);
+  // Zero-copy dispatch: requests are forwarded (and responses over-signed)
+  // by splicing the wire bytes — the proxy never materializes a message.
+  auto msg = MessageView::decode(env.payload);
   if (!msg) {
     // Not protocol traffic at all: log the sender as having submitted an
     // invalid request (this is how failed DIRECT probes at the proxy appear
@@ -88,12 +92,12 @@ void ProxyNode::handle_message(const net::Envelope& env) {
     }
     return;
   }
-  switch (msg->type) {
+  switch (msg->type()) {
     case MsgType::Request:
       handle_client_request(env, *msg);
       break;
     case MsgType::Response:
-      handle_server_response(env, std::move(*msg));
+      handle_server_response(env, *msg);
       break;
     default:
       break;
@@ -101,19 +105,21 @@ void ProxyNode::handle_message(const net::Envelope& env) {
 }
 
 void ProxyNode::handle_client_request(const net::Envelope& env,
-                                      const Message& msg) {
+                                      const MessageView& msg) {
   if (blacklist_.contains(env.from)) {
     ++stats_.requests_from_blacklisted;
     return;  // identified attacker: drop silently
   }
-  PendingRequest& pending = pending_[msg.request_id];
-  pending.clients.insert(env.from);
+  auto it = pending_.find(RequestKeyRef{msg.request_client(),
+                                        msg.request_seq()});
+  if (it == pending_.end()) {
+    it = pending_.emplace(msg.request_id(), PendingRequest{}).first;
+  }
+  it->second.clients.insert(env.from);
 
   // Re-forward on duplicates too (the earlier copy may have died with a
   // crashed child); servers dedup by request id.
-  Message fwd = msg;
-  fwd.requester = config_.address;
-  forward(fwd);
+  forward(msg);
 
   // Remember whom to blame if a server child now crashes.
   for (ServerLink& link : servers_) {
@@ -121,10 +127,13 @@ void ProxyNode::handle_client_request(const net::Envelope& env,
   }
 }
 
-void ProxyNode::forward(const Message& msg) {
-  // Encode once into a pooled buffer; every hop below sends a pooled copy.
+void ProxyNode::forward(const MessageView& msg) {
+  // Splice once into a pooled buffer — the incoming wire bytes with only
+  // the requester field rewritten to this proxy ("proxies do not do any
+  // processing", and now the forward path literally does not re-encode);
+  // every hop below sends a pooled copy.
   Bytes wire = network_.acquire_buffer();
-  msg.encode_into(wire);
+  msg.encode_readdressed_into(wire, config_.address);
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     ServerLink& link = servers_[i];
     if (link.conn) {
@@ -148,8 +157,9 @@ void ProxyNode::forward(const Message& msg) {
 }
 
 void ProxyNode::handle_server_response(const net::Envelope& env,
-                                       Message msg) {
-  auto it = pending_.find(msg.request_id);
+                                       const MessageView& msg) {
+  auto it = pending_.find(RequestKeyRef{msg.request_client(),
+                                        msg.request_seq()});
   if (it == pending_.end()) return;  // response to a request we never saw
   if (!replication::verify_from_indexed_peer(msg, server_schedules_,
                                              config_.servers, registry_)) {
@@ -159,17 +169,19 @@ void ProxyNode::handle_server_response(const net::Envelope& env,
   }
   // Over-sign this authentic response and deliver to every client that has
   // not been answered yet (§3: "a proxy over-signs any ONE of the authentic
-  // responses").
+  // responses"). The over-signature covers the signed core + inner
+  // signature — the requester is blanked in the signed form — so one
+  // signature serves every client; each delivery is a wire splice.
   PendingRequest& pending = it->second;
-  Message out = std::move(msg);
-  out.type = MsgType::ProxyResponse;
+  std::optional<crypto::Signature> over;
   for (net::HostId client : pending.clients) {
     if (pending.answered.contains(client)) continue;
-    out.requester = network_.address_of(client);
-    out.over_signature.reset();
-    replication::over_sign_message(out, key_);
+    if (!over) {
+      msg.over_signing_bytes_into(sign_scratch_);
+      over = key_.sign(sign_scratch_);
+    }
     Bytes wire = network_.acquire_buffer();
-    out.encode_into(wire);
+    msg.encode_proxy_response_into(wire, network_.address_of(client), *over);
     network_.send(self_id_, client, std::move(wire));
     pending.answered.insert(client);
     ++stats_.responses_delivered;

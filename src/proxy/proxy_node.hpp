@@ -108,11 +108,11 @@ class ProxyNode final : public osl::Application {
   };
 
   void handle_client_request(const net::Envelope& env,
-                             const replication::Message& msg);
+                             const replication::MessageView& msg);
   void handle_server_response(const net::Envelope& env,
-                              replication::Message msg);
+                              const replication::MessageView& msg);
   void dial_server(std::size_t index);
-  void forward(const replication::Message& msg);
+  void forward(const replication::MessageView& msg);
   void observe_server_closure(net::HostId source, net::CloseReason reason);
 
   sim::Simulator& sim_;
@@ -133,8 +133,13 @@ class ProxyNode final : public osl::Application {
     std::set<net::HostId> clients;   ///< who asked
     std::set<net::HostId> answered;  ///< who already got a response
   };
-  std::map<replication::RequestId, PendingRequest> pending_;
+  /// Transparent comparator: probed with the borrowed (client, seq) key of
+  /// a MessageView — the per-message lookup allocates nothing.
+  std::map<replication::RequestId, PendingRequest, replication::RequestIdLess>
+      pending_;
   std::set<net::HostId> blacklist_;
+  /// Splice target for over-signing (capacity reused across responses).
+  Bytes sign_scratch_;
   bool started_ = false;
 };
 

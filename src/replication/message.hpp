@@ -5,12 +5,24 @@
 // responses, name-server lookups). Fields unused by a message type are left
 // empty; encode/decode round-trips all fields. Signatures sign the encoding
 // WITHOUT the signature fields (signing_bytes()).
+//
+// Two decoders over the same wire format:
+//  * Message::decode — the owning decoder: heap-materializes every field.
+//    Use where a record must outlive the network buffer it arrived in.
+//  * MessageView::decode — the zero-copy decoder: validates the full
+//    structure but keeps string/bytes fields as views borrowed from the
+//    input span. This is what every protocol handler dispatches on; a view
+//    DIES WHEN THE HANDLER RETURNS (the network recycles the buffer), so
+//    anything retained past that point must go through materialize() or a
+//    field-level copy. The two decoders accept exactly the same inputs and
+//    agree on every field (differentially fuzzed in codec_fuzz_test).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "crypto/signature.hpp"
@@ -52,6 +64,29 @@ struct RequestId {
   std::string to_string() const { return client + "#" + std::to_string(seq); }
 };
 
+/// A borrowed request identity (the MessageView fields) for probing
+/// RequestId-keyed containers without materializing the client string.
+struct RequestKeyRef {
+  std::string_view client;
+  std::uint64_t seq = 0;
+};
+
+/// Transparent strict-weak order over RequestId / RequestKeyRef, matching
+/// RequestId's own (client, seq) ordering.
+struct RequestIdLess {
+  using is_transparent = void;
+  static std::pair<std::string_view, std::uint64_t> key(const RequestId& r) {
+    return {r.client, r.seq};
+  }
+  static std::pair<std::string_view, std::uint64_t> key(const RequestKeyRef& r) {
+    return {r.client, r.seq};
+  }
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return key(a) < key(b);
+  }
+};
+
 /// The universal protocol record.
 struct Message {
   MsgType type = MsgType::Request;
@@ -80,6 +115,107 @@ struct Message {
 
   /// Decode; nullopt on malformed input (never throws on hostile bytes).
   static std::optional<Message> decode(BytesView data);
+};
+
+/// Borrowed view of one signature field on the wire: signer name and tag
+/// point into the decoded input span.
+struct SignatureView {
+  std::string_view signer;
+  BytesView tag;  ///< exactly crypto::Digest-sized
+
+  crypto::Signature materialize() const;
+};
+
+/// The fixed-offset prefix of every wire message. MessageView::peek
+/// validates only this much — the cheapest possible route/drop decision.
+struct MessageHeader {
+  MsgType type = MsgType::Request;
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t sender_index = 0;
+};
+
+/// Zero-copy decode of a wire message: full structural validation (accepts
+/// exactly what Message::decode accepts), but every string/bytes field is a
+/// view borrowed from the input span — nothing is heap-materialized until a
+/// handler calls materialize() (or copies a field) because it must retain
+/// data past its return. Fixed-width fields are parsed eagerly (they are
+/// free); a MessageView is a small stack value whose lifetime must not
+/// exceed the buffer it was decoded from.
+class MessageView {
+ public:
+  /// Validate magic + fixed header only; nullopt if `data` cannot begin a
+  /// wire message. For handlers that drop/route on type alone.
+  static std::optional<MessageHeader> peek(BytesView data);
+
+  /// Validate the whole record; nullopt exactly when Message::decode
+  /// returns nullopt (never throws on hostile bytes, never reads outside
+  /// `data` — differentially fuzzed).
+  static std::optional<MessageView> decode(BytesView data);
+
+  MsgType type() const { return header_.type; }
+  std::uint64_t view() const { return header_.view; }
+  std::uint64_t seq() const { return header_.seq; }
+  std::uint32_t sender_index() const { return header_.sender_index; }
+  std::string_view request_client() const;
+  std::uint64_t request_seq() const { return rid_seq_; }
+  std::string_view requester() const;
+  BytesView payload() const { return data_.subspan(payload_off_, payload_len_); }
+  BytesView aux() const { return data_.subspan(aux_off_, aux_len_); }
+  const std::optional<SignatureView>& signature() const { return signature_; }
+  const std::optional<SignatureView>& over_signature() const {
+    return over_signature_;
+  }
+
+  /// The wire bytes this view was decoded from.
+  BytesView wire() const { return data_; }
+
+  /// Materialize the request identity (allocates the client string).
+  RequestId request_id() const;
+
+  /// Materialize the full owning record — bit-equivalent to
+  /// Message::decode(wire()). For the few paths that must retain a message
+  /// (slot proposals, pending buffers, snapshots).
+  Message materialize() const;
+
+  /// Assemble the byte string the server signature covers into `out`
+  /// (replacing its contents) by splicing the wire bytes — the requester
+  /// field is blanked and ProxyResponse is normalized to Response, exactly
+  /// as Message::signing_bytes does, but without re-encoding field by
+  /// field. over_signing_bytes_into additionally appends the inner
+  /// signature (which must be present).
+  void signing_bytes_into(Bytes& out) const;
+  void over_signing_bytes_into(Bytes& out) const;
+  Bytes signing_bytes() const;
+
+  /// Re-encode this view into `out` with only the requester field replaced
+  /// — the proxy forward path (bit-identical to materialize + mutate +
+  /// encode, but two splices instead of a full re-encode).
+  void encode_readdressed_into(Bytes& out, std::string_view requester) const;
+
+  /// The proxy-response rewrite: this view (a server Response whose inner
+  /// signature verified) re-encoded as a ProxyResponse addressed to
+  /// `requester` with `over` stapled on as the over-signature. Any
+  /// over-signature already on the wire is dropped, as the materializing
+  /// path did.
+  void encode_proxy_response_into(Bytes& out, std::string_view requester,
+                                  const crypto::Signature& over) const;
+
+ private:
+  BytesView data_;
+  MessageHeader header_;
+  std::uint64_t rid_seq_ = 0;
+  /// Field geometry, as (offset, length) pairs into data_. *_len_off_ marks
+  /// the u64 length prefix of the requester field (the splice point for
+  /// signing_bytes_into / re-addressed encodes).
+  std::size_t client_off_ = 0, client_len_ = 0;
+  std::size_t requester_len_off_ = 0, requester_off_ = 0, requester_len_ = 0;
+  std::size_t payload_off_ = 0, payload_len_ = 0;
+  std::size_t aux_off_ = 0, aux_len_ = 0;
+  std::size_t sig_off_ = 0;   ///< inner-signature presence byte
+  std::size_t over_off_ = 0;  ///< over-signature presence byte
+  std::optional<SignatureView> signature_;
+  std::optional<SignatureView> over_signature_;
 };
 
 /// Sign `msg` in place as a server response (sets msg.signature).
@@ -113,6 +249,21 @@ bool verify_from_indexed_peer(const Message& msg,
 
 /// Verify the proxy over-signature (and require the inner one to be present).
 bool verify_over_signature(const Message& msg,
+                           const crypto::KeyRegistry& registry);
+
+// --- zero-copy verify -------------------------------------------------------
+// View counterparts of the verifiers above: the byte string a signature
+// covers is spliced from the wire into a per-thread scratch buffer, so the
+// steady-state verify path allocates nothing and never materializes the
+// message. Acceptance semantics are identical to the Message overloads.
+
+bool verify_message(const MessageView& m, const crypto::HmacKey& schedule);
+bool verify_message(const MessageView& m, const crypto::KeyRegistry& registry);
+bool verify_from_indexed_peer(const MessageView& m,
+                              std::span<const crypto::HmacKey* const> schedules,
+                              std::span<const std::string> names,
+                              const crypto::KeyRegistry& registry);
+bool verify_over_signature(const MessageView& m,
                            const crypto::KeyRegistry& registry);
 
 }  // namespace fortress::replication

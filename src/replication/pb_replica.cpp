@@ -1,5 +1,7 @@
 #include "replication/pb_replica.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 
@@ -39,8 +41,7 @@ void PbReplica::reset() {
   applied_seq_ = 0;
   executed_count_ = 0;
   last_primary_sign_of_life_ = 0.0;
-  responses_.clear();
-  requesters_.clear();
+  requests_.clear();
 }
 
 PbReplica::~PbReplica() { stop(); }
@@ -78,9 +79,10 @@ void PbReplica::send_to(net::HostId to, const Message& msg) {
 }
 
 void PbReplica::handle_message(const net::Envelope& env) {
-  auto msg = Message::decode(env.payload);
+  // Zero-copy dispatch (see SmrReplica::handle_message).
+  auto msg = MessageView::decode(env.payload);
   if (!msg) return;  // not protocol traffic; ignore
-  switch (msg->type) {
+  switch (msg->type()) {
     case MsgType::Request:
       handle_request(env, *msg);
       break;
@@ -98,84 +100,93 @@ void PbReplica::handle_message(const net::Envelope& env) {
   }
 }
 
-void PbReplica::handle_request(const net::Envelope& env, const Message& msg) {
-  const RequestId& rid = msg.request_id;
-  requesters_[rid].insert(env.from);
+void PbReplica::handle_request(const net::Envelope& env,
+                               const MessageView& msg) {
+  const std::uint64_t hash =
+      request_key_hash(msg.request_client(), msg.request_seq());
+  RequestState& req =
+      requests_.find_or_insert(msg.request_client(), msg.request_seq(), hash);
+  insert_sorted_unique(req.requesters, env.from);
 
-  if (auto it = responses_.find(rid); it != responses_.end()) {
-    send_response(rid, env.from);  // duplicate: re-reply from cache
+  if (req.has_response) {
+    send_response(req, env.from);  // duplicate: re-reply from cache
     return;
   }
   if (!is_primary()) return;  // backups wait for the state update
 
   // Execute (the service may be non-deterministic; only the primary runs it).
-  Bytes response = service_->execute(msg.payload);
+  req.response = service_->execute(msg.payload());
+  req.has_response = true;
   ++applied_seq_;
   ++executed_count_;
-  responses_[rid] = response;
 
   Message update;
   update.type = MsgType::StateUpdate;
   update.view = view_;
   update.seq = applied_seq_;
   update.sender_index = config_.index;
-  update.request_id = rid;
+  update.request_id = req.rid;
   update.requester = network_.address_of(env.from);
-  update.payload = response;
+  update.payload = req.response;
   update.aux = service_->snapshot();
   broadcast(update);
 
-  respond_to_all(rid);
+  respond_to_all(req);
 }
 
-void PbReplica::handle_state_update(const Message& msg) {
-  if (msg.view < view_) return;  // stale primary
-  if (msg.view > view_) adopt_view(msg.view);
-  if (msg.sender_index != msg.view % config_.replicas.size()) return;
+void PbReplica::handle_state_update(const MessageView& msg) {
+  if (msg.view() < view_) return;  // stale primary
+  if (msg.view() > view_) adopt_view(msg.view());
+  if (msg.sender_index() != msg.view() % config_.replicas.size()) return;
   last_primary_sign_of_life_ = sim_.now();
   // Resolve the wire-carried requester WITHOUT interning: an address the
   // interner has never seen was never attachable on this network, so a
   // response to it could only be dropped — and a forged StateUpdate must
   // not grow the trial-persistent interner with garbage strings.
-  const net::HostId requester = msg.requester.empty()
+  const net::HostId requester = msg.requester().empty()
                                     ? net::kInvalidHost
-                                    : network_.id_of(msg.requester);
-  if (msg.seq <= applied_seq_) {
+                                    : network_.id_of(msg.requester());
+  const std::uint64_t hash =
+      request_key_hash(msg.request_client(), msg.request_seq());
+  if (msg.seq() <= applied_seq_) {
     // Duplicate/old update; still make sure the requester gets an answer.
-    if (responses_.contains(msg.request_id) && requester != net::kInvalidHost) {
-      send_response(msg.request_id, requester);
+    RequestState* req =
+        requests_.find(msg.request_client(), msg.request_seq(), hash);
+    if (req != nullptr && req->has_response &&
+        requester != net::kInvalidHost) {
+      send_response(*req, requester);
     }
     return;
   }
-  service_->restore(msg.aux);
-  applied_seq_ = msg.seq;
-  responses_[msg.request_id] = msg.payload;
+  service_->restore(msg.aux());
+  applied_seq_ = msg.seq();
+  RequestState& req =
+      requests_.find_or_insert(msg.request_client(), msg.request_seq(), hash);
+  req.has_response = true;
+  req.response.assign(msg.payload().begin(), msg.payload().end());
   if (requester != net::kInvalidHost) {
-    requesters_[msg.request_id].insert(requester);
+    insert_sorted_unique(req.requesters, requester);
   }
-  respond_to_all(msg.request_id);
+  respond_to_all(req);
 }
 
-void PbReplica::send_response(const RequestId& rid, net::HostId to) {
-  auto it = responses_.find(rid);
-  FORTRESS_EXPECTS(it != responses_.end());
+void PbReplica::send_response(const RequestState& req, net::HostId to) {
+  FORTRESS_EXPECTS(req.has_response);
   Message resp;
   resp.type = MsgType::Response;
   resp.view = view_;
   resp.seq = applied_seq_;
   resp.sender_index = config_.index;
-  resp.request_id = rid;
+  resp.request_id = req.rid;
   resp.requester = network_.address_of(to);
-  resp.payload = it->second;
+  resp.payload = req.response;
   sign_message(resp, key_);
   send_to(to, resp);
 }
 
-void PbReplica::respond_to_all(const RequestId& rid) {
-  auto it = requesters_.find(rid);
-  if (it == requesters_.end()) return;
-  for (net::HostId requester : it->second) {
-    send_response(rid, requester);
+void PbReplica::respond_to_all(const RequestState& req) {
+  for (net::HostId requester : req.requesters) {
+    send_response(req, requester);
   }
 }
 
@@ -188,10 +199,10 @@ void PbReplica::send_heartbeat() {
   broadcast(hb);
 }
 
-void PbReplica::handle_heartbeat(const Message& msg) {
-  if (msg.view < view_) return;
-  if (msg.view > view_) adopt_view(msg.view);
-  if (msg.sender_index == msg.view % config_.replicas.size()) {
+void PbReplica::handle_heartbeat(const MessageView& msg) {
+  if (msg.view() < view_) return;
+  if (msg.view() > view_) adopt_view(msg.view());
+  if (msg.sender_index() == msg.view() % config_.replicas.size()) {
     last_primary_sign_of_life_ = sim_.now();
   }
 }
@@ -214,8 +225,8 @@ void PbReplica::check_failover() {
   adopt_view(next);
 }
 
-void PbReplica::handle_view_change(const Message& msg) {
-  if (msg.view > view_) adopt_view(msg.view);
+void PbReplica::handle_view_change(const MessageView& msg) {
+  if (msg.view() > view_) adopt_view(msg.view());
 }
 
 void PbReplica::adopt_view(std::uint64_t view) {

@@ -23,6 +23,7 @@
 #include "net/network.hpp"
 #include "osl/machine.hpp"
 #include "replication/message.hpp"
+#include "replication/request_table.hpp"
 #include "replication/service.hpp"
 #include "sim/simulator.hpp"
 
@@ -66,12 +67,23 @@ class PbReplica final : public osl::Application {
   void handle_reboot() override;
 
  private:
-  void handle_request(const net::Envelope& env, const Message& msg);
-  void handle_state_update(const Message& msg);
-  void handle_heartbeat(const Message& msg);
-  void handle_view_change(const Message& msg);
-  void send_response(const RequestId& rid, net::HostId to);
-  void respond_to_all(const RequestId& rid);
+  /// Per-request record: the old responses_/requesters_ map pair folded
+  /// into one flat hashed table (see request_table.hpp).
+  struct RequestState {
+    RequestId rid;
+    std::uint64_t hash = 0;
+    bool has_response = false;
+    Bytes response;
+    /// Who asked, ascending (the old std::set iteration order).
+    std::vector<net::HostId> requesters;
+  };
+
+  void handle_request(const net::Envelope& env, const MessageView& msg);
+  void handle_state_update(const MessageView& msg);
+  void handle_heartbeat(const MessageView& msg);
+  void handle_view_change(const MessageView& msg);
+  void send_response(const RequestState& req, net::HostId to);
+  void respond_to_all(const RequestState& req);
   void broadcast(const Message& msg);
   void send_to(net::HostId to, const Message& msg);
   void check_failover();
@@ -98,11 +110,9 @@ class PbReplica final : public osl::Application {
   std::uint64_t executed_count_ = 0;
   sim::Time last_primary_sign_of_life_ = 0.0;
 
-  /// Completed requests and their responses (dedup + re-reply cache).
-  std::map<RequestId, Bytes> responses_;
-  /// Who asked for each request (every proxy sends every request), by
-  /// dense id. Iterated ascending — registration order.
-  std::map<RequestId, std::set<net::HostId>> requesters_;
+  /// Completed requests (dedup + re-reply cache) and their requesters,
+  /// hashed on (client, seq) and probed with borrowed MessageView keys.
+  RequestTable<RequestState> requests_;
 
   sim::PeriodicTimer heartbeat_timer_;
   sim::PeriodicTimer failover_timer_;

@@ -1,0 +1,131 @@
+// request_table.hpp — flat hashed per-request state for replicas.
+//
+// Replicas track several facts per client request (who asked, the cached
+// response, whether it is proposed/pending). The original implementation
+// spread them over parallel std::map<RequestId, ...> trees — four rb-tree
+// walks with a string comparison at every node, per message. This table
+// consolidates them: one open-addressing index keyed on a precomputed
+// 64-bit hash of (client, seq) over a vector of per-request records, probed
+// with BORROWED keys (the string_view fields of a MessageView) so the
+// lookup allocates nothing and touches no string until a record is first
+// inserted.
+//
+// Records are never removed — replicas flip per-record flags instead
+// (matching the old maps, which only ever grew within a trial); reset()
+// drops everything. Iteration over entries() is insertion-ordered; callers
+// that need the old std::map rid-order (SMR re-proposal after a view
+// change) sort the handful of records they collect.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "replication/message.hpp"
+
+namespace fortress::replication {
+
+/// Insert into a sorted-unique vector — the flat replacement for the old
+/// per-request std::set<net::HostId>, preserving its ascending iteration
+/// order (which the response-send order, and so the network RNG draw
+/// sequence, depends on).
+template <typename T>
+void insert_sorted_unique(std::vector<T>& v, const T& value) {
+  auto pos = std::lower_bound(v.begin(), v.end(), value);
+  if (pos == v.end() || *pos != value) v.insert(pos, value);
+}
+
+/// 64-bit hash of a request identity: FNV-1a over the client bytes with the
+/// sequence number absorbed through a SplitMix64-style finalizer. Computed
+/// once per message from the borrowed view, then carried alongside the key.
+inline std::uint64_t request_key_hash(std::string_view client,
+                                      std::uint64_t seq) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : client) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  h ^= seq + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Open-addressing index over a vector of per-request records. `Entry`
+/// must expose `RequestId rid` and `std::uint64_t hash` members; all other
+/// fields are the caller's. References into entries() are invalidated by
+/// find_or_insert (vector growth) — callers must not hold one across an
+/// insert-capable call.
+template <typename Entry>
+class RequestTable {
+ public:
+  Entry* find(std::string_view client, std::uint64_t seq, std::uint64_t hash) {
+    if (index_.empty()) return nullptr;
+    std::size_t slot = hash & mask_;
+    while (index_[slot] != kEmpty) {
+      Entry& e = entries_[index_[slot]];
+      if (e.hash == hash && e.rid.seq == seq && e.rid.client == client) {
+        return &e;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Entry* find(std::string_view client, std::uint64_t seq,
+                    std::uint64_t hash) const {
+    return const_cast<RequestTable*>(this)->find(client, seq, hash);
+  }
+
+  /// The record for (client, seq), inserted default-constructed (plus rid
+  /// and hash) on first sight — the operator[] of the old maps.
+  Entry& find_or_insert(std::string_view client, std::uint64_t seq,
+                        std::uint64_t hash) {
+    if (Entry* e = find(client, seq, hash)) return *e;
+    if ((entries_.size() + 1) * 4 > index_.size() * 3) grow();
+    std::size_t slot = hash & mask_;
+    while (index_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    index_[slot] = static_cast<std::uint32_t>(entries_.size());
+    Entry& e = entries_.emplace_back();
+    e.rid.client.assign(client);
+    e.rid.seq = seq;
+    e.hash = hash;
+    return e;
+  }
+
+  /// All records, insertion-ordered.
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+    mask_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  void grow() {
+    const std::size_t cap = index_.empty() ? 16 : index_.size() * 2;
+    index_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      std::size_t slot = entries_[i].hash & mask_;
+      while (index_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      index_[slot] = i;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> index_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace fortress::replication

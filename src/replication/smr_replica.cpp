@@ -1,5 +1,7 @@
 #include "replication/smr_replica.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 
@@ -48,10 +50,8 @@ void SmrReplica::reset() {
   executed_seq_ = 0;
   stale_ = false;
   slots_.clear();
-  proposed_.clear();
-  responses_.clear();
-  requesters_.clear();
-  pending_.clear();
+  requests_.clear();
+  pending_count_ = 0;
   view_votes_.clear();
   state_offers_.clear();
   last_progress_ = 0.0;
@@ -98,7 +98,7 @@ void SmrReplica::send_to(net::HostId to, const Message& msg) {
   network_.send(id_, to, std::move(wire));
 }
 
-bool SmrReplica::verify_from_peer(const Message& msg) const {
+bool SmrReplica::verify_from_peer(const MessageView& msg) const {
   // Ordering traffic is signed by the replica the message's sender_index
   // names, so verification goes through the shared direct-indexed helper.
   // Schedules resolve lazily on first use: every peer of the tier is
@@ -115,9 +115,12 @@ bool SmrReplica::verify_from_peer(const Message& msg) const {
 }
 
 void SmrReplica::handle_message(const net::Envelope& env) {
-  auto msg = Message::decode(env.payload);
+  // Zero-copy dispatch: the view validates the whole record but borrows
+  // every field from the pooled network buffer; nothing is materialized
+  // until a handler must retain data past its return.
+  auto msg = MessageView::decode(env.payload);
   if (!msg) return;
-  switch (msg->type) {
+  switch (msg->type()) {
     case MsgType::Request:
       handle_request(env, *msg);
       break;
@@ -131,9 +134,9 @@ void SmrReplica::handle_message(const net::Envelope& env) {
       if (verify_from_peer(*msg)) handle_view_change(*msg);
       break;
     case MsgType::Heartbeat:
-      if (msg->view >= view_) {
-        if (msg->view > view_) adopt_view(msg->view);
-        if (msg->sender_index == msg->view % config_.replicas.size()) {
+      if (msg->view() >= view_) {
+        if (msg->view() > view_) adopt_view(msg->view());
+        if (msg->sender_index() == msg->view() % config_.replicas.size()) {
           last_progress_ = sim_.now();
         }
       }
@@ -149,56 +152,87 @@ void SmrReplica::handle_message(const net::Envelope& env) {
   }
 }
 
-void SmrReplica::handle_request(const net::Envelope& env, const Message& msg) {
-  const RequestId& rid = msg.request_id;
-  requesters_[rid].insert(env.from);
-  if (auto it = responses_.find(rid); it != responses_.end()) {
-    respond(rid, env.from);
+void SmrReplica::handle_request(const net::Envelope& env,
+                                const MessageView& msg) {
+  const std::uint64_t hash =
+      request_key_hash(msg.request_client(), msg.request_seq());
+  RequestState& req =
+      requests_.find_or_insert(msg.request_client(), msg.request_seq(), hash);
+  // Ascending insert keeps the old std::set<HostId> iteration order.
+  insert_sorted_unique(req.requesters, env.from);
+  if (req.has_response) {
+    respond(req, env.from);
     return;
   }
   if (stale_) return;
   if (is_leader()) {
-    if (!proposed_.contains(rid)) propose(rid, msg.payload);
+    if (!req.proposed) propose(req.rid, msg.payload());
   } else {
-    pending_[rid] = msg.payload;  // kept for re-proposal after view change
+    if (!req.pending) ++pending_count_;
+    req.pending = true;  // kept for re-proposal after view change
+    req.pending_request.assign(msg.payload().begin(), msg.payload().end());
   }
 }
 
-void SmrReplica::propose(const RequestId& rid, const Bytes& request) {
+void SmrReplica::propose(const RequestId& rid, BytesView request) {
   std::uint64_t seq = std::max(next_seq_, executed_seq_) + 1;
   next_seq_ = seq;
-  proposed_[rid] = seq;
 
+  // Copy the identity/payload into the proposal FIRST: marking the record
+  // proposed may grow the table and invalidate whatever `rid`/`request`
+  // borrow from.
   Message pp;
   pp.type = MsgType::PrePrepare;
   pp.view = view_;
   pp.seq = seq;
   pp.sender_index = config_.index;
   pp.request_id = rid;
-  pp.payload = request;
+  pp.payload.assign(request.begin(), request.end());
+
+  const std::uint64_t hash = request_key_hash(rid.client, rid.seq);
+  requests_.find_or_insert(rid.client, rid.seq, hash).proposed = true;
+
   sign_message(pp, key_);
   broadcast(pp);
   // Process our own pre-prepare locally.
-  handle_pre_prepare(pp);
+  apply_pre_prepare(pp.view, pp.seq, pp.sender_index, pp.request_id.client,
+                    pp.request_id.seq, pp.payload);
 }
 
-void SmrReplica::handle_pre_prepare(const Message& msg) {
-  if (msg.view != view_ || stale_) return;
-  if (msg.sender_index != view_ % config_.replicas.size()) return;
-  Slot& slot = slots_[msg.seq];
+void SmrReplica::handle_pre_prepare(const MessageView& msg) {
+  apply_pre_prepare(msg.view(), msg.seq(), msg.sender_index(),
+                    msg.request_client(), msg.request_seq(), msg.payload());
+}
+
+void SmrReplica::apply_pre_prepare(std::uint64_t view, std::uint64_t seq,
+                                   std::uint32_t sender,
+                                   std::string_view client,
+                                   std::uint64_t rid_seq, BytesView request) {
+  if (view != view_ || stale_) return;
+  if (sender != view_ % config_.replicas.size()) return;
+  Slot& slot = slots_[seq];
   if (slot.pre_prepared) return;  // already have a proposal for this slot
   slot.pre_prepared = true;
-  slot.rid = msg.request_id;
-  slot.request = msg.payload;
-  slot.digest = digest_of(msg.request_id, msg.payload);
-  pending_.erase(msg.request_id);
+  slot.rid.client.assign(client);
+  slot.rid.seq = rid_seq;
+  slot.request.assign(request.begin(), request.end());
+  slot.digest = digest_of(slot.rid, request);
+  // The old pending_.erase(rid): the buffered copy is superseded.
+  const std::uint64_t hash = request_key_hash(client, rid_seq);
+  if (RequestState* req = requests_.find(client, rid_seq, hash)) {
+    if (req->pending) {
+      req->pending = false;
+      req->pending_request.clear();
+      --pending_count_;
+    }
+  }
 
   Message ack;
   ack.type = MsgType::PrepareAck;
   ack.view = view_;
-  ack.seq = msg.seq;
+  ack.seq = seq;
   ack.sender_index = config_.index;
-  ack.request_id = msg.request_id;
+  ack.request_id = slot.rid;
   ack.aux = crypto::digest_bytes(slot.digest);
   sign_message(ack, key_);
   broadcast(ack);
@@ -208,15 +242,18 @@ void SmrReplica::handle_pre_prepare(const Message& msg) {
   try_execute();
 }
 
-void SmrReplica::handle_prepare_ack(const Message& msg) {
-  if (msg.view != view_ || stale_) return;
-  Slot& slot = slots_[msg.seq];
+void SmrReplica::handle_prepare_ack(const MessageView& msg) {
+  if (msg.view() != view_ || stale_) return;
+  Slot& slot = slots_[msg.seq()];
   // Acks may arrive before the pre-prepare; buffer them against the digest.
-  if (slot.pre_prepared &&
-      msg.aux != crypto::digest_bytes(slot.digest)) {
-    return;  // endorsement of a different proposal; drop
+  if (slot.pre_prepared) {
+    const BytesView aux = msg.aux();
+    if (aux.size() != slot.digest.size() ||
+        !std::equal(aux.begin(), aux.end(), slot.digest.begin())) {
+      return;  // endorsement of a different proposal; drop
+    }
   }
-  slot.acks.insert(msg.sender_index);
+  slot.acks.insert(msg.sender_index());
   if (slot.pre_prepared && slot.acks.size() >= quorum()) {
     slot.committed = true;
     try_execute();
@@ -234,24 +271,28 @@ void SmrReplica::try_execute() {
     slot.executed = true;
     ++executed_seq_;
     last_progress_ = sim_.now();
-    responses_[slot.rid] = response;
-    for (net::HostId requester : requesters_[slot.rid]) {
-      respond(slot.rid, requester);
+    const std::uint64_t hash =
+        request_key_hash(slot.rid.client, slot.rid.seq);
+    RequestState& req =
+        requests_.find_or_insert(slot.rid.client, slot.rid.seq, hash);
+    req.has_response = true;
+    req.response = std::move(response);
+    for (net::HostId requester : req.requesters) {
+      respond(req, requester);
     }
   }
 }
 
-void SmrReplica::respond(const RequestId& rid, net::HostId to) {
-  auto it = responses_.find(rid);
-  FORTRESS_EXPECTS(it != responses_.end());
+void SmrReplica::respond(const RequestState& req, net::HostId to) {
+  FORTRESS_EXPECTS(req.has_response);
   Message resp;
   resp.type = MsgType::Response;
   resp.view = view_;
   resp.seq = executed_seq_;
   resp.sender_index = config_.index;
-  resp.request_id = rid;
+  resp.request_id = req.rid;
   resp.requester = network_.address_of(to);
-  resp.payload = it->second;
+  resp.payload = req.response;
   sign_message(resp, key_);
   send_to(to, resp);
 }
@@ -262,7 +303,7 @@ void SmrReplica::check_progress() {
     return;
   }
   // Only suspect the leader when there is work it should be doing.
-  bool work_pending = !pending_.empty();
+  bool work_pending = pending_count_ > 0;
   for (const auto& [seq, slot] : slots_) {
     if (!slot.executed) work_pending = true;
   }
@@ -285,11 +326,11 @@ void SmrReplica::check_progress() {
   if (view_votes_[next].size() >= quorum()) adopt_view(next);
 }
 
-void SmrReplica::handle_view_change(const Message& msg) {
-  if (msg.view <= view_) return;
-  view_votes_[msg.view].insert(msg.sender_index);
-  if (view_votes_[msg.view].size() >= quorum()) {
-    adopt_view(msg.view);
+void SmrReplica::handle_view_change(const MessageView& msg) {
+  if (msg.view() <= view_) return;
+  view_votes_[msg.view()].insert(msg.sender_index());
+  if (view_votes_[msg.view()].size() >= quorum()) {
+    adopt_view(msg.view());
   }
 }
 
@@ -301,8 +342,15 @@ void SmrReplica::adopt_view(std::uint64_t view) {
   // back into the pending buffer for re-proposal.
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (!it->second.executed) {
-      pending_[it->second.rid] = it->second.request;
-      proposed_.erase(it->second.rid);
+      const Slot& slot = it->second;
+      const std::uint64_t hash =
+          request_key_hash(slot.rid.client, slot.rid.seq);
+      RequestState& req =
+          requests_.find_or_insert(slot.rid.client, slot.rid.seq, hash);
+      if (!req.pending) ++pending_count_;
+      req.pending = true;
+      req.pending_request = slot.request;
+      req.proposed = false;
       it = slots_.erase(it);
     } else {
       ++it;
@@ -311,10 +359,18 @@ void SmrReplica::adopt_view(std::uint64_t view) {
   next_seq_ = executed_seq_;
   if (is_leader() && !stale_) {
     FORTRESS_LOG_INFO("smr") << address() << " leads view " << view_;
-    // Re-propose everything outstanding.
-    auto pend = pending_;
+    // Re-propose everything outstanding, in the rid order the old
+    // std::map snapshot iterated in.
+    std::vector<std::pair<RequestId, Bytes>> pend;
+    for (const RequestState& e : requests_.entries()) {
+      if (e.pending) pend.emplace_back(e.rid, e.pending_request);
+    }
+    std::sort(pend.begin(), pend.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& [rid, request] : pend) {
-      if (!responses_.contains(rid)) propose(rid, request);
+      const std::uint64_t hash = request_key_hash(rid.client, rid.seq);
+      const RequestState* req = requests_.find(rid.client, rid.seq, hash);
+      if (req == nullptr || !req->has_response) propose(rid, request);
     }
   }
 }
@@ -327,9 +383,9 @@ void SmrReplica::request_state() {
   broadcast(req);
 }
 
-void SmrReplica::handle_state_request(const Message& msg) {
+void SmrReplica::handle_state_request(const MessageView& msg) {
   if (stale_) return;  // cannot vouch for state we are still fetching
-  if (msg.sender_index >= replica_ids_.size()) return;  // hostile index
+  if (msg.sender_index() >= replica_ids_.size()) return;  // hostile index
   Message reply;
   reply.type = MsgType::StateReply;
   reply.view = view_;
@@ -337,23 +393,23 @@ void SmrReplica::handle_state_request(const Message& msg) {
   reply.sender_index = config_.index;
   reply.aux = service_->snapshot();
   sign_message(reply, key_);
-  send_to(replica_ids_[msg.sender_index], reply);
+  send_to(replica_ids_[msg.sender_index()], reply);
 }
 
-void SmrReplica::handle_state_reply(const Message& msg) {
+void SmrReplica::handle_state_reply(const MessageView& msg) {
   if (!stale_) return;
   if (!verify_from_peer(msg)) return;
-  if (msg.seq < executed_seq_) return;  // older than what we already have
-  crypto::Digest d = crypto::Sha256::hash(msg.aux);
-  auto key = std::make_pair(msg.seq, to_hex(BytesView(d.data(), d.size())));
+  if (msg.seq() < executed_seq_) return;  // older than what we already have
+  crypto::Digest d = crypto::Sha256::hash(msg.aux());
+  auto key = std::make_pair(msg.seq(), to_hex(BytesView(d.data(), d.size())));
   StateOffer& offer = state_offers_[key];
-  offer.senders.insert(msg.sender_index);
-  offer.snapshot = msg.aux;
+  offer.senders.insert(msg.sender_index());
+  offer.snapshot.assign(msg.aux().begin(), msg.aux().end());
   // f+1 identical offers guarantee at least one comes from a correct
   // replica (n = 3f+1, at most f faulty).
   if (offer.senders.size() >= config_.f + 1) {
     service_->restore(offer.snapshot);
-    executed_seq_ = msg.seq;
+    executed_seq_ = msg.seq();
     next_seq_ = std::max(next_seq_, executed_seq_);
     stale_ = false;
     state_offers_.clear();
@@ -368,7 +424,9 @@ void SmrReplica::handle_reboot() {
   // untrusted and rejoin via state transfer (Roeder-Schneider §2.3).
   stale_ = true;
   slots_.clear();
-  proposed_.clear();
+  // The old proposed_.clear(): buffered/pending and answered state is
+  // durable, the view's proposal bookkeeping is not.
+  for (RequestState& req : requests_.entries()) req.proposed = false;
   view_votes_.clear();
   state_offers_.clear();
   last_progress_ = sim_.now();

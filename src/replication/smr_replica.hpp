@@ -34,6 +34,7 @@
 #include "net/network.hpp"
 #include "osl/machine.hpp"
 #include "replication/message.hpp"
+#include "replication/request_table.hpp"
 #include "replication/service.hpp"
 #include "sim/simulator.hpp"
 
@@ -85,15 +86,36 @@ class SmrReplica final : public osl::Application {
     bool executed = false;
   };
 
-  void handle_request(const net::Envelope& env, const Message& msg);
-  void handle_pre_prepare(const Message& msg);
-  void handle_prepare_ack(const Message& msg);
-  void handle_view_change(const Message& msg);
-  void handle_state_request(const Message& msg);
-  void handle_state_reply(const Message& msg);
-  void propose(const RequestId& rid, const Bytes& request);
+  /// Consolidated per-request record — the flat-table replacement for the
+  /// old proposed_/responses_/requesters_/pending_ map quartet. Flags flip
+  /// where the maps erased; records themselves are never removed within a
+  /// trial.
+  struct RequestState {
+    RequestId rid;
+    std::uint64_t hash = 0;
+    bool proposed = false;      ///< leader assigned it a slot this view
+    bool has_response = false;  ///< executed; `response` is the reply cache
+    bool pending = false;       ///< buffered for (re-)proposal
+    Bytes response;
+    Bytes pending_request;
+    /// Who asked, ascending (the old std::set iteration order).
+    std::vector<net::HostId> requesters;
+  };
+
+  void handle_request(const net::Envelope& env, const MessageView& msg);
+  void handle_pre_prepare(const MessageView& msg);
+  void handle_prepare_ack(const MessageView& msg);
+  void handle_view_change(const MessageView& msg);
+  void handle_state_request(const MessageView& msg);
+  void handle_state_reply(const MessageView& msg);
+  /// The shared accept path behind handle_pre_prepare (borrowed fields from
+  /// the wire) and propose (the leader's own proposal).
+  void apply_pre_prepare(std::uint64_t view, std::uint64_t seq,
+                         std::uint32_t sender, std::string_view client,
+                         std::uint64_t rid_seq, BytesView request);
+  void propose(const RequestId& rid, BytesView request);
   void try_execute();
-  void respond(const RequestId& rid, net::HostId to);
+  void respond(const RequestState& req, net::HostId to);
   void check_progress();
   void adopt_view(std::uint64_t view);
   void broadcast(const Message& msg);
@@ -102,7 +124,7 @@ class SmrReplica final : public osl::Application {
   /// Verify a peer-signed ordering message; uses the direct-indexed
   /// schedule for the claimed sender_index when the signer matches,
   /// falling back to the registry's by-name lookup otherwise.
-  bool verify_from_peer(const Message& msg) const;
+  bool verify_from_peer(const MessageView& msg) const;
   static crypto::Digest digest_of(const RequestId& rid, BytesView request);
 
   sim::Simulator& sim_;
@@ -125,11 +147,11 @@ class SmrReplica final : public osl::Application {
   std::uint64_t executed_seq_ = 0;  ///< highest executed slot
   bool stale_ = false;              ///< awaiting state transfer after reboot
 
-  std::map<std::uint64_t, Slot> slots_;          ///< by sequence number
-  std::map<RequestId, std::uint64_t> proposed_;  ///< rid -> seq
-  std::map<RequestId, Bytes> responses_;
-  std::map<RequestId, std::set<net::HostId>> requesters_;
-  std::map<RequestId, Bytes> pending_;  ///< unproposed requests (non-leader buffer)
+  std::map<std::uint64_t, Slot> slots_;  ///< by sequence number
+  /// Per-request state, hashed on (client, seq) and probed with borrowed
+  /// MessageView keys — no allocation, no rb-tree string walks.
+  RequestTable<RequestState> requests_;
+  std::size_t pending_count_ = 0;  ///< records with pending == true
 
   /// View-change votes: view -> voter indices.
   std::map<std::uint64_t, std::set<std::uint32_t>> view_votes_;

@@ -2,7 +2,17 @@
 // never throw, never over-read) arbitrary and corrupted byte strings. The
 // attacker controls the network, so these decoders are the first code that
 // touches attacker bytes.
+//
+// The *Differential* tests below additionally pin the zero-copy decoder to
+// the legacy one: every input — random, bit-flipped, truncated — is fed to
+// BOTH Message::decode and MessageView::decode, and the accept/reject
+// verdict plus every decoded field must agree exactly (>= 50k trials across
+// the suite). Each differential input is decoded from an exactly-sized heap
+// allocation, so one CI run under -DFORTRESS_SANITIZE=address turns any
+// out-of-span read by the view into a hard failure.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "common/rng.hpp"
 #include "core/directory.hpp"
@@ -16,6 +26,176 @@ Bytes random_bytes(Rng& rng, std::size_t len) {
   Bytes out(len);
   for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
   return out;
+}
+
+// True iff `view` (over `n` bytes at `base`) lies entirely inside the input
+// allocation. Empty views pass wherever they point (nothing is read).
+bool within(BytesView view, const std::uint8_t* base, std::size_t n) {
+  if (view.empty()) return true;
+  return view.data() >= base && view.data() + view.size() <= base + n;
+}
+
+// Feed one input to both decoders from an exactly-sized heap copy; the
+// verdicts and every field must agree, and every borrowed span must stay
+// inside the copy.
+void expect_decoders_agree(BytesView input) {
+  auto exact = std::make_unique<std::uint8_t[]>(input.size());
+  std::copy(input.begin(), input.end(), exact.get());
+  const BytesView data(exact.get(), input.size());
+
+  const auto legacy = replication::Message::decode(data);
+  const auto view = replication::MessageView::decode(data);
+  ASSERT_EQ(legacy.has_value(), view.has_value())
+      << "decoders disagree on acceptance (input size " << data.size() << ")";
+  if (!legacy) return;
+
+  EXPECT_EQ(legacy->type, view->type());
+  EXPECT_EQ(legacy->view, view->view());
+  EXPECT_EQ(legacy->seq, view->seq());
+  EXPECT_EQ(legacy->sender_index, view->sender_index());
+  EXPECT_EQ(legacy->request_id.client, view->request_client());
+  EXPECT_EQ(legacy->request_id.seq, view->request_seq());
+  EXPECT_EQ(legacy->requester, view->requester());
+  EXPECT_TRUE(std::equal(legacy->payload.begin(), legacy->payload.end(),
+                         view->payload().begin(), view->payload().end()));
+  EXPECT_TRUE(std::equal(legacy->aux.begin(), legacy->aux.end(),
+                         view->aux().begin(), view->aux().end()));
+  ASSERT_EQ(legacy->signature.has_value(), view->signature().has_value());
+  if (legacy->signature) {
+    EXPECT_EQ(*legacy->signature, view->signature()->materialize());
+  }
+  ASSERT_EQ(legacy->over_signature.has_value(),
+            view->over_signature().has_value());
+  if (legacy->over_signature) {
+    EXPECT_EQ(*legacy->over_signature, view->over_signature()->materialize());
+  }
+
+  // Borrowed spans never leave the input allocation.
+  const std::uint8_t* base = exact.get();
+  EXPECT_TRUE(within(view->payload(), base, data.size()));
+  EXPECT_TRUE(within(view->aux(), base, data.size()));
+  auto sv_within = [&](std::string_view s) {
+    return s.empty() ||
+           (reinterpret_cast<const std::uint8_t*>(s.data()) >= base &&
+            reinterpret_cast<const std::uint8_t*>(s.data()) + s.size() <=
+                base + data.size());
+  };
+  EXPECT_TRUE(sv_within(view->request_client()));
+  EXPECT_TRUE(sv_within(view->requester()));
+  if (view->signature()) {
+    EXPECT_TRUE(sv_within(view->signature()->signer));
+    EXPECT_TRUE(within(view->signature()->tag, base, data.size()));
+  }
+
+  // The materialized view is the legacy record, bit for bit, and the
+  // spliced signing bytes match the re-encoding ones.
+  EXPECT_EQ(view->materialize().encode(), legacy->encode());
+  EXPECT_EQ(view->signing_bytes(), legacy->signing_bytes());
+}
+
+// A pool of structurally diverse valid messages for mutation fuzzing.
+std::vector<Bytes> valid_wires() {
+  std::vector<Bytes> wires;
+  crypto::KeyRegistry registry(77);
+  crypto::SigningKey server = registry.enroll("server-0");
+  crypto::SigningKey proxy = registry.enroll("proxy-0");
+
+  replication::Message m;
+  wires.push_back(m.encode());  // all defaults
+
+  m.type = replication::MsgType::StateUpdate;
+  m.view = 7;
+  m.seq = 9;
+  m.sender_index = 2;
+  m.request_id = {"client-a", 3};
+  m.requester = "proxy-0";
+  m.payload = bytes_of("payload");
+  m.aux = bytes_of("snapshot-bytes");
+  wires.push_back(m.encode());
+
+  replication::sign_message(m, server);
+  wires.push_back(m.encode());
+
+  m.type = replication::MsgType::ProxyResponse;
+  m.signature.reset();
+  replication::sign_message(m, server);
+  replication::over_sign_message(m, proxy);
+  wires.push_back(m.encode());
+
+  replication::Message empty_fields;
+  empty_fields.type = replication::MsgType::PrepareAck;
+  empty_fields.aux = Bytes(64, 0xcd);
+  wires.push_back(empty_fields.encode());
+  return wires;
+}
+
+TEST(CodecFuzzTest, DifferentialRandomBytes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25000; ++trial) {
+    std::size_t len = static_cast<std::size_t>(rng.below(250));
+    Bytes junk = random_bytes(rng, len);
+    expect_decoders_agree(junk);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(CodecFuzzTest, DifferentialBitFlips) {
+  const std::vector<Bytes> wires = valid_wires();
+  Rng rng(12);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Bytes corrupted = wires[trial % wires.size()];
+    int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = static_cast<std::size_t>(rng.below(corrupted.size()));
+      corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    expect_decoders_agree(corrupted);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(CodecFuzzTest, DifferentialTruncationsAndExtensions) {
+  const std::vector<Bytes> wires = valid_wires();
+  // Every prefix of every pool wire (the classic truncation sweep) ...
+  for (const Bytes& wire : wires) {
+    for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+      expect_decoders_agree(BytesView(wire.data(), cut));
+      if (HasFatalFailure()) return;
+    }
+  }
+  // ... plus random truncate-then-mutate and trailing-garbage variants.
+  Rng rng(13);
+  for (int trial = 0; trial < 10000; ++trial) {
+    Bytes base = wires[trial % wires.size()];
+    if (rng.below(2) == 0) {
+      base.resize(static_cast<std::size_t>(rng.below(base.size() + 1)));
+    } else {
+      Bytes extra = random_bytes(rng, 1 + static_cast<std::size_t>(rng.below(16)));
+      base.insert(base.end(), extra.begin(), extra.end());
+    }
+    if (!base.empty() && rng.below(2) == 0) {
+      base[static_cast<std::size_t>(rng.below(base.size()))] =
+          static_cast<std::uint8_t>(rng.below(256));
+    }
+    expect_decoders_agree(base);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(CodecFuzzTest, DifferentialLengthFieldAttacks) {
+  // Huge big-endian length fields written at every offset of a valid wire:
+  // both decoders must reject (or accept) identically without over-reading.
+  const std::vector<Bytes> wires = valid_wires();
+  for (const Bytes& wire : wires) {
+    for (std::size_t pos = 0; pos + 8 <= wire.size(); ++pos) {
+      Bytes evil = wire;
+      for (int i = 0; i < 8; ++i) {
+        evil[pos + static_cast<std::size_t>(i)] = 0xff;
+      }
+      expect_decoders_agree(evil);
+      if (HasFatalFailure()) return;
+    }
+  }
 }
 
 TEST(CodecFuzzTest, MessageDecodeSurvivesRandomBytes) {

@@ -1,0 +1,123 @@
+// The flat hashed per-request table behind both replica planes: lookup by
+// borrowed key, operator[]-style insertion, growth under collisions, and
+// insertion-ordered iteration (what the SMR re-proposal path sorts).
+#include "replication/request_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace fortress::replication {
+namespace {
+
+struct Entry {
+  RequestId rid;
+  std::uint64_t hash = 0;
+  int value = 0;
+};
+
+std::uint64_t h(const std::string& client, std::uint64_t seq) {
+  return request_key_hash(client, seq);
+}
+
+TEST(RequestTableTest, FindMissReturnsNull) {
+  RequestTable<Entry> table;
+  EXPECT_EQ(table.find("nobody", 1, h("nobody", 1)), nullptr);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(RequestTableTest, InsertThenFind) {
+  RequestTable<Entry> table;
+  Entry& e = table.find_or_insert("alice", 7, h("alice", 7));
+  e.value = 42;
+  EXPECT_EQ(table.size(), 1u);
+
+  Entry* found = table.find("alice", 7, h("alice", 7));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value, 42);
+  EXPECT_EQ(found->rid, (RequestId{"alice", 7}));
+  EXPECT_EQ(found->hash, h("alice", 7));
+
+  // Same client, different seq (and vice versa) are distinct records.
+  EXPECT_EQ(table.find("alice", 8, h("alice", 8)), nullptr);
+  EXPECT_EQ(table.find("alicf", 7, h("alicf", 7)), nullptr);
+
+  // find_or_insert on an existing key returns the same record.
+  EXPECT_EQ(&table.find_or_insert("alice", 7, h("alice", 7)), found);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RequestTableTest, GrowsThroughManyInsertsAndKeepsAll) {
+  RequestTable<Entry> table;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const std::string client = "client-" + std::to_string(i % 97);
+    const std::uint64_t seq = static_cast<std::uint64_t>(i);
+    Entry& e = table.find_or_insert(client, seq, h(client, seq));
+    e.value = i;
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    const std::string client = "client-" + std::to_string(i % 97);
+    const std::uint64_t seq = static_cast<std::uint64_t>(i);
+    Entry* e = table.find(client, seq, h(client, seq));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->value, i);
+  }
+}
+
+TEST(RequestTableTest, SurvivesCollidingHashes) {
+  // Deliberately feed every record the SAME hash: correctness must come
+  // from the key comparison, with linear probing soaking up the pile-up.
+  RequestTable<Entry> table;
+  for (int i = 0; i < 300; ++i) {
+    Entry& e = table.find_or_insert("c", static_cast<std::uint64_t>(i), 12345);
+    e.value = i;
+  }
+  for (int i = 0; i < 300; ++i) {
+    Entry* e = table.find("c", static_cast<std::uint64_t>(i), 12345);
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->value, i);
+  }
+  EXPECT_EQ(table.find("c", 300, 12345), nullptr);
+}
+
+TEST(RequestTableTest, EntriesAreInsertionOrdered) {
+  RequestTable<Entry> table;
+  table.find_or_insert("zeta", 1, h("zeta", 1));
+  table.find_or_insert("alpha", 9, h("alpha", 9));
+  table.find_or_insert("mu", 4, h("mu", 4));
+  ASSERT_EQ(table.entries().size(), 3u);
+  EXPECT_EQ(table.entries()[0].rid.client, "zeta");
+  EXPECT_EQ(table.entries()[1].rid.client, "alpha");
+  EXPECT_EQ(table.entries()[2].rid.client, "mu");
+}
+
+TEST(RequestTableTest, ClearForgetsEverything) {
+  RequestTable<Entry> table;
+  table.find_or_insert("a", 1, h("a", 1));
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find("a", 1, h("a", 1)), nullptr);
+  // Reusable after clear.
+  table.find_or_insert("b", 2, h("b", 2)).value = 5;
+  EXPECT_EQ(table.find("b", 2, h("b", 2))->value, 5);
+}
+
+TEST(RequestTableTest, HashSpreadsRealisticKeys) {
+  // Not a strict avalanche test — just assert the obvious degenerate
+  // collisions don't happen for campaign-shaped keys.
+  std::set<std::uint64_t> seen;
+  for (int c = 0; c < 64; ++c) {
+    for (std::uint64_t s = 0; s < 64; ++s) {
+      seen.insert(request_key_hash("sybil-" + std::to_string(c), s));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+}  // namespace
+}  // namespace fortress::replication

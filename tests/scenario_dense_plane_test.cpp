@@ -17,6 +17,13 @@
 // Both trial-isolation strategies must reproduce the table: pooled
 // per-worker arenas (interner/id stability across reset) and fresh
 // per-trial stacks.
+//
+// PR 5 (zero-copy MessageView codec) extended the grid with a third plan,
+// golden-c, covering the scenario kinds the original 6 cells missed:
+// partition windows (two, crossing every system class's tiers), datagram
+// duplication, and a crash -> stay-down -> recover fault schedule. Its
+// golden rows were captured on the PR-4 (pre-MessageView) build and appended
+// AFTER the original cells so every cell keeps its seed-determining index.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -61,6 +68,37 @@ net::ScenarioPlan plan_b() {
   return p;
 }
 
+net::ScenarioPlan plan_c() {
+  net::ScenarioPlan p;
+  p.name = "golden-c";
+  p.keyspace = 128;
+  p.attack.probes_per_step = 8.0;
+  p.attack.indirect_fraction = 0.5;
+  p.attack.sybil_identities = 2;
+  p.horizon_steps = 25;
+  p.step_duration = 60.0;
+  p.latency = net::LatencySpec::uniform(0.02, 0.05);
+  p.duplicate_probability = 0.04;
+  p.proxy_blacklist = true;
+  p.detection_threshold = 5;
+  p.detection_window = 300.0;
+  // Islands name each class's tier prefixes; members a class never interns
+  // are inert there (S0 sees only its replicas, S2 its servers/proxies).
+  p.partitions.push_back(
+      {200.0, 350.0, {"s0-replica-0", "s1-server-0", "s2-server-0",
+                      "s2-proxy-0"}});
+  p.partitions.push_back(
+      {700.0, 820.0, {"s0-replica-1", "s0-replica-2", "s1-server-1",
+                      "s2-proxy-1", "s2-proxy-2"}});
+  p.faults.push_back({net::FaultEvent::Target::Server, 1, 260.0,
+                      net::FaultEvent::Kind::Crash});
+  p.faults.push_back({net::FaultEvent::Target::Server, 1, 500.0,
+                      net::FaultEvent::Kind::Recover});
+  p.faults.push_back({net::FaultEvent::Target::Proxy, 0, 450.0,
+                      net::FaultEvent::Kind::Recover});
+  return p;
+}
+
 std::uint64_t bits(double d) {
   std::uint64_t u;
   std::memcpy(&u, &d, sizeof u);
@@ -75,9 +113,11 @@ struct GoldenCell {
   std::uint64_t events_executed, blacklisted_sources;
 };
 
-// Captured on the PR-3 (string-keyed message plane) build; cells in
-// cross({S0, S1, S2}, {golden-a, golden-b}) order.
-constexpr GoldenCell kGolden[6] = {
+// Cells 0-5: captured on the PR-3 (string-keyed message plane) build, in
+// cross({S0, S1, S2}, {golden-a, golden-b}) order. Cells 6-8: captured on
+// the PR-4 (dense-id plane, pre-MessageView) build, in cross({S0, S1, S2},
+// {golden-c}) order, appended so cells 0-5 keep their trial seeds.
+constexpr GoldenCell kGolden[9] = {
     {6ull, 3ull, 3ull, 0x40362aaaaaaaaaaaull, 0x405bd77777777776ull, 4256ull,
      0ull, 4227ull, 26ull, 26ull, 50786ull, 0ull},
     {6ull, 2ull, 4ull, 0x4032aaaaaaaaaaaaull, 0x4012aaaaaaaaaaabull, 7001ull,
@@ -90,10 +130,16 @@ constexpr GoldenCell kGolden[6] = {
      389ull, 2469ull, 24ull, 24ull, 41981ull, 0ull},
     {6ull, 1ull, 5ull, 0x4033800000000000ull, 0x3ff7fffffffffffdull, 5332ull,
      465ull, 5306ull, 20ull, 20ull, 53794ull, 18ull},
+    {6ull, 2ull, 4ull, 0x4035aaaaaaaaaaabull, 0x4044888888888888ull, 3638ull,
+     0ull, 3613ull, 23ull, 23ull, 44009ull, 0ull},
+    {6ull, 6ull, 0ull, 0x4023000000000000ull, 0x4051e00000000000ull, 410ull,
+     0ull, 404ull, 0ull, 0ull, 7518ull, 0ull},
+    {6ull, 3ull, 3ull, 0x4032d55555555556ull, 0x404d7bbbbbbbbbbdull, 2670ull,
+     462ull, 2644ull, 22ull, 22ull, 54842ull, 36ull},
 };
 
 void expect_matches_golden(const CampaignResult& result) {
-  ASSERT_EQ(result.cells.size(), 6u);
+  ASSERT_EQ(result.cells.size(), 9u);
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     SCOPED_TRACE("cell " + std::to_string(i));
     const CellStats& c = result.cells[i];
@@ -114,10 +160,14 @@ void expect_matches_golden(const CampaignResult& result) {
 }
 
 CampaignResult run_golden_grid(bool pooled) {
-  std::vector<CampaignCell> cells =
-      cross({model::SystemKind::S0, model::SystemKind::S1,
-             model::SystemKind::S2},
-            {plan_a(), plan_b()});
+  const std::vector<model::SystemKind> systems = {
+      model::SystemKind::S0, model::SystemKind::S1, model::SystemKind::S2};
+  // golden-c cells are APPENDED (not crossed in) so cells 0-5 keep the
+  // (cell, trial) seeds their golden values were captured under.
+  std::vector<CampaignCell> cells = cross(systems, {plan_a(), plan_b()});
+  for (CampaignCell& extra : cross(systems, {plan_c()})) {
+    cells.push_back(std::move(extra));
+  }
   CampaignConfig cfg;
   cfg.trials_per_cell = 6;
   cfg.base_seed = 42;
