@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/evaluator.hpp"
@@ -17,12 +18,17 @@ namespace fortress::bench {
 /// Collects benchmark measurements and writes them as machine-readable JSON
 /// (BENCH_results.json) so the perf trajectory can be tracked across PRs.
 /// Schema: [{"name": str, "ns_per_op": num, "items_per_sec": num}, ...]
-/// where items_per_sec is 0 when a bench has no natural item rate.
+/// where items_per_sec is 0 when a bench has no natural item rate. A record
+/// may carry further numeric keys (e.g. latency quantiles from the overload
+/// bench); tools/bench_diff.py gates only ns_per_op and renders the extras
+/// in its --report table.
 class BenchRecorder {
  public:
+  using Extras = std::vector<std::pair<std::string, double>>;
+
   void add(const std::string& name, double ns_per_op,
-           double items_per_sec = 0.0) {
-    records_.push_back({name, ns_per_op, items_per_sec});
+           double items_per_sec = 0.0, Extras extras = {}) {
+    records_.push_back({name, ns_per_op, items_per_sec, std::move(extras)});
   }
 
   /// Time fn() called `iters` times and record mean ns/op. `items_per_op`
@@ -55,9 +61,12 @@ class BenchRecorder {
       const Record& r = records_[i];
       std::fprintf(f,
                    "  {\"name\": \"%s\", \"ns_per_op\": %.3f, "
-                   "\"items_per_sec\": %.3f}%s\n",
-                   r.name.c_str(), r.ns_per_op, r.items_per_sec,
-                   i + 1 < records_.size() ? "," : "");
+                   "\"items_per_sec\": %.3f",
+                   r.name.c_str(), r.ns_per_op, r.items_per_sec);
+      for (const auto& [key, value] : r.extras) {
+        std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fputs("]\n", f);
     std::fclose(f);
@@ -69,6 +78,7 @@ class BenchRecorder {
     std::string name;
     double ns_per_op;
     double items_per_sec;
+    Extras extras;
   };
   std::vector<Record> records_;
 };

@@ -105,7 +105,7 @@ int main() {
     client.submit(
         bytes_of("TOKEN alice"),
         [&](std::uint64_t, const Bytes& r) { reply = string_of(r); },
-        [&](std::uint64_t) { timed_out = true; });
+        [&](std::uint64_t, core::RequestOutcome) { timed_out = true; });
     sim.run_until(600.0);
 
     std::printf("[3] SMR with the determinism claim faked:\n");

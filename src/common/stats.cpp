@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -96,6 +97,59 @@ double quantile(std::vector<double> data, double q) {
 double relative_error(double a, double b, double eps) {
   double denom = std::max({std::fabs(a), std::fabs(b), eps});
   return std::fabs(a - b) / denom;
+}
+
+void LatencyHistogram::add(double v) {
+  int idx;
+  if (!(v >= kMinLatency)) {  // catches < kMin, 0, and NaN -> underflow
+    idx = 0;
+  } else {
+    idx = 1 + static_cast<int>(std::floor(4.0 * std::log2(v / kMinLatency)));
+    idx = std::min(std::max(idx, 1), kBins - 1);
+  }
+  ++bins_[static_cast<unsigned>(idx)];
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBins; ++b) {
+    bins_[static_cast<unsigned>(b)] += other.bins_[static_cast<unsigned>(b)];
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::bin_upper_edge(int b) {
+  FORTRESS_EXPECTS(b >= 0 && b < kBins);
+  if (b == 0) return kMinLatency;
+  if (b == kBins - 1) return std::numeric_limits<double>::infinity();
+  return kMinLatency * std::exp2(static_cast<double>(b) / 4.0);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  FORTRESS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Rank of the target observation, 1-based: ceil(q * count), floored at 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBins; ++b) {
+    cumulative += bins_[static_cast<unsigned>(b)];
+    if (cumulative >= rank) return bin_upper_edge(b);
+  }
+  return bin_upper_edge(kBins - 1);
+}
+
+std::uint64_t LatencyHistogram::fingerprint() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (int b = 0; b < kBins; ++b) mix(bins_[static_cast<unsigned>(b)]);
+  return h;
 }
 
 }  // namespace fortress

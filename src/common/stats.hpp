@@ -57,4 +57,39 @@ double quantile(std::vector<double> data, double q);
 /// Relative error |a-b| / max(|a|,|b|, eps).
 double relative_error(double a, double b, double eps = 1e-300);
 
+/// Fixed-bin log-spaced latency histogram: O(1) add, exact elementwise
+/// merge, deterministic quantiles. 64 bins at 4 per octave starting at
+/// kMinLatency: bin 0 is underflow (< kMinLatency), bin 63 overflow, bin b
+/// in between covers [kMinLatency·2^((b-1)/4), kMinLatency·2^(b/4)). Bins
+/// span ~5 decades (0.01 to ~500 time units) — campaign latencies in this
+/// codebase's scale land well inside. quantile() returns the UPPER edge of
+/// the bin holding the q-th observation, so two histograms with equal bin
+/// counts report bit-identical quantiles regardless of the samples' order —
+/// that invariance (merge is a sum, quantile reads only bins) is what makes
+/// campaign tail-latency aggregates bit-identical across thread counts.
+class LatencyHistogram {
+ public:
+  static constexpr int kBins = 64;
+  static constexpr double kMinLatency = 0.01;
+
+  void add(double v);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bin(int b) const { return bins_[static_cast<unsigned>(b)]; }
+  /// Upper edge of a bin's interval (underflow reports kMinLatency; the
+  /// overflow bin has no finite edge and reports +inf).
+  static double bin_upper_edge(int b);
+  /// q in [0,1]: upper edge of the bin containing the ceil(q·count)-th
+  /// smallest observation. Returns 0 when empty.
+  double quantile(double q) const;
+  /// FNV-1a over the bin counts — the golden-value digest campaign
+  /// determinism tests compare across thread counts and isolation modes.
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::uint64_t bins_[kBins] = {};
+  std::uint64_t count_ = 0;
+};
+
 }  // namespace fortress

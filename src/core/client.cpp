@@ -20,6 +20,11 @@ Client::Client(sim::Simulator& sim, net::Network& network,
       directory_(std::move(directory)),
       config_(std::move(config)) {
   FORTRESS_EXPECTS(directory_.fortified() || !directory_.server_addrs.empty());
+  FORTRESS_EXPECTS(config_.retry_interval > 0.0);
+  FORTRESS_EXPECTS(config_.retry_multiplier >= 1.0);
+  FORTRESS_EXPECTS(config_.retry_cap >= 0.0);
+  FORTRESS_EXPECTS(config_.retry_jitter >= 0.0 && config_.retry_jitter < 1.0);
+  jitter_rng_.reset_substream(config_.seed, 0);
   id_ = network_.attach(config_.address, *this);
   const auto& targets =
       directory_.fortified() ? directory_.proxies : directory_.server_addrs;
@@ -39,10 +44,12 @@ std::uint64_t Client::submit(Bytes request, ResponseCallback on_response,
   out.on_response = std::move(on_response);
   out.on_timeout = std::move(on_timeout);
   out.submitted_at = sim_.now();
-  outstanding_.emplace(seq, std::move(out));
+  out.next_delay = config_.retry_interval;
+  auto [it, inserted] = outstanding_.emplace(seq, std::move(out));
+  FORTRESS_EXPECTS(inserted);
   ++stats_.submitted;
   broadcast_request(seq);
-  schedule_retry(seq);
+  schedule_retry(seq, it->second);
   return seq;
 }
 
@@ -62,22 +69,53 @@ void Client::broadcast_request(std::uint64_t seq) {
   network_.recycle_buffer(std::move(wire));
 }
 
-void Client::schedule_retry(std::uint64_t seq) {
-  sim_.schedule_after(config_.retry_interval, [this, seq] {
+void Client::schedule_retry(std::uint64_t seq, Outstanding& out) {
+  sim::Time delay = out.next_delay;
+  if (config_.retry_jitter > 0.0) {
+    // Deterministic jitter from the client's own stream: decorrelates retry
+    // storms across clients without perturbing any other RNG consumer.
+    delay *= 1.0 + config_.retry_jitter * (2.0 * jitter_rng_.uniform01() - 1.0);
+  }
+  bool at_deadline = false;
+  if (config_.deadline > 0.0) {
+    const sim::Time deadline_at = out.submitted_at + config_.deadline;
+    if (sim_.now() + delay >= deadline_at) {
+      delay = deadline_at - sim_.now();
+      at_deadline = true;
+    }
+  }
+  out.retry_event = sim_.schedule_after(delay, [this, seq, at_deadline] {
     auto it = outstanding_.find(seq);
-    if (it == outstanding_.end()) return;  // already completed
-    if (config_.deadline > 0.0 &&
-        sim_.now() - it->second.submitted_at >= config_.deadline) {
+    if (it == outstanding_.end()) return;  // defensive: complete() cancels
+    Outstanding& o = it->second;
+    o.retry_event = 0;
+    if (at_deadline) {
       ++stats_.expired;
-      auto cb = it->second.on_timeout;
-      outstanding_.erase(it);
-      if (cb) cb(seq);
+      fail(seq, RequestOutcome::TimedOut);
       return;
     }
+    if (config_.retry_budget > 0 && o.retries_used >= config_.retry_budget) {
+      ++stats_.gave_up;
+      fail(seq, RequestOutcome::Overloaded);
+      return;
+    }
+    ++o.retries_used;
     ++stats_.retries;
     broadcast_request(seq);
-    schedule_retry(seq);
+    o.next_delay *= config_.retry_multiplier;
+    if (config_.retry_cap > 0.0 && o.next_delay > config_.retry_cap) {
+      o.next_delay = config_.retry_cap;
+    }
+    schedule_retry(seq, o);
   });
+}
+
+void Client::fail(std::uint64_t seq, RequestOutcome outcome) {
+  auto it = outstanding_.find(seq);
+  FORTRESS_EXPECTS(it != outstanding_.end());
+  auto cb = std::move(it->second.on_timeout);
+  outstanding_.erase(it);
+  if (cb) cb(seq, outcome);
 }
 
 bool Client::acceptable(const MessageView& msg, Outstanding& out) {
@@ -143,6 +181,10 @@ void Client::on_message(const net::Envelope& env) {
 void Client::complete(std::uint64_t seq, const Bytes& response) {
   auto it = outstanding_.find(seq);
   FORTRESS_EXPECTS(it != outstanding_.end());
+  // Cancel the live retry/deadline timer: once a response completes the
+  // request, no timeout can fire for it (the race the timer-per-retry
+  // scheme left open — a stale timer observing a reused map slot).
+  if (it->second.retry_event != 0) sim_.cancel(it->second.retry_event);
   latency_sum_ += sim_.now() - it->second.submitted_at;
   ++stats_.completed;
   auto cb = it->second.on_response;

@@ -36,6 +36,7 @@ LiveConfig LiveConfig::from_plan(const net::ScenarioPlan& plan,
   cfg.proxy_blacklist = plan.proxy_blacklist;
   cfg.detection.threshold = plan.detection_threshold;
   cfg.detection.window = plan.detection_window;
+  cfg.service = plan.service;
   return cfg;
 }
 
@@ -103,6 +104,13 @@ void LiveSystem::watch(osl::Machine& machine) {
   });
 }
 
+void LiveSystem::configure_machine_service(osl::Machine& machine,
+                                           std::uint64_t salt) {
+  machine.configure_service(
+      config_.service,
+      config_.seed ^ 0x5E41CEULL ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
 // --- LiveS1 -----------------------------------------------------------------
 
 LiveS1::LiveS1(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
@@ -130,6 +138,7 @@ LiveS1::LiveS1(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
         factory(static_cast<std::uint32_t>(i)), pb);
     machine->set_application(replica.get());
     watch(*machine);
+    configure_machine_service(*machine, 1 + static_cast<std::uint64_t>(i));
     group.push_back(machine.get());
     machines_.push_back(std::move(machine));
     replicas_.push_back(std::move(replica));
@@ -158,11 +167,19 @@ bool LiveS1::compromise_rule() const {
 }
 
 void LiveS1::reset_components() {
+  std::uint64_t salt = 1;
   for (auto& m : machines_) {
     m->reset(config_.keyspace);
     watch(*m);
+    configure_machine_service(*m, salt++);
   }
   for (auto& r : replicas_) r->reset();
+}
+
+std::vector<const osl::Machine*> LiveS1::service_machines() const {
+  std::vector<const osl::Machine*> out;
+  for (const auto& m : machines_) out.push_back(m.get());
+  return out;
 }
 
 std::vector<osl::Machine*> LiveS1::direct_attack_surface() {
@@ -205,6 +222,7 @@ LiveS0::LiveS0(sim::Simulator& sim, LiveConfig config,
         sim_, *network_, registry_, factory(i), smr);
     machine->set_application(replica.get());
     watch(*machine);
+    configure_machine_service(*machine, 1 + static_cast<std::uint64_t>(i));
     batch.push_back(machine.get());
     machines_.push_back(std::move(machine));
     replicas_.push_back(std::move(replica));
@@ -239,11 +257,19 @@ bool LiveS0::compromise_rule() const {
 }
 
 void LiveS0::reset_components() {
+  std::uint64_t salt = 1;
   for (auto& m : machines_) {
     m->reset(config_.keyspace);
     watch(*m);
+    configure_machine_service(*m, salt++);
   }
   for (auto& r : replicas_) r->reset();
+}
+
+std::vector<const osl::Machine*> LiveS0::service_machines() const {
+  std::vector<const osl::Machine*> out;
+  for (const auto& m : machines_) out.push_back(m.get());
+  return out;
 }
 
 std::vector<osl::Machine*> LiveS0::direct_attack_surface() {
@@ -289,6 +315,7 @@ LiveS2::LiveS2(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
         pb);
     machine->set_application(replica.get());
     watch(*machine);
+    configure_machine_service(*machine, 1 + static_cast<std::uint64_t>(i));
     server_group.push_back(machine.get());
     server_machines_.push_back(std::move(machine));
     replicas_.push_back(std::move(replica));
@@ -308,6 +335,7 @@ LiveS2::LiveS2(sim::Simulator& sim, LiveConfig config, ServiceFactory factory,
                                                    pxy);
     machine->set_application(node.get());
     watch(*machine);
+    configure_machine_service(*machine, 0x1000 + static_cast<std::uint64_t>(i));
     scheduler_->add_machine(*machine);  // individually distinct proxy keys
     proxy_machines_.push_back(std::move(machine));
     proxies_.push_back(std::move(node));
@@ -346,16 +374,27 @@ bool LiveS2::compromise_rule() const {
 }
 
 void LiveS2::reset_components() {
+  std::uint64_t salt = 1;
   for (auto& m : server_machines_) {
     m->reset(config_.keyspace);
     watch(*m);
+    configure_machine_service(*m, salt++);
   }
   for (auto& r : replicas_) r->reset();
+  salt = 0x1000;
   for (auto& m : proxy_machines_) {
     m->reset(config_.keyspace);
     watch(*m);
+    configure_machine_service(*m, salt++);
   }
   for (auto& p : proxies_) p->reset(config_.proxy_blacklist, config_.detection);
+}
+
+std::vector<const osl::Machine*> LiveS2::service_machines() const {
+  std::vector<const osl::Machine*> out;
+  for (const auto& m : server_machines_) out.push_back(m.get());
+  for (const auto& m : proxy_machines_) out.push_back(m.get());
+  return out;
 }
 
 std::vector<osl::Machine*> LiveS2::direct_attack_surface() {

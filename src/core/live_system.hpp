@@ -50,6 +50,10 @@ struct LiveConfig {
   sim::Time failover_timeout = 20.0;
   bool proxy_blacklist = true;
   proxy::DetectionConfig detection{};
+  /// Per-machine bounded service queue (osl::Machine::configure_service);
+  /// disabled by default — plans without a service model dispatch
+  /// synchronously exactly as before the overload plane existed.
+  net::ServiceModel service{};
 
   /// Deployment knobs of a scenario plan mapped onto a LiveConfig (network
   /// behaviour, keyspace, policy, step duration, proxy detection).
@@ -136,6 +140,11 @@ class LiveSystem {
   /// without a detection tier.
   virtual std::uint64_t blacklisted_sources() const { return 0; }
 
+  /// Every machine in the deployment (servers first, then proxies where
+  /// present) — the campaign sums per-machine OverloadStats across these
+  /// into the trial's overload aggregates.
+  virtual std::vector<const osl::Machine*> service_machines() const = 0;
+
  protected:
   LiveSystem(sim::Simulator& sim, LiveConfig config);
 
@@ -143,6 +152,12 @@ class LiveSystem {
   /// Called on every machine compromise; subclasses evaluate their rule.
   virtual bool compromise_rule() const = 0;
   void watch(osl::Machine& machine);
+
+  /// Install config_.service on one machine under a per-machine seed derived
+  /// from the trial seed and `salt` (a stable per-deployment machine index),
+  /// so service-time draws are independent across machines yet bit-identical
+  /// between a fresh construction and a pooled reset.
+  void configure_machine_service(osl::Machine& machine, std::uint64_t salt);
 
   /// Subclass half of reset(): return machines/replicas/proxies to their
   /// just-constructed state (reset + re-watch each machine) under the
@@ -179,6 +194,7 @@ class LiveS1 final : public LiveSystem {
 
   std::vector<osl::Machine*> direct_attack_surface() override;
   osl::Machine* fault_target(net::FaultEvent::Target tier, int index) override;
+  std::vector<const osl::Machine*> service_machines() const override;
 
  private:
   bool compromise_rule() const override;
@@ -204,6 +220,7 @@ class LiveS0 final : public LiveSystem {
 
   std::vector<osl::Machine*> direct_attack_surface() override;
   osl::Machine* fault_target(net::FaultEvent::Target tier, int index) override;
+  std::vector<const osl::Machine*> service_machines() const override;
 
  private:
   bool compromise_rule() const override;
@@ -238,6 +255,7 @@ class LiveS2 final : public LiveSystem {
   std::vector<net::Address> hidden_server_addresses() const override;
   osl::Machine* fault_target(net::FaultEvent::Target tier, int index) override;
   std::uint64_t blacklisted_sources() const override;
+  std::vector<const osl::Machine*> service_machines() const override;
 
  private:
   bool compromise_rule() const override;

@@ -60,6 +60,10 @@ struct Envelope {
   BytesView payload;
   /// Set when the message arrived over a connection.
   std::optional<ConnectionId> connection;
+  /// Set by an overloaded machine operating under the DegradeUnsigned
+  /// policy: the application should skip signature verification for this
+  /// dispatch (see net::OverloadPolicy). Never set by the network itself.
+  bool degraded = false;
 };
 
 /// Why a connection went away — the attacker distinguishes these.

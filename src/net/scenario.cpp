@@ -27,6 +27,36 @@ bool PartitionWindow::contains(const Address& addr) const {
   return std::find(island.begin(), island.end(), addr) != island.end();
 }
 
+void ServiceModel::validate() const {
+  if (!enabled) return;
+  request_service.validate();
+  response_service.validate();
+  other_service.validate();
+  FORTRESS_EXPECTS(verify_cost >= 0.0);
+  FORTRESS_EXPECTS(queue_capacity >= 1);
+  if (policy == OverloadPolicy::Backpressure) {
+    FORTRESS_EXPECTS(pushback_delay > 0.0);
+  }
+}
+
+void TrafficSpec::validate() const {
+  if (!enabled()) return;
+  FORTRESS_EXPECTS(clients >= 1);
+  FORTRESS_EXPECTS(write_fraction >= 0.0 && write_fraction <= 1.0);
+  FORTRESS_EXPECTS(distinct_keys >= 1);
+  sim::Time prev = -1.0;
+  for (const RatePhase& phase : schedule) {
+    FORTRESS_EXPECTS(phase.at >= 0.0 && phase.at > prev);
+    FORTRESS_EXPECTS(phase.rate >= 0.0);
+    prev = phase.at;
+  }
+  FORTRESS_EXPECTS(retry_base > 0.0);
+  FORTRESS_EXPECTS(retry_multiplier >= 1.0);
+  FORTRESS_EXPECTS(retry_cap >= 0.0);
+  FORTRESS_EXPECTS(retry_jitter >= 0.0 && retry_jitter < 1.0);
+  FORTRESS_EXPECTS(request_deadline >= 0.0);
+}
+
 void ScenarioPlan::validate() const {
   latency.validate();
   FORTRESS_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
@@ -50,6 +80,8 @@ void ScenarioPlan::validate() const {
   FORTRESS_EXPECTS(n_servers >= 1);
   FORTRESS_EXPECTS(n_proxies >= 1);
   FORTRESS_EXPECTS(horizon_steps >= 1);
+  service.validate();
+  traffic.validate();
 }
 
 }  // namespace fortress::net

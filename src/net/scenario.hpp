@@ -113,6 +113,99 @@ struct AttackSchedule {
   unsigned sybil_identities = 1;
 };
 
+/// What a machine does with an inbound message when its bounded service
+/// queue is full (see osl::Machine and the ServiceModel below).
+enum class OverloadPolicy : std::uint8_t {
+  /// Arrivals to a full queue are dropped (counted as shed).
+  DropTail,
+  /// The NEWEST queued entry is evicted to admit the arrival — oldest work
+  /// keeps its place, so in-progress retry chains converge.
+  ShedNewest,
+  /// Arrivals to a full queue are parked and re-offered after
+  /// `pushback_delay` (connection-level pushback): nothing is lost, but the
+  /// sender's effective latency inflates without bound while overload lasts.
+  Backpressure,
+  /// Above `degrade_watermark` queued entries, dispatches are marked
+  /// degraded: the application skips signature verification for them
+  /// (proxy::ProxyNode honours the flag) and the machine skips
+  /// `verify_cost` — goodput holds at the price of verification coverage.
+  /// A full queue still drops the arrival, as DropTail.
+  DegradeUnsigned,
+};
+
+/// Per-machine service-time model: when enabled, every protocol message a
+/// machine's application would handle is run through a bounded single-server
+/// queue, its service time drawn deterministically from the trial RNG by
+/// message class. Disabled (the default) is the exact pre-overload-plane
+/// synchronous dispatch — plans without a service model pay one branch.
+struct ServiceModel {
+  bool enabled = false;
+  /// Service time per MsgType::Request dispatch.
+  LatencySpec request_service = LatencySpec::fixed(0.1);
+  /// Service time per Response/ProxyResponse dispatch (proxies validating
+  /// server replies).
+  LatencySpec response_service = LatencySpec::fixed(0.05);
+  /// Service time for everything else, when `queue_control` is set.
+  LatencySpec other_service = LatencySpec::fixed(0.01);
+  /// Extra service time added to every verifying dispatch — the CPU the
+  /// DegradeUnsigned policy saves when a dispatch is marked degraded.
+  double verify_cost = 0.0;
+  /// Maximum WAITING entries (excludes the one in service).
+  std::uint32_t queue_capacity = 64;
+  OverloadPolicy policy = OverloadPolicy::DropTail;
+  /// DegradeUnsigned: depth (waiting + in service) at admission at or above
+  /// this marks the dispatch degraded.
+  std::uint32_t degrade_watermark = 32;
+  /// Backpressure: delay before a parked arrival is re-offered.
+  sim::Time pushback_delay = 0.5;
+  /// When false (default) control-plane traffic — heartbeats, state
+  /// updates, view changes: anything that is not a Request/Response — is
+  /// dispatched synchronously, modelling a prioritized control plane; when
+  /// true it queues under `other_service` like everything else.
+  bool queue_control = false;
+
+  void validate() const;
+};
+
+/// One piece of a piecewise-constant arrival-rate schedule: from `at`
+/// onwards, `rate` requests per simulation-time unit (until the next phase).
+/// A zero-rate phase pauses arrivals until the next phase.
+struct RatePhase {
+  sim::Time at = 0.0;
+  double rate = 1.0;
+};
+
+/// Open-loop client traffic for a trial: `clients` load-generating clients
+/// submit requests at the scheduled arrival rate (Poisson or evenly spaced
+/// inter-arrivals), independent of completions — the open loop is what makes
+/// overload reachable. Client retry behaviour (capped exponential backoff +
+/// jitter, per-request budgets) is part of the spec so retry storms are a
+/// modelled input.
+struct TrafficSpec {
+  /// Piecewise-constant arrival-rate schedule; empty disables traffic.
+  /// Phases must be sorted by `at` ascending.
+  std::vector<RatePhase> schedule;
+  /// Load-generating client population (round-robin submission).
+  int clients = 0;
+  /// Fraction of requests that are writes (PUT); the rest are reads (GET).
+  double write_fraction = 0.5;
+  /// Distinct keys the generated requests touch.
+  unsigned distinct_keys = 16;
+  /// Poisson (exponential inter-arrival) vs evenly-spaced arrivals.
+  bool poisson = true;
+
+  // --- client robustness knobs (core::ClientConfig per generated client) ---
+  sim::Time retry_base = 2.0;      ///< first retry delay
+  double retry_multiplier = 2.0;   ///< exponential backoff factor
+  sim::Time retry_cap = 16.0;      ///< backoff ceiling (0 = uncapped)
+  double retry_jitter = 0.1;       ///< ± fraction of deterministic jitter
+  std::uint32_t retry_budget = 6;  ///< retries per request (0 = unlimited)
+  sim::Time request_deadline = 50.0;  ///< per-request deadline (0 = never)
+
+  bool enabled() const { return clients > 0 && !schedule.empty(); }
+  void validate() const;
+};
+
 /// A complete scenario: network behaviour + schedules + deployment knobs.
 struct ScenarioPlan {
   std::string name = "baseline";
@@ -147,6 +240,13 @@ struct ScenarioPlan {
   /// Campaign horizon: trials that survive this many whole unit steps are
   /// censored.
   std::uint64_t horizon_steps = 100;
+  /// Per-machine service model (consumed by osl::Machine via the
+  /// LiveSystem); disabled by default — the overload plane is
+  /// pay-for-what-you-use.
+  ServiceModel service;
+  /// Open-loop client traffic (consumed by scenario::TrafficGenerator in
+  /// the campaign trial driver); disabled by default.
+  TrafficSpec traffic;
 
   /// The model-side attacker strength this plan implies: α = ω/χ (the §4
   /// coupling used by the live-vs-analytic cross-checks).

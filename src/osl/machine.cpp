@@ -1,7 +1,14 @@
 #include "osl/machine.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
+// Layering note: osl is below replication, but the service queue needs the
+// wire message CLASS (request vs response vs control) to pick a service-time
+// distribution. MessageView::peek is a fixed-offset header check with no
+// osl dependency, so this .cpp-only include creates no cycle.
+#include "replication/message.hpp"
 
 namespace fortress::osl {
 
@@ -29,9 +36,12 @@ void Machine::shutdown() {
   if (!booted_) return;
   network_.detach(id_, net::CloseReason::PeerClosed);
   booted_ = false;
-  // The process is gone: the attacker's implant and sessions die with it.
+  // The process is gone: the attacker's implant and sessions die with it —
+  // and so does every request queued for service (surfaced in
+  // dropped_on_reboot; the senders' retry loops are what recovers them).
   compromised_ = false;
   attacker_conns_.clear();
+  clear_service_queue();
 }
 
 void Machine::revive() {
@@ -46,6 +56,7 @@ void Machine::reboot_common() {
   network_.detach(id_, net::CloseReason::PeerClosed);
   compromised_ = false;
   attacker_conns_.clear();  // the implant and its sessions die with the reboot
+  clear_service_queue();    // queued work dies with the process image
   network_.attach(id_, *this);
   if (app_ != nullptr) app_->handle_reboot();
 }
@@ -70,6 +81,18 @@ void Machine::reset(std::uint64_t keyspace) {
   attacker_conns_.clear();
   tap_message_ = nullptr;
   tap_closed_ = nullptr;
+  clear_service_queue();
+  service_ = net::ServiceModel{};
+  overload_stats_ = OverloadStats{};
+}
+
+void Machine::configure_service(const net::ServiceModel& model,
+                                std::uint64_t seed) {
+  model.validate();
+  clear_service_queue();
+  service_ = model;
+  service_rng_.reset_substream(seed, 0);
+  overload_stats_ = OverloadStats{};
 }
 
 void Machine::handle_probe(const net::Envelope& env, RandKey guess) {
@@ -125,7 +148,147 @@ void Machine::on_message(const net::Envelope& env) {
       return;
     }
   }
+  if (app_ == nullptr) return;
+  if (!service_.enabled) {  // the whole overload plane costs this one branch
+    app_->handle_message(env);
+    return;
+  }
+  const ServiceClass cls = classify_service(env.payload);
+  if (cls == ServiceClass::Control && !service_.queue_control) {
+    // Prioritized control plane: heartbeats/state updates/view changes are
+    // handled synchronously so a request flood cannot starve failover
+    // timers into a view-change storm.
+    app_->handle_message(env);
+    return;
+  }
+  enqueue_service(env, cls);
+}
+
+Machine::ServiceClass Machine::classify_service(BytesView payload) {
+  auto header = replication::MessageView::peek(payload);
+  if (!header) return ServiceClass::Control;
+  switch (header->type) {
+    case replication::MsgType::Request:
+      return ServiceClass::Request;
+    case replication::MsgType::Response:
+    case replication::MsgType::ProxyResponse:
+      return ServiceClass::Response;
+    default:
+      return ServiceClass::Control;
+  }
+}
+
+Machine::QueuedMessage Machine::copy_message(const net::Envelope& env,
+                                             ServiceClass cls) {
+  QueuedMessage qm;
+  qm.payload = network_.acquire_buffer();
+  qm.payload.assign(env.payload.begin(), env.payload.end());
+  qm.from = env.from;
+  qm.connection = env.connection;
+  qm.cls = cls;
+  return qm;
+}
+
+void Machine::enqueue_service(const net::Envelope& env, ServiceClass cls) {
+  if (service_queue_.size() >= service_.queue_capacity) {
+    switch (service_.policy) {
+      case net::OverloadPolicy::DropTail:
+      case net::OverloadPolicy::DegradeUnsigned:
+        ++overload_stats_.shed;
+        return;  // dropped before any copy is made
+      case net::OverloadPolicy::ShedNewest:
+        // Evict the newest queued entry: oldest work keeps its place, so a
+        // request that has waited is not starved by its own retries.
+        network_.recycle_buffer(std::move(service_queue_.back().payload));
+        service_queue_.pop_back();
+        ++overload_stats_.shed;
+        break;
+      case net::OverloadPolicy::Backpressure:
+        park_service(copy_message(env, cls));
+        return;
+    }
+  }
+  push_service(copy_message(env, cls));
+}
+
+void Machine::push_service(QueuedMessage&& qm) {
+  qm.degraded = service_.policy == net::OverloadPolicy::DegradeUnsigned &&
+                service_depth() >= service_.degrade_watermark;
+  service_queue_.push_back(std::move(qm));
+  ++overload_stats_.enqueued;
+  overload_stats_.max_depth =
+      std::max<std::uint64_t>(overload_stats_.max_depth, service_depth());
+  if (!in_service_) begin_service();
+}
+
+void Machine::park_service(QueuedMessage&& qm) {
+  ++overload_stats_.backpressured;
+  const std::uint64_t epoch = service_epoch_;
+  network_.simulator().schedule_after(
+      service_.pushback_delay, [this, epoch, qm = std::move(qm)]() mutable {
+        if (epoch != service_epoch_ || !booted_) {
+          // The incarnation this message was parked against is gone.
+          ++overload_stats_.dropped_on_reboot;
+          network_.recycle_buffer(std::move(qm.payload));
+          return;
+        }
+        if (service_queue_.size() >= service_.queue_capacity) {
+          park_service(std::move(qm));  // still full: push back again
+          return;
+        }
+        push_service(std::move(qm));
+      });
+}
+
+void Machine::begin_service() {
+  in_service_msg_ = std::move(service_queue_.front());
+  service_queue_.pop_front();
+  in_service_ = true;
+  sim::Time service_time = 0.0;
+  switch (in_service_msg_.cls) {
+    case ServiceClass::Request:
+      service_time = service_.request_service.sample(service_rng_);
+      break;
+    case ServiceClass::Response:
+      service_time = service_.response_service.sample(service_rng_);
+      break;
+    case ServiceClass::Control:
+      service_time = service_.other_service.sample(service_rng_);
+      break;
+  }
+  if (!in_service_msg_.degraded) service_time += service_.verify_cost;
+  service_event_ = network_.simulator().schedule_after(
+      service_time, [this] { finish_service(); });
+}
+
+void Machine::finish_service() {
+  service_event_ = 0;
+  net::Envelope env{in_service_msg_.from, id_, BytesView(in_service_msg_.payload),
+                    in_service_msg_.connection, in_service_msg_.degraded};
+  ++overload_stats_.served;
+  if (env.degraded) ++overload_stats_.degraded;
   if (app_ != nullptr) app_->handle_message(env);
+  network_.recycle_buffer(std::move(in_service_msg_.payload));
+  in_service_ = false;
+  if (!service_queue_.empty()) begin_service();
+}
+
+void Machine::clear_service_queue() {
+  ++service_epoch_;  // parked Backpressure re-offers recognize the reboot
+  if (service_event_ != 0) {
+    network_.simulator().cancel(service_event_);
+    service_event_ = 0;
+  }
+  if (in_service_) {
+    network_.recycle_buffer(std::move(in_service_msg_.payload));
+    in_service_ = false;
+    ++overload_stats_.dropped_on_reboot;
+  }
+  overload_stats_.dropped_on_reboot += service_queue_.size();
+  for (QueuedMessage& qm : service_queue_) {
+    network_.recycle_buffer(std::move(qm.payload));
+  }
+  service_queue_.clear();
 }
 
 void Machine::on_connection_opened(net::ConnectionId id, net::HostId peer) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <set>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
 #include "net/network.hpp"
 #include "osl/probe.hpp"
 
@@ -55,6 +57,25 @@ class Application {
   /// The machine rebooted (recover/rerandomize): connections are gone.
   /// Durable service state survives; volatile sessions do not.
   virtual void handle_reboot() {}
+};
+
+/// Counters the bounded service queue keeps (all zero while the machine's
+/// ServiceModel is disabled). Campaign trials sum these per deployment into
+/// TrialOutcome's traffic stats.
+struct OverloadStats {
+  std::uint64_t enqueued = 0;  ///< admitted to the queue
+  std::uint64_t served = 0;    ///< dispatched to the application
+  /// Dropped by DropTail/DegradeUnsigned at a full queue, or evicted by
+  /// ShedNewest.
+  std::uint64_t shed = 0;
+  /// Arrivals parked by Backpressure (counted once per park, so a message
+  /// re-parked twice counts twice — the pushback the sender experienced).
+  std::uint64_t backpressured = 0;
+  /// Dispatches served with verification skipped (DegradeUnsigned).
+  std::uint64_t degraded = 0;
+  /// Queued (or parked) work lost to a crash/reboot of this machine.
+  std::uint64_t dropped_on_reboot = 0;
+  std::uint64_t max_depth = 0;  ///< waiting + in service, high-water mark
 };
 
 struct MachineConfig {
@@ -121,6 +142,23 @@ class Machine final : public net::Handler {
 
   void set_application(Application* app) { app_ = app; }
 
+  /// Install (or replace) this machine's service model. With
+  /// `model.enabled`, protocol messages that survive probe filtering are run
+  /// through a bounded single-server queue: service times are drawn from
+  /// `seed`'s deterministic stream, the queue is bounded at
+  /// `model.queue_capacity`, and overflow behaviour follows `model.policy`.
+  /// Probes are absorbed BEFORE the queue (the exploit fires in the child's
+  /// parser, not in application scheduling). Reboots drop queued work
+  /// (counted in OverloadStats::dropped_on_reboot). Zeros the stats; callers
+  /// on the trial-arena reuse path call this after reset() for each trial.
+  void configure_service(const net::ServiceModel& model, std::uint64_t seed);
+
+  const OverloadStats& overload() const { return overload_stats_; }
+  /// Current queue depth (waiting + in service); diagnostics/tests.
+  std::size_t service_depth() const {
+    return service_queue_.size() + (in_service_ ? 1 : 0);
+  }
+
   /// Register a callback fired (synchronously) when a probe with the
   /// correct key lands. Multiple listeners are supported (the system's
   /// compromise latch and the attacker's bookkeeping both subscribe).
@@ -151,8 +189,31 @@ class Machine final : public net::Handler {
                             net::CloseReason reason) override;
 
  private:
+  /// Message class for service-time selection (wire-type peek).
+  enum class ServiceClass : std::uint8_t { Request, Response, Control };
+
+  /// One queued (or in-service) message: the payload is copied into an
+  /// owned pooled buffer because the delivery envelope's view dies when
+  /// on_message returns.
+  struct QueuedMessage {
+    Bytes payload;
+    net::HostId from = net::kInvalidHost;
+    std::optional<net::ConnectionId> connection;
+    ServiceClass cls = ServiceClass::Request;
+    bool degraded = false;
+  };
+
   void reboot_common();
   void handle_probe(const net::Envelope& env, RandKey guess);
+  static ServiceClass classify_service(BytesView payload);
+  void enqueue_service(const net::Envelope& env, ServiceClass cls);
+  QueuedMessage copy_message(const net::Envelope& env, ServiceClass cls);
+  void push_service(QueuedMessage&& qm);
+  void park_service(QueuedMessage&& qm);
+  void begin_service();
+  void finish_service();
+  /// Drop all queued/parked/in-service work (reboot, shutdown, reset).
+  void clear_service_queue();
 
   net::Network& network_;
   MachineConfig config_;
@@ -167,6 +228,19 @@ class Machine final : public net::Handler {
   std::set<net::ConnectionId> attacker_conns_;
   std::function<void(const net::Envelope&)> tap_message_;
   std::function<void(net::ConnectionId, net::CloseReason)> tap_closed_;
+
+  // --- bounded service queue (inert while service_.enabled is false) ------
+  net::ServiceModel service_;
+  Rng service_rng_{0};
+  std::deque<QueuedMessage> service_queue_;
+  QueuedMessage in_service_msg_;
+  bool in_service_ = false;
+  sim::EventId service_event_ = 0;
+  /// Bumped on every reboot/shutdown/reset so parked Backpressure re-offer
+  /// events (which cannot be individually cancelled) recognize that the
+  /// incarnation they belonged to is gone.
+  std::uint64_t service_epoch_ = 0;
+  OverloadStats overload_stats_;
 };
 
 }  // namespace fortress::osl

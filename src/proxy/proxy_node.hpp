@@ -54,6 +54,10 @@ struct ProxyStats {
   std::uint64_t server_crashes_observed = 0;
   std::uint64_t responses_delivered = 0;
   std::uint64_t invalid_signatures = 0;
+  /// Server responses accepted WITHOUT signature verification because the
+  /// proxy's machine dispatched them degraded (net::OverloadPolicy::
+  /// DegradeUnsigned) — the verification coverage the policy trades away.
+  std::uint64_t degraded_responses = 0;
 };
 
 class ProxyNode final : public osl::Application {

@@ -6,8 +6,27 @@
 #include "common/check.hpp"
 #include "core/live_system.hpp"
 #include "exec/thread_pool.hpp"
+#include "scenario/traffic.hpp"
 
 namespace fortress::scenario {
+
+void TrafficStats::merge(const TrafficStats& o) {
+  offered += o.offered;
+  completed += o.completed;
+  timed_out += o.timed_out;
+  gave_up += o.gave_up;
+  retries += o.retries;
+  rejected_responses += o.rejected_responses;
+  enqueued += o.enqueued;
+  served += o.served;
+  shed += o.shed;
+  backpressured += o.backpressured;
+  degraded += o.degraded;
+  dropped_on_reboot += o.dropped_on_reboot;
+  max_queue_depth = std::max(max_queue_depth, o.max_queue_depth);
+  goodput += o.goodput;
+  latency.merge(o.latency);
+}
 
 std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell,
                          std::uint64_t trial) {
@@ -82,6 +101,15 @@ TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
   }
 
   TrialOutcome out;
+  // The load generator is constructed BEFORE the attacker on both the fresh
+  // and pooled paths, so its clients intern their addresses in the same
+  // order everywhere — interning order is part of the determinism contract.
+  std::unique_ptr<TrafficGenerator> traffic;
+  if (plan.traffic.enabled()) {
+    traffic = std::make_unique<TrafficGenerator>(
+        sim, live.network(), live.registry(), live.directory(), plan.traffic,
+        horizon, seed ^ 0x7AFF1CULL);
+  }
   attack::DerandAttacker* attacker = nullptr;
   std::unique_ptr<attack::DerandAttacker> local;  // fresh-path ownership
   if (plan.attack.enabled) {
@@ -150,6 +178,26 @@ TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
     out.attacker = attacker->stats();
     attacker->stop();
   }
+  if (traffic != nullptr) {
+    out.traffic = traffic->stats();
+    out.traffic.goodput =
+        horizon > 0.0
+            ? static_cast<double>(out.traffic.completed) / horizon
+            : 0.0;
+  }
+  if (plan.service.enabled) {
+    for (const osl::Machine* m : live.service_machines()) {
+      const osl::OverloadStats& os = m->overload();
+      out.traffic.enqueued += os.enqueued;
+      out.traffic.served += os.served;
+      out.traffic.shed += os.shed;
+      out.traffic.backpressured += os.backpressured;
+      out.traffic.degraded += os.degraded;
+      out.traffic.dropped_on_reboot += os.dropped_on_reboot;
+      out.traffic.max_queue_depth =
+          std::max(out.traffic.max_queue_depth, os.max_depth);
+    }
+  }
   return out;
 }
 
@@ -214,6 +262,7 @@ void absorb_outcome(CellStats& stats, const TrialOutcome& o) {
   stats.attacker.keys_learned += o.attacker.keys_learned;
   stats.events_executed += o.events_executed;
   stats.blacklisted_sources += o.blacklisted_sources;
+  stats.traffic.merge(o.traffic);
 }
 
 }  // namespace

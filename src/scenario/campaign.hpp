@@ -42,6 +42,37 @@ class LiveSystem;
 
 namespace fortress::scenario {
 
+/// Traffic-plane aggregates of one trial (all zero when the plan has no
+/// TrafficSpec): client-side request accounting, per-deployment sums of the
+/// machines' OverloadStats, and the completed-request latency histogram.
+/// merge() is the exact cell reduction — every field is a sum, a max, or an
+/// elementwise histogram add, so cell aggregates are bit-identical for any
+/// trial-batching (the campaign's thread-count invariance extends to these).
+struct TrafficStats {
+  // --- client side ---------------------------------------------------------
+  std::uint64_t offered = 0;    ///< requests submitted (excluding retries)
+  std::uint64_t completed = 0;  ///< accepted responses
+  std::uint64_t timed_out = 0;  ///< deadline failures
+  std::uint64_t gave_up = 0;    ///< retry-budget failures (Overloaded)
+  std::uint64_t retries = 0;    ///< re-sends across all requests
+  std::uint64_t rejected_responses = 0;
+  // --- service plane (summed over the deployment's machines) ---------------
+  std::uint64_t enqueued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t backpressured = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t dropped_on_reboot = 0;
+  std::uint64_t max_queue_depth = 0;  ///< max over machines (merge: max)
+  /// Completed requests per unit time over the trial horizon; summed by
+  /// merge() — divide by the cell's trial count for the mean.
+  double goodput = 0.0;
+  /// Submit-to-completion latency of every completed request.
+  LatencyHistogram latency;
+
+  void merge(const TrafficStats& o);
+};
+
 /// Outcome of one live trial.
 struct TrialOutcome {
   bool compromised = false;
@@ -53,6 +84,7 @@ struct TrialOutcome {
   /// Distinct (source, proxy) blacklistings at trial end — evidence the
   /// detection tier fired (0 for classes without one).
   std::uint64_t blacklisted_sources = 0;
+  TrafficStats traffic;
 };
 
 /// Run one live experiment: build the deployment `plan` describes for
@@ -133,9 +165,14 @@ struct CellStats {
   attack::AttackerStats attacker;  ///< summed over the cell's trials
   std::uint64_t events_executed = 0;
   std::uint64_t blacklisted_sources = 0;  ///< summed over the cell's trials
+  TrafficStats traffic;                   ///< merged over the cell's trials
 
   double mean_lifetime() const {
     return lifetime.count() > 0 ? lifetime.mean() : 0.0;
+  }
+  /// Mean per-trial goodput (TrafficStats::goodput is summed by merge).
+  double mean_goodput() const {
+    return trials > 0 ? traffic.goodput / static_cast<double>(trials) : 0.0;
   }
 };
 

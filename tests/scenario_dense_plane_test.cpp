@@ -24,6 +24,14 @@
 // duplication, and a crash -> stay-down -> recover fault schedule. Its
 // golden rows were captured on the PR-4 (pre-MessageView) build and appended
 // AFTER the original cells so every cell keeps its seed-determining index.
+// PR 6 (overload & backpressure plane) appended a TENTH cell, golden-d:
+// S2 under simultaneous attack and open-loop client traffic with a bounded
+// DegradeUnsigned service queue — covering the service-queue event path,
+// retry/backoff, and the latency-histogram aggregates. Its golden row was
+// captured on the PR-6 build itself (the plane is new, so there is no
+// prior build to capture against); cells 0-8 keep their PR-3/PR-4 values
+// untouched, which is what proves the plane is inert for plans that do not
+// opt in.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -99,6 +107,37 @@ net::ScenarioPlan plan_c() {
   return p;
 }
 
+/// golden-d: attack and client traffic at once, against bounded
+/// DegradeUnsigned service queues. The obfuscation scheduler's step
+/// reboots (every 50 units) also exercise dropped_on_reboot accounting.
+net::ScenarioPlan plan_d() {
+  net::ScenarioPlan p;
+  p.name = "golden-d";
+  p.keyspace = 128;
+  p.attack.probes_per_step = 8.0;
+  p.attack.indirect_fraction = 0.5;
+  p.horizon_steps = 4;
+  p.step_duration = 50.0;
+  p.latency = net::LatencySpec::fixed(0.1);
+  p.service.enabled = true;
+  p.service.request_service = net::LatencySpec::fixed(0.05);
+  p.service.response_service = net::LatencySpec::fixed(0.02);
+  p.service.verify_cost = 0.15;
+  p.service.queue_capacity = 16;
+  p.service.degrade_watermark = 8;
+  p.service.policy = net::OverloadPolicy::DegradeUnsigned;
+  p.traffic.schedule = {net::RatePhase{0.0, 6.0}, net::RatePhase{160.0, 0.0}};
+  p.traffic.clients = 3;
+  p.traffic.write_fraction = 0.5;
+  p.traffic.distinct_keys = 8;
+  p.traffic.retry_base = 4.0;
+  p.traffic.retry_cap = 16.0;
+  p.traffic.retry_jitter = 0.1;
+  p.traffic.retry_budget = 4;
+  p.traffic.request_deadline = 30.0;
+  return p;
+}
+
 std::uint64_t bits(double d) {
   std::uint64_t u;
   std::memcpy(&u, &d, sizeof u);
@@ -138,24 +177,74 @@ constexpr GoldenCell kGolden[9] = {
      462ull, 2644ull, 22ull, 22ull, 54842ull, 36ull},
 };
 
+/// Cell 9 (golden-d on S2): the base aggregates plus the overload-plane
+/// traffic row, captured on the PR-6 build.
+struct GoldenTraffic {
+  std::uint64_t offered, completed, timed_out, gave_up, retries, enqueued,
+      served, shed, backpressured, degraded, dropped_on_reboot,
+      max_queue_depth;
+  std::uint64_t goodput_bits, latency_fingerprint;
+};
+
+constexpr GoldenCell kGoldenD = {
+    6ull,  0ull,  6ull,      0x4010000000000000ull, 0x0ull, 617ull,
+    96ull, 612ull, 5ull,     5ull,                  234856ull, 0ull};
+constexpr GoldenTraffic kGoldenDTraffic = {
+    5818ull,  5765ull, 53ull,    0ull,  1954ull, 82896ull, 81612ull,
+    32904ull, 0ull,    64574ull, 1284ull, 17ull,
+    0x403cd33333333333ull, 0x9a153a323828595cull};
+
+void expect_cell_matches(const CellStats& c, const GoldenCell& g) {
+  EXPECT_EQ(c.trials, g.trials);
+  EXPECT_EQ(c.compromised, g.compromised);
+  EXPECT_EQ(c.censored, g.censored);
+  EXPECT_EQ(bits(c.lifetime.mean()), g.lifetime_mean_bits);
+  EXPECT_EQ(bits(c.lifetime.variance()), g.lifetime_variance_bits);
+  EXPECT_EQ(c.attacker.direct_probes, g.direct_probes);
+  EXPECT_EQ(c.attacker.indirect_probes, g.indirect_probes);
+  EXPECT_EQ(c.attacker.crashes_caused, g.crashes_caused);
+  EXPECT_EQ(c.attacker.compromises, g.compromises);
+  EXPECT_EQ(c.attacker.keys_learned, g.keys_learned);
+  EXPECT_EQ(c.events_executed, g.events_executed);
+  EXPECT_EQ(c.blacklisted_sources, g.blacklisted_sources);
+}
+
 void expect_matches_golden(const CampaignResult& result) {
-  ASSERT_EQ(result.cells.size(), 9u);
-  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+  ASSERT_EQ(result.cells.size(), 10u);
+  for (std::size_t i = 0; i + 1 < result.cells.size(); ++i) {
     SCOPED_TRACE("cell " + std::to_string(i));
-    const CellStats& c = result.cells[i];
-    const GoldenCell& g = kGolden[i];
-    EXPECT_EQ(c.trials, g.trials);
-    EXPECT_EQ(c.compromised, g.compromised);
-    EXPECT_EQ(c.censored, g.censored);
-    EXPECT_EQ(bits(c.lifetime.mean()), g.lifetime_mean_bits);
-    EXPECT_EQ(bits(c.lifetime.variance()), g.lifetime_variance_bits);
-    EXPECT_EQ(c.attacker.direct_probes, g.direct_probes);
-    EXPECT_EQ(c.attacker.indirect_probes, g.indirect_probes);
-    EXPECT_EQ(c.attacker.crashes_caused, g.crashes_caused);
-    EXPECT_EQ(c.attacker.compromises, g.compromises);
-    EXPECT_EQ(c.attacker.keys_learned, g.keys_learned);
-    EXPECT_EQ(c.events_executed, g.events_executed);
-    EXPECT_EQ(c.blacklisted_sources, g.blacklisted_sources);
+    expect_cell_matches(result.cells[i], kGolden[i]);
+    // Plans that do not opt into the overload plane must not touch its
+    // aggregates at all.
+    EXPECT_EQ(result.cells[i].traffic.offered, 0u);
+    EXPECT_EQ(result.cells[i].traffic.enqueued, 0u);
+    EXPECT_EQ(result.cells[i].traffic.latency.count(), 0u);
+  }
+  {
+    SCOPED_TRACE("cell 9 (golden-d)");
+    const CellStats& c = result.cells[9];
+    expect_cell_matches(c, kGoldenD);
+    const TrafficStats& t = c.traffic;
+    const GoldenTraffic& g = kGoldenDTraffic;
+    EXPECT_EQ(t.offered, g.offered);
+    EXPECT_EQ(t.completed, g.completed);
+    EXPECT_EQ(t.timed_out, g.timed_out);
+    EXPECT_EQ(t.gave_up, g.gave_up);
+    EXPECT_EQ(t.retries, g.retries);
+    EXPECT_EQ(t.enqueued, g.enqueued);
+    EXPECT_EQ(t.served, g.served);
+    EXPECT_EQ(t.shed, g.shed);
+    EXPECT_EQ(t.backpressured, g.backpressured);
+    EXPECT_EQ(t.degraded, g.degraded);
+    EXPECT_EQ(t.dropped_on_reboot, g.dropped_on_reboot);
+    EXPECT_EQ(t.max_queue_depth, g.max_queue_depth);
+    EXPECT_EQ(bits(t.goodput), g.goodput_bits);
+    EXPECT_EQ(t.latency.fingerprint(), g.latency_fingerprint);
+    // Sanity on the shape, independent of the golden bits: traffic flowed,
+    // the degrade watermark was crossed, and step reboots dropped work.
+    EXPECT_GT(t.offered, 0u);
+    EXPECT_GT(t.completed, 0u);
+    EXPECT_GT(t.degraded, 0u);
   }
 }
 
@@ -168,6 +257,8 @@ CampaignResult run_golden_grid(bool pooled) {
   for (CampaignCell& extra : cross(systems, {plan_c()})) {
     cells.push_back(std::move(extra));
   }
+  // golden-d is likewise appended (cell 9) so cells 0-8 keep their seeds.
+  cells.push_back({model::SystemKind::S2, plan_d()});
   CampaignConfig cfg;
   cfg.trials_per_cell = 6;
   cfg.base_seed = 42;

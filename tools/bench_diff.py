@@ -22,6 +22,12 @@ fail with a message naming the file and entry instead of a bare KeyError.
 --report additionally prints a Markdown before/after table (baseline ns/op,
 fresh ns/op, delta, speedup) ready to paste into a PR description; the
 pass/fail gate and exit status are unchanged.
+
+BenchRecorder entries may carry extra numeric keys beyond the standard
+three (the overload bench emits latency quantiles p50/p99/p999, goodput
+and shed/timeout counts). Extras are never gated — only ns_per_op is — but
+--report renders them in a second Markdown table so tail-latency shifts
+are visible in the PR description alongside the throughput deltas.
 """
 
 import argparse
@@ -45,14 +51,20 @@ def _require(entry, key, path, index):
     return entry[key]
 
 
+_STANDARD_KEYS = {"name", "ns_per_op", "items_per_sec"}
+
+
 def load_ns_per_op(path):
-    """Return {benchmark name: ns/op} from either supported schema."""
+    """Return ({benchmark name: ns/op}, {name: {extra key: value}}) from
+    either supported schema. Extras (numeric keys beyond the BenchRecorder
+    standard three) are reporting-only and empty for google-benchmark
+    files."""
     with open(path) as f:
         try:
             data = json.load(f)
         except json.JSONDecodeError as err:
             raise SchemaError(f"{path}: invalid benchmark JSON: {err}")
-    out = {}
+    out, extras = {}, {}
     if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
         for i, b in enumerate(data["benchmarks"]):
             if b.get("run_type") == "aggregate":
@@ -64,9 +76,14 @@ def load_ns_per_op(path):
         for i, b in enumerate(data):
             name = _require(b, "name", path, i)
             out[name] = float(_require(b, "ns_per_op", path, i))
+            extra = {k: v for k, v in b.items()
+                     if k not in _STANDARD_KEYS
+                     and isinstance(v, (int, float))}
+            if extra:
+                extras[name] = extra
     else:
         raise SchemaError(f"{path}: unrecognized benchmark JSON schema")
-    return out
+    return out, extras
 
 
 def main(argv=None):
@@ -83,10 +100,11 @@ def main(argv=None):
     args = ap.parse_args(argv)
 
     try:
-        base = load_ns_per_op(args.baseline)
-        fresh, fresh_source = {}, {}
+        base, base_extras = load_ns_per_op(args.baseline)
+        fresh, fresh_source, fresh_extras = {}, {}, {}
         for path in args.fresh:
-            for name, ns in load_ns_per_op(path).items():
+            loaded, loaded_extras = load_ns_per_op(path)
+            for name, ns in loaded.items():
                 if name in fresh:
                     raise SchemaError(
                         f"benchmark '{name}' appears in both "
@@ -94,6 +112,7 @@ def main(argv=None):
                         f"result; rename one or drop the duplicate")
                 fresh[name] = ns
                 fresh_source[name] = path
+            fresh_extras.update(loaded_extras)
     except SchemaError as err:
         print(f"FAIL: {err}")
         return 1
@@ -135,6 +154,20 @@ def main(argv=None):
                 speedup = base[name] / fresh[name]
                 print(f"| {name} | {base[name]:,.1f} | {fresh[name]:,.1f} | "
                       f"{delta:+.1%} | {speedup:.2f}x |")
+        named = sorted(set(base_extras) | set(fresh_extras))
+        if named:
+            print()
+            print("| benchmark | metric | before | after |")
+            print("|---|---|---:|---:|")
+            for name in named:
+                b_extra = base_extras.get(name, {})
+                f_extra = fresh_extras.get(name, {})
+                for key in sorted(set(b_extra) | set(f_extra)):
+                    before = (f"{b_extra[key]:,.3f}" if key in b_extra
+                              else "(new)")
+                    after = (f"{f_extra[key]:,.3f}" if key in f_extra
+                             else "(missing)")
+                    print(f"| {name} | {key} | {before} | {after} |")
 
     print()
     if regressions:
