@@ -1,0 +1,77 @@
+// batch.hpp — lane-batched HMAC-SHA256 verification.
+//
+// BatchVerifier collects (schedule, message, tag) verification jobs and
+// computes them through the multi-buffer SHA-256 kernel up to kLanes at a
+// time: one transposed compress run covers eight inner hashes, a second
+// covers the eight outer hashes. Handlers enqueue as messages arrive and
+// read verdicts at their natural boundary (the machine service queue
+// flushes every kLanes staged messages and at dispatch).
+//
+// ACCEPTANCE SEMANTICS ARE UNCHANGED: a job's verdict equals exactly
+// `KeyRegistry::verify_tag_with(*schedule, message, tag)` — same digests
+// (all kernel tiers are bit-identical), same constant-time comparison,
+// same rejection of absent schedules and wrong-sized tags. Batching only
+// changes WHEN the HMACs are computed, never what is accepted; the
+// differential fuzz in crypto_batch_test asserts this over ≥50k messages.
+//
+// Not thread-safe; each owner (machine, client) keeps its own instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace fortress::crypto {
+
+class BatchVerifier {
+ public:
+  /// Width of one multi-buffer flush group (the AVX2 kernel's lane count).
+  static constexpr std::size_t kLanes = 8;
+
+  /// Queue a verification job; returns its id (stable until clear()).
+  /// The message and tag bytes are copied — callers may reuse their
+  /// buffers immediately. A null `schedule` (unknown signer) or a tag
+  /// that is not Digest-sized yields a false verdict, matching the
+  /// one-shot path.
+  std::size_t enqueue(const HmacKey* schedule, BytesView message,
+                      BytesView tag);
+
+  /// Jobs enqueued but not yet computed.
+  std::size_t pending() const { return jobs_.size() - computed_; }
+
+  /// Compute every pending job (kLanes-wide groups through the active
+  /// kernel tier).
+  void flush();
+
+  /// The verdict for job `id`. Flushes first if the job is still pending.
+  bool verdict(std::size_t id);
+
+  /// Drop all jobs and verdicts; previously returned ids are invalidated.
+  /// Keeps allocated capacity.
+  void clear();
+
+  std::size_t size() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    const HmacKey* schedule;  // null => verdict false, lane skipped
+    std::size_t msg_offset;
+    std::size_t msg_len;
+    Digest tag;
+    bool tag_ok;    // tag was Digest-sized
+    bool verdict = false;
+  };
+
+  void flush_group(Job** group, std::size_t count);
+
+  std::vector<Job> jobs_;
+  Bytes arena_;            // concatenated message copies
+  std::size_t computed_ = 0;
+  // Scratch padded-message buffers, one per lane, reused across flushes.
+  Bytes lane_buf_[kLanes];
+};
+
+}  // namespace fortress::crypto

@@ -3,29 +3,9 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "crypto/sha256_kernel.hpp"
 
 namespace fortress::crypto {
-
-namespace {
-
-constexpr std::array<std::uint32_t, 64> kRoundConstants = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-inline std::uint32_t rotr(std::uint32_t x, int n) {
-  return (x >> n) | (x << (32 - n));
-}
-
-}  // namespace
 
 void Sha256::reset() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -33,50 +13,6 @@ void Sha256::reset() {
   buffer_len_ = 0;
   total_len_ = 0;
   finished_ = false;
-}
-
-void Sha256::compress(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    std::uint32_t ch = (e & f) ^ (~e & g);
-    std::uint32_t temp1 = h + S1 + ch + kRoundConstants[i] + w[i];
-    std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    std::uint32_t temp2 = S0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
 }
 
 void Sha256::update(BytesView data) {
@@ -89,13 +25,14 @@ void Sha256::update(BytesView data) {
     buffer_len_ += take;
     offset += take;
     if (buffer_len_ == kBlockSize) {
-      compress(buffer_.data());
+      kernel::compress_blocks(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + kBlockSize <= data.size()) {
-    compress(data.data() + offset);
-    offset += kBlockSize;
+  const std::size_t whole = (data.size() - offset) / kBlockSize;
+  if (whole > 0) {
+    kernel::compress_blocks(state_.data(), data.data() + offset, whole);
+    offset += whole * kBlockSize;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -107,22 +44,19 @@ Digest Sha256::finish() {
   FORTRESS_EXPECTS(!finished_);
   finished_ = true;
 
-  std::uint64_t bit_len = total_len_ * 8;
-  // Padding: 0x80, zeros, then 64-bit big-endian length.
-  std::uint8_t pad[kBlockSize * 2] = {0x80};
-  std::size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
-                                           : (120 - buffer_len_);
-  std::uint8_t len_bytes[8];
+  // Build the padded tail locally: buffered bytes, 0x80, zeros, 64-bit
+  // big-endian bit length. One or two blocks, one compress call.
+  std::uint8_t tail[kBlockSize * 2] = {};
+  std::memcpy(tail, buffer_.data(), buffer_len_);
+  tail[buffer_len_] = 0x80;
+  const std::size_t tail_blocks = (buffer_len_ < 56) ? 1 : 2;
+  const std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t* len_at = tail + tail_blocks * kBlockSize - 8;
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<std::uint8_t>((bit_len >> (56 - i * 8)) & 0xff);
+    len_at[i] = static_cast<std::uint8_t>((bit_len >> (56 - i * 8)) & 0xff);
   }
-
-  // Feed padding through the block machinery directly.
-  finished_ = false;  // temporarily allow update()
-  update(BytesView(pad, pad_len));
-  update(BytesView(len_bytes, 8));
-  finished_ = true;
-  FORTRESS_CHECK(buffer_len_ == 0);
+  kernel::compress_blocks(state_.data(), tail, tail_blocks);
+  buffer_len_ = 0;
 
   Digest out;
   for (int i = 0; i < 8; ++i) {
@@ -133,6 +67,13 @@ Digest Sha256::finish() {
   }
   return out;
 }
+
+const std::array<std::uint32_t, 8>& Sha256::midstate() const {
+  FORTRESS_EXPECTS(!finished_ && buffer_len_ == 0);
+  return state_;
+}
+
+std::uint64_t Sha256::absorbed_len() const { return total_len_; }
 
 Digest Sha256::hash(BytesView data) {
   Sha256 h;

@@ -2,6 +2,9 @@
 //
 // Used as the hash underlying HMAC signatures and key derivation in the
 // FORTRESS protocol stack. Streaming interface plus one-shot helper.
+// Block compression routes through the runtime-dispatched kernel tiers
+// (sha256_kernel.hpp); every tier is bit-identical to the scalar
+// reference, so digests never depend on the host CPU.
 #pragma once
 
 #include <array>
@@ -41,9 +44,17 @@ class Sha256 {
   /// One-shot convenience.
   static Digest hash(BytesView data);
 
- private:
-  void compress(const std::uint8_t* block);
+  /// The eight working-variable words after the blocks absorbed so far.
+  /// Precondition: the absorbed length is block-aligned (no buffered tail)
+  /// and the context is not finished. Used by BatchVerifier to fork HMAC
+  /// pad midstates into multi-buffer lanes.
+  const std::array<std::uint32_t, 8>& midstate() const;
 
+  /// Total bytes absorbed so far (for length-field computation when a
+  /// midstate is resumed outside this class).
+  std::uint64_t absorbed_len() const;
+
+ private:
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, kBlockSize> buffer_;
   std::size_t buffer_len_ = 0;

@@ -1,0 +1,193 @@
+// sha256_avx2.cpp — 8-lane transposed multi-buffer SHA-256. Compiled with
+// -mavx2; callers must check tier_available(ShaTier::Avx2) first.
+//
+// Layout: the hash state lives as 8 __m256i vectors, one per SHA working
+// variable, with lane l of each vector belonging to stream l. Each outer
+// iteration compresses one 64-byte block per still-active stream. Streams
+// have independent lengths: a finished lane keeps compressing a dummy
+// all-zero block (never an out-of-bounds read) and its state writeback is
+// masked off, so the extra work is invisible in the result.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256_constants.hpp"
+#include "crypto/sha256_kernel.hpp"
+
+namespace fortress::crypto::kernel {
+
+namespace {
+
+// One zeroed block shared by all finished lanes.
+alignas(32) constexpr std::uint8_t kZeroBlock[64] = {};
+
+inline __m256i rotr32(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n),
+                         _mm256_slli_epi32(x, 32 - n));
+}
+
+// Transpose 8 lanes x 8 u32 (rows = lanes) into 8 vectors where vector i
+// holds word i of every lane.
+inline void transpose8x8(__m256i r[8]) {
+  __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+
+  __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+}  // namespace
+
+void compress_blocks_x8_avx2(std::uint32_t states[][8],
+                             const std::uint8_t* const data[8],
+                             const std::size_t nblocks[8]) {
+  std::size_t max_blocks = 0;
+  for (int l = 0; l < 8; ++l) {
+    if (nblocks[l] > max_blocks) max_blocks = nblocks[l];
+  }
+  if (max_blocks == 0) return;
+
+  const __m256i bswap = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+  // Load state transposed: vector s[i] = word i across the 8 lanes.
+  __m256i s[8];
+  {
+    __m256i rows[8];
+    for (int l = 0; l < 8; ++l) {
+      rows[l] =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(states[l]));
+    }
+    transpose8x8(rows);
+    for (int i = 0; i < 8; ++i) s[i] = rows[i];
+  }
+
+  for (std::size_t blk = 0; blk < max_blocks; ++blk) {
+    // Per-block lane activity mask (all-ones dwords for active lanes).
+    alignas(32) std::uint32_t mask_words[8];
+    const std::uint8_t* block_ptr[8];
+    for (int l = 0; l < 8; ++l) {
+      const bool active = blk < nblocks[l];
+      mask_words[l] = active ? 0xFFFFFFFFu : 0u;
+      block_ptr[l] = active ? data[l] + blk * 64 : kZeroBlock;
+    }
+    const __m256i lane_mask =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(mask_words));
+
+    // Message schedule W[0..15]: load each lane's block as two rows of
+    // 8 u32, byteswap, then transpose so w[i] = word i across lanes.
+    __m256i w[16];
+    {
+      __m256i lo[8], hi[8];
+      for (int l = 0; l < 8; ++l) {
+        lo[l] = _mm256_shuffle_epi8(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(block_ptr[l])),
+            bswap);
+        hi[l] = _mm256_shuffle_epi8(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(block_ptr[l] + 32)),
+            bswap);
+      }
+      transpose8x8(lo);
+      transpose8x8(hi);
+      for (int i = 0; i < 8; ++i) {
+        w[i] = lo[i];
+        w[8 + i] = hi[i];
+      }
+    }
+
+    __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+    __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+    for (int i = 0; i < 64; ++i) {
+      if (i >= 16) {
+        const __m256i w15 = w[(i - 15) & 15];
+        const __m256i w2 = w[(i - 2) & 15];
+        const __m256i s0 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr32(w15, 7), rotr32(w15, 18)),
+            _mm256_srli_epi32(w15, 3));
+        const __m256i s1 = _mm256_xor_si256(
+            _mm256_xor_si256(rotr32(w2, 17), rotr32(w2, 19)),
+            _mm256_srli_epi32(w2, 10));
+        w[i & 15] = _mm256_add_epi32(
+            _mm256_add_epi32(w[i & 15], s0),
+            _mm256_add_epi32(w[(i - 7) & 15], s1));
+      }
+      const __m256i S1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr32(e, 6), rotr32(e, 11)), rotr32(e, 25));
+      const __m256i ch = _mm256_xor_si256(
+          _mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+      const __m256i temp1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(h, S1), ch),
+          _mm256_add_epi32(_mm256_set1_epi32(
+                               static_cast<int>(kSha256K[i])),
+                           w[i & 15]));
+      const __m256i S0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr32(a, 2), rotr32(a, 13)), rotr32(a, 22));
+      const __m256i maj = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+          _mm256_and_si256(b, c));
+      const __m256i temp2 = _mm256_add_epi32(S0, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, temp1);
+      d = c;
+      c = b;
+      b = a;
+      a = _mm256_add_epi32(temp1, temp2);
+    }
+
+    // Feed-forward, masked so finished lanes keep their final state.
+    s[0] = _mm256_blendv_epi8(s[0], _mm256_add_epi32(s[0], a), lane_mask);
+    s[1] = _mm256_blendv_epi8(s[1], _mm256_add_epi32(s[1], b), lane_mask);
+    s[2] = _mm256_blendv_epi8(s[2], _mm256_add_epi32(s[2], c), lane_mask);
+    s[3] = _mm256_blendv_epi8(s[3], _mm256_add_epi32(s[3], d), lane_mask);
+    s[4] = _mm256_blendv_epi8(s[4], _mm256_add_epi32(s[4], e), lane_mask);
+    s[5] = _mm256_blendv_epi8(s[5], _mm256_add_epi32(s[5], f), lane_mask);
+    s[6] = _mm256_blendv_epi8(s[6], _mm256_add_epi32(s[6], g), lane_mask);
+    s[7] = _mm256_blendv_epi8(s[7], _mm256_add_epi32(s[7], h), lane_mask);
+  }
+
+  // Transpose back to lane-major and store only lanes that hashed.
+  {
+    __m256i rows[8];
+    for (int i = 0; i < 8; ++i) rows[i] = s[i];
+    transpose8x8(rows);
+    for (int l = 0; l < 8; ++l) {
+      if (nblocks[l] > 0) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(states[l]), rows[l]);
+      }
+    }
+  }
+}
+
+}  // namespace fortress::crypto::kernel
+
+#endif  // x86

@@ -1,0 +1,210 @@
+// sha256_shani.cpp — x86 SHA extensions single-stream kernel. Compiled with
+// -msha -msse4.1; callers must check tier_available(ShaTier::ShaNi) first.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256_kernel.hpp"
+
+namespace fortress::crypto::kernel {
+
+void compress_blocks_shani(std::uint32_t state[8], const std::uint8_t* data,
+                           std::size_t nblocks) {
+  // State is kept in the ABEF/CDGH packing the sha256rnds2 instruction
+  // expects: STATE0 = {A,B,E,F}, STATE1 = {C,D,G,H} (high to low dword).
+  __m128i tmp = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0])), 0xB1);
+  __m128i st1 = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4])), 0x1B);
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);   // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);        // CDGH
+
+  const __m128i bswap_mask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)),
+        bswap_mask);
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0xE9B5DBA5B5C0FBCFll, 0x71374491428A2F98ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 4-7
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)),
+        bswap_mask);
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0xAB1C5ED5923F82A4ll, 0x59F111F13956C25Bll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)),
+        bswap_mask);
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0x550C7DC3243185BEll, 0x12835B01D807AA98ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)),
+        bswap_mask);
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0xC19BF1749BDC06A7ll, 0x80DEB1FE72BE5D74ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x240CA1CC0FC19DC6ll, 0xEFBE4786E49B69C1ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x76F988DA5CB0A9DCll, 0x4A7484AA2DE92C6Fll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0xBF597FC7B00327C8ll, 0xA831C66D983E5152ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0x1429296706CA6351ll, 0xD5A79147C6E00BF3ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x53380D134D2C6DFCll, 0x2E1B213827B70A85ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x92722C8581C2C92Ell, 0x766A0ABB650A7354ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0xC76C51A3C24B8B70ll, 0xA81A664BA2BFE8A1ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0x106AA070F40E3585ll, 0xD6990624D192E819ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(msg0,
+                        _mm_set_epi64x(0x34B0BCB52748774Cll, 0x1E376C0819A4C116ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55
+    msg = _mm_add_epi32(msg1,
+                        _mm_set_epi64x(0x682E6FF35B9CCA4Fll, 0x4ED8AA4A391C0CB3ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(msg2,
+                        _mm_set_epi64x(0x8CC7020884C87814ll, 0x78A5636F748F82EEll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(msg3,
+                        _mm_set_epi64x(0xC67178F2BEF9A3F7ll, 0xA4506CEB90BEFFFAll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+    data += 64;
+  }
+
+  // Unpack ABEF/CDGH back to A..H order.
+  tmp = _mm_shuffle_epi32(st0, 0x1B);      // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);      // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);   // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);      // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+}  // namespace fortress::crypto::kernel
+
+#endif  // x86

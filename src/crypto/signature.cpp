@@ -1,5 +1,7 @@
 #include "crypto/signature.hpp"
 
+#include <algorithm>
+
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
 
@@ -19,7 +21,18 @@ void KeyRegistry::reset(std::uint64_t master_seed) {
   append_u64_be(seed_bytes, master_seed);
   Digest master = Sha256::hash(seed_bytes);
   master_key_ = HmacKey(BytesView(master.data(), master.size()));
-  secrets_.clear();
+  index_.clear();
+  schedules_.clear();
+}
+
+std::size_t KeyRegistry::find_slot(std::string_view name) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), name,
+      [](const IndexEntry& e, std::string_view n) { return e.name < n; });
+  if (it == index_.end() || it->name != name) {
+    return static_cast<std::size_t>(-1);
+  }
+  return it->slot;
 }
 
 Digest KeyRegistry::secret_for(const std::string& name) const {
@@ -31,7 +44,20 @@ Digest KeyRegistry::secret_for(const std::string& name) const {
 SigningKey KeyRegistry::enroll(const std::string& name) {
   Digest secret = secret_for(name);
   HmacKey mac(BytesView(secret.data(), secret.size()));
-  secrets_.insert_or_assign(name, mac);
+  const std::size_t slot = find_slot(name);
+  if (slot != static_cast<std::size_t>(-1)) {
+    // Idempotent re-enrollment: same derived secret, schedule refreshed in
+    // place so schedule_for pointers stay valid.
+    schedules_[slot] = mac;
+  } else {
+    schedules_.push_back(mac);
+    IndexEntry entry{name,
+                     static_cast<std::uint32_t>(schedules_.size() - 1)};
+    auto it = std::lower_bound(
+        index_.begin(), index_.end(), std::string_view(name),
+        [](const IndexEntry& e, std::string_view n) { return e.name < n; });
+    index_.insert(it, std::move(entry));
+  }
   return SigningKey(PrincipalId{name}, mac);
 }
 
@@ -41,9 +67,9 @@ bool KeyRegistry::verify(BytesView message, const Signature& sig) const {
 }
 
 const HmacKey* KeyRegistry::schedule_for(std::string_view name) const {
-  auto it = secrets_.find(name);
-  // std::map nodes are stable: the pointer survives later enrollments.
-  return it != secrets_.end() ? &it->second : nullptr;
+  const std::size_t slot = find_slot(name);
+  // Deque blocks are stable: the pointer survives later enrollments.
+  return slot != static_cast<std::size_t>(-1) ? &schedules_[slot] : nullptr;
 }
 
 bool KeyRegistry::verify_with(const HmacKey& schedule, BytesView message,
@@ -54,9 +80,9 @@ bool KeyRegistry::verify_with(const HmacKey& schedule, BytesView message,
 
 bool KeyRegistry::verify_tag(BytesView message, std::string_view signer,
                              BytesView tag) const {
-  auto it = secrets_.find(signer);
-  if (it == secrets_.end()) return false;
-  return verify_tag_with(it->second, message, tag);
+  const HmacKey* schedule = schedule_for(signer);
+  if (schedule == nullptr) return false;
+  return verify_tag_with(*schedule, message, tag);
 }
 
 bool KeyRegistry::verify_tag_with(const HmacKey& schedule, BytesView message,
@@ -66,7 +92,7 @@ bool KeyRegistry::verify_tag_with(const HmacKey& schedule, BytesView message,
 }
 
 bool KeyRegistry::is_enrolled(std::string_view name) const {
-  return secrets_.find(name) != secrets_.end();
+  return find_slot(name) != static_cast<std::size_t>(-1);
 }
 
 }  // namespace fortress::crypto

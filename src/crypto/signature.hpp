@@ -14,11 +14,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "crypto/hmac.hpp"
@@ -113,6 +114,13 @@ class KeyRegistry {
   /// Tag-level verify for borrowed signatures (MessageView): same
   /// acceptance as verify()/verify_with() without materializing a
   /// Signature. `tag` must be Digest-sized (anything else never verifies).
+  ///
+  /// BATCHING NOTE: crypto::BatchVerifier computes exactly this predicate
+  /// through the multi-buffer kernel, several jobs per compress run. Lane
+  /// batching changes only when the HMACs are computed — never which
+  /// (message, signer, tag) triples are accepted, and handlers still
+  /// consume verdicts in arrival order, so acceptance semantics are
+  /// bit-identical to this one-shot path (see batch.hpp).
   bool verify_tag(BytesView message, std::string_view signer,
                   BytesView tag) const;
   static bool verify_tag_with(const HmacKey& schedule, BytesView message,
@@ -121,18 +129,30 @@ class KeyRegistry {
   /// True iff a principal with this name has been enrolled.
   bool is_enrolled(std::string_view name) const;
 
-  std::size_t enrolled_count() const { return secrets_.size(); }
+  std::size_t enrolled_count() const { return index_.size(); }
 
  private:
   Digest secret_for(const std::string& name) const;
+
+  /// Index slot for `name`, or npos. Binary search over the flat sorted
+  /// index; probes with a borrowed name (no allocation).
+  std::size_t find_slot(std::string_view name) const;
 
   /// HMAC schedule of the master secret: per-principal derivation pays only
   /// the label tail, which keeps re-keying a pooled campaign trial cheap.
   HmacKey master_key_;
   /// Per-principal verification schedules, precomputed at enrollment (the
-  /// verify path runs once per protocol message). Transparent ordering so
-  /// borrowed (string_view) names probe without allocating.
-  std::map<std::string, HmacKey, std::less<>> secrets_;
+  /// verify path runs once per protocol message). Stored as a flat sorted
+  /// name index over a deque of schedules: lookup is a binary search in one
+  /// contiguous array (a handful of principals — the cache beats the
+  /// red-black tree it replaced), while the deque keeps schedule_for
+  /// pointers stable across later enrollments, until reset().
+  struct IndexEntry {
+    std::string name;
+    std::uint32_t slot;
+  };
+  std::vector<IndexEntry> index_;
+  std::deque<HmacKey> schedules_;
 };
 
 }  // namespace fortress::crypto

@@ -172,7 +172,8 @@ void Network::deliver(HostId from, HostId to, Bytes payload,
           return;
         }
         ++delivered_;
-        handler->on_message(Envelope{from, to, BytesView(payload), conn});
+        handler->on_message(
+            Envelope{from, to, BytesView(payload), conn, false, {}});
         recycle_buffer(std::move(payload));
       });
 }

@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "crypto/batch.hpp"
 #include "crypto/signature.hpp"
 
 namespace fortress::replication {
@@ -265,5 +266,50 @@ bool verify_from_indexed_peer(const MessageView& m,
                               const crypto::KeyRegistry& registry);
 bool verify_over_signature(const MessageView& m,
                            const crypto::KeyRegistry& registry);
+
+/// The client's fortified double-signature check — verify_message(m) AND
+/// verify_over_signature(m) — with both HMACs computed through one 2-lane
+/// batch flush so the multi-buffer kernel covers them in a single pass.
+/// AND semantics make the speculative evaluation of the second check
+/// observationally invisible; acceptance is identical to the two one-shot
+/// calls.
+bool verify_double_signature(const MessageView& m,
+                             const crypto::KeyRegistry& registry);
+
+/// Stage the indexed-peer verification of `m` into `batch` instead of
+/// computing it now: the lane-batched half of verify_from_indexed_peer.
+/// Stages ONLY when the amortized fast path fully resolves (signature
+/// present, sender_index addresses a cached schedule, claimed signer
+/// matches) — the returned job id's verdict then equals what
+/// verify_from_indexed_peer would have returned. Anything unusual returns
+/// nullopt WITHOUT staging; the caller must fall back to the one-shot
+/// verifier at consume time, preserving the registry-fallback acceptance
+/// semantics exactly.
+std::optional<std::size_t> stage_verify_from_indexed_peer(
+    const MessageView& m, std::span<const crypto::HmacKey* const> schedules,
+    std::span<const std::string> names, crypto::BatchVerifier& batch);
+
+/// A signed response fan-out template: sign ONCE, then splice each
+/// recipient's address into precomputed wire bytes. Because signatures
+/// cover the requester-blanked form (see Message::signing_bytes), every
+/// copy of a response fanned out to N requesters carries the SAME tag —
+/// the template hoists that invariant: emit_into(out, r) is bit-identical
+/// to { Message m = core; m.requester = r; sign_message(m, key);
+/// m.encode_into(out); } at one signature and zero re-encodes for all N.
+/// Used by SmrReplica::respond() / PbReplica::send_response fan-out.
+class SignedResponseTemplate {
+ public:
+  /// Capture `core`'s fields (its requester/signature/over_signature are
+  /// ignored) and sign as `key`.
+  SignedResponseTemplate(const Message& core, const crypto::SigningKey& key);
+
+  /// Emit the signed wire encoding addressed to `requester` into `out`
+  /// (replacing its contents).
+  void emit_into(Bytes& out, std::string_view requester) const;
+
+ private:
+  Bytes prefix_;  ///< core encoding up to the requester length field
+  Bytes suffix_;  ///< core after the requester field + signature fields
+};
 
 }  // namespace fortress::replication

@@ -171,22 +171,32 @@ void PbReplica::handle_state_update(const MessageView& msg) {
 }
 
 void PbReplica::send_response(const RequestState& req, net::HostId to) {
-  FORTRESS_EXPECTS(req.has_response);
-  Message resp;
-  resp.type = MsgType::Response;
-  resp.view = view_;
-  resp.seq = applied_seq_;
-  resp.sender_index = config_.index;
-  resp.request_id = req.rid;
-  resp.requester = network_.address_of(to);
-  resp.payload = req.response;
-  sign_message(resp, key_);
-  send_to(to, resp);
+  respond_many(req, std::span<const net::HostId>(&to, 1));
 }
 
 void PbReplica::respond_to_all(const RequestState& req) {
-  for (net::HostId requester : req.requesters) {
-    send_response(req, requester);
+  respond_many(req, req.requesters);
+}
+
+void PbReplica::respond_many(const RequestState& req,
+                             std::span<const net::HostId> recipients) {
+  FORTRESS_EXPECTS(req.has_response);
+  if (recipients.empty()) return;
+  // The Response signature covers the requester-blanked core, so every
+  // recipient shares one HMAC: sign once, splice the requester into each
+  // wire copy (SignedResponseTemplate).
+  Message core;
+  core.type = MsgType::Response;
+  core.view = view_;
+  core.seq = applied_seq_;
+  core.sender_index = config_.index;
+  core.request_id = req.rid;
+  core.payload = req.response;
+  const SignedResponseTemplate tmpl(core, key_);
+  for (net::HostId to : recipients) {
+    Bytes wire = network_.acquire_buffer();
+    tmpl.emit_into(wire, network_.address_of(to));
+    network_.send(id_, to, std::move(wire));
   }
 }
 

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "crypto/signature.hpp"
@@ -84,6 +85,11 @@ class PbReplica final : public osl::Application {
   void handle_view_change(const MessageView& msg);
   void send_response(const RequestState& req, net::HostId to);
   void respond_to_all(const RequestState& req);
+  /// Sign the cached response ONCE and splice a per-recipient wire copy
+  /// for each recipient (SignedResponseTemplate) — byte-identical to
+  /// signing each copy individually.
+  void respond_many(const RequestState& req,
+                    std::span<const net::HostId> recipients);
   void broadcast(const Message& msg);
   void send_to(net::HostId to, const Message& msg);
   void check_failover();

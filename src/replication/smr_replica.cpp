@@ -98,20 +98,51 @@ void SmrReplica::send_to(net::HostId to, const Message& msg) {
   network_.send(id_, to, std::move(wire));
 }
 
-bool SmrReplica::verify_from_peer(const MessageView& msg) const {
-  // Ordering traffic is signed by the replica the message's sender_index
-  // names, so verification goes through the shared direct-indexed helper.
+void SmrReplica::resolve_peer_schedules() const {
   // Schedules resolve lazily on first use: every peer of the tier is
   // enrolled by the time traffic flows, and the arena keeps its PKI, so
   // the cached pointers stay valid across pooled trials.
-  if (peer_schedules_.empty()) {
-    peer_schedules_.resize(config_.replicas.size(), nullptr);
-    for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
-      peer_schedules_[i] = registry_.schedule_for(config_.replicas[i]);
-    }
+  if (!peer_schedules_.empty()) return;
+  peer_schedules_.resize(config_.replicas.size(), nullptr);
+  for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+    peer_schedules_[i] = registry_.schedule_for(config_.replicas[i]);
   }
+}
+
+bool SmrReplica::verify_from_peer(const MessageView& msg) const {
+  // Ordering traffic is signed by the replica the message's sender_index
+  // names, so verification goes through the shared direct-indexed helper.
+  resolve_peer_schedules();
   return verify_from_indexed_peer(msg, peer_schedules_, config_.replicas,
                                   registry_);
+}
+
+bool SmrReplica::verified(const net::Envelope& env,
+                          const MessageView& msg) const {
+  if (env.staged_verdict) return *env.staged_verdict;
+  return verify_from_peer(msg);
+}
+
+std::optional<std::size_t> SmrReplica::stage_verify(
+    const net::Envelope& env, crypto::BatchVerifier& batch) {
+  // Stage exactly the messages handle_message verifies, through the same
+  // indexed schedules the one-shot path uses; decline everything else (and
+  // everything the indexed fast path cannot fully resolve — those fall back
+  // to the registry lookup at dispatch).
+  auto msg = MessageView::decode(env.payload);
+  if (!msg) return std::nullopt;
+  switch (msg->type()) {
+    case MsgType::PrePrepare:
+    case MsgType::PrepareAck:
+    case MsgType::ViewChange:
+    case MsgType::StateReply:
+      break;
+    default:
+      return std::nullopt;
+  }
+  resolve_peer_schedules();
+  return stage_verify_from_indexed_peer(*msg, peer_schedules_,
+                                        config_.replicas, batch);
 }
 
 void SmrReplica::handle_message(const net::Envelope& env) {
@@ -125,13 +156,13 @@ void SmrReplica::handle_message(const net::Envelope& env) {
       handle_request(env, *msg);
       break;
     case MsgType::PrePrepare:
-      if (verify_from_peer(*msg)) handle_pre_prepare(*msg);
+      if (verified(env, *msg)) handle_pre_prepare(*msg);
       break;
     case MsgType::PrepareAck:
-      if (verify_from_peer(*msg)) handle_prepare_ack(*msg);
+      if (verified(env, *msg)) handle_prepare_ack(*msg);
       break;
     case MsgType::ViewChange:
-      if (verify_from_peer(*msg)) handle_view_change(*msg);
+      if (verified(env, *msg)) handle_view_change(*msg);
       break;
     case MsgType::Heartbeat:
       if (msg->view() >= view_) {
@@ -145,7 +176,7 @@ void SmrReplica::handle_message(const net::Envelope& env) {
       handle_state_request(*msg);
       break;
     case MsgType::StateReply:
-      handle_state_reply(*msg);
+      handle_state_reply(env, *msg);
       break;
     default:
       break;
@@ -277,24 +308,34 @@ void SmrReplica::try_execute() {
         requests_.find_or_insert(slot.rid.client, slot.rid.seq, hash);
     req.has_response = true;
     req.response = std::move(response);
-    for (net::HostId requester : req.requesters) {
-      respond(req, requester);
-    }
+    respond_many(req, req.requesters);
   }
 }
 
 void SmrReplica::respond(const RequestState& req, net::HostId to) {
+  respond_many(req, std::span<const net::HostId>(&to, 1));
+}
+
+void SmrReplica::respond_many(const RequestState& req,
+                              std::span<const net::HostId> recipients) {
   FORTRESS_EXPECTS(req.has_response);
-  Message resp;
-  resp.type = MsgType::Response;
-  resp.view = view_;
-  resp.seq = executed_seq_;
-  resp.sender_index = config_.index;
-  resp.request_id = req.rid;
-  resp.requester = network_.address_of(to);
-  resp.payload = req.response;
-  sign_message(resp, key_);
-  send_to(to, resp);
+  if (recipients.empty()) return;
+  // The Response signature covers the requester-blanked core, so every
+  // recipient shares one HMAC: sign once, splice the requester into each
+  // wire copy (SignedResponseTemplate).
+  Message core;
+  core.type = MsgType::Response;
+  core.view = view_;
+  core.seq = executed_seq_;
+  core.sender_index = config_.index;
+  core.request_id = req.rid;
+  core.payload = req.response;
+  const SignedResponseTemplate tmpl(core, key_);
+  for (net::HostId to : recipients) {
+    Bytes wire = network_.acquire_buffer();
+    tmpl.emit_into(wire, network_.address_of(to));
+    network_.send(id_, to, std::move(wire));
+  }
 }
 
 void SmrReplica::check_progress() {
@@ -396,9 +437,10 @@ void SmrReplica::handle_state_request(const MessageView& msg) {
   send_to(replica_ids_[msg.sender_index()], reply);
 }
 
-void SmrReplica::handle_state_reply(const MessageView& msg) {
+void SmrReplica::handle_state_reply(const net::Envelope& env,
+                                    const MessageView& msg) {
   if (!stale_) return;
-  if (!verify_from_peer(msg)) return;
+  if (!verified(env, msg)) return;
   if (msg.seq() < executed_seq_) return;  // older than what we already have
   crypto::Digest d = crypto::Sha256::hash(msg.aux());
   auto key = std::make_pair(msg.seq(), to_hex(BytesView(d.data(), d.size())));

@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "crypto/sha256.hpp"
@@ -74,6 +75,12 @@ class SmrReplica final : public osl::Application {
   // osl::Application:
   void handle_message(const net::Envelope& env) override;
   void handle_reboot() override;
+  /// Stage the peer-signature check of a queued ordering message
+  /// (PrePrepare/PrepareAck/ViewChange/StateReply) through the machine's
+  /// lane-batched crypto plane; same acceptance as the one-shot
+  /// verify_from_peer (see crypto::BatchVerifier).
+  std::optional<std::size_t> stage_verify(
+      const net::Envelope& env, crypto::BatchVerifier& batch) override;
 
  private:
   struct Slot {
@@ -107,7 +114,7 @@ class SmrReplica final : public osl::Application {
   void handle_prepare_ack(const MessageView& msg);
   void handle_view_change(const MessageView& msg);
   void handle_state_request(const MessageView& msg);
-  void handle_state_reply(const MessageView& msg);
+  void handle_state_reply(const net::Envelope& env, const MessageView& msg);
   /// The shared accept path behind handle_pre_prepare (borrowed fields from
   /// the wire) and propose (the leader's own proposal).
   void apply_pre_prepare(std::uint64_t view, std::uint64_t seq,
@@ -116,6 +123,11 @@ class SmrReplica final : public osl::Application {
   void propose(const RequestId& rid, BytesView request);
   void try_execute();
   void respond(const RequestState& req, net::HostId to);
+  /// Sign the executed response ONCE and splice a per-recipient wire copy
+  /// for each requester (SignedResponseTemplate) — the fan-out path behind
+  /// respond(); byte-identical to signing each copy individually.
+  void respond_many(const RequestState& req,
+                    std::span<const net::HostId> recipients);
   void check_progress();
   void adopt_view(std::uint64_t view);
   void broadcast(const Message& msg);
@@ -125,6 +137,13 @@ class SmrReplica final : public osl::Application {
   /// schedule for the claimed sender_index when the signer matches,
   /// falling back to the registry's by-name lookup otherwise.
   bool verify_from_peer(const MessageView& msg) const;
+  /// The verdict for a dispatched message: the batch-staged result when the
+  /// machine precomputed one (env.staged_verdict), the one-shot
+  /// verify_from_peer otherwise. Equal by the stage_verify contract.
+  bool verified(const net::Envelope& env, const MessageView& msg) const;
+  /// Fill peer_schedules_ on first use (every peer of the tier is enrolled
+  /// by the time traffic flows; the arena keeps its PKI across trials).
+  void resolve_peer_schedules() const;
   static crypto::Digest digest_of(const RequestId& rid, BytesView request);
 
   sim::Simulator& sim_;

@@ -378,5 +378,98 @@ TEST(MessageViewTest, RandomizedRoundTripIsBitIdentical) {
   }
 }
 
+TEST(SignedResponseTemplateTest, EmitMatchesSignEachCopy) {
+  crypto::KeyRegistry registry(7);
+  crypto::SigningKey server = registry.enroll("server-0");
+
+  for (MsgType type : {MsgType::Response, MsgType::ProxyResponse}) {
+    Message core = sample();
+    core.type = type;
+    core.requester = "ignored-by-the-template";
+    const SignedResponseTemplate tmpl(core, server);
+
+    for (const std::string& requester :
+         {std::string("client-a"), std::string("a-much-longer-requester-name"),
+          std::string()}) {
+      Bytes spliced;
+      tmpl.emit_into(spliced, requester);
+
+      Message reference = core;
+      reference.requester = requester;
+      reference.signature.reset();
+      reference.over_signature.reset();
+      sign_message(reference, server);
+      EXPECT_EQ(spliced, reference.encode())
+          << "type " << static_cast<int>(type) << " requester '" << requester
+          << "'";
+
+      auto view = MessageView::decode(spliced);
+      ASSERT_TRUE(view.has_value());
+      EXPECT_TRUE(verify_message(*view, registry));
+    }
+  }
+}
+
+TEST(SignedResponseTemplateTest, EmitReplacesBufferContents) {
+  crypto::KeyRegistry registry(7);
+  crypto::SigningKey server = registry.enroll("server-0");
+  Message core = sample();
+  core.type = MsgType::Response;
+  const SignedResponseTemplate tmpl(core, server);
+
+  Bytes out = bytes_of("stale pooled-buffer contents");
+  tmpl.emit_into(out, "client-b");
+  Message reference = core;
+  reference.requester = "client-b";
+  sign_message(reference, server);
+  EXPECT_EQ(out, reference.encode());
+}
+
+TEST(MessageViewTest, DoubleSignatureMatchesSequentialChecks) {
+  crypto::KeyRegistry registry(11);
+  crypto::SigningKey server = registry.enroll("server-0");
+  crypto::SigningKey proxy = registry.enroll("proxy-0");
+  Rng rng(0xD0B1E);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    Message m = sample();
+    m.type = MsgType::ProxyResponse;
+    sign_message(m, server);
+    over_sign_message(m, proxy);
+    Bytes wire = m.encode();
+    // Corrupt one wire byte in half the trials: the batched check must
+    // reject exactly what the sequential pair rejects.
+    if (trial % 2 == 1) {
+      wire[rng.below(wire.size())] ^= static_cast<std::uint8_t>(
+          1u << rng.below(8));
+    }
+    auto view = MessageView::decode(wire);
+    if (!view.has_value()) continue;  // corruption broke framing entirely
+    const bool sequential = verify_message(*view, registry) &&
+                            verify_over_signature(*view, registry);
+    EXPECT_EQ(verify_double_signature(*view, registry), sequential)
+        << "trial " << trial;
+  }
+}
+
+TEST(MessageViewTest, DoubleSignatureRejectsUnknownSigners) {
+  crypto::KeyRegistry registry(11);
+  crypto::SigningKey server = registry.enroll("server-0");
+  crypto::KeyRegistry other(13);
+  crypto::SigningKey stranger = other.enroll("stranger");
+
+  Message m = sample();
+  m.type = MsgType::ProxyResponse;
+  sign_message(m, server);
+  over_sign_message(m, stranger);  // signer the registry has never enrolled
+  Bytes wire = m.encode();
+  auto view = MessageView::decode(wire);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(verify_double_signature(*view, registry));
+  EXPECT_EQ(verify_double_signature(*view, registry),
+            verify_message(*view, registry) &&
+                verify_over_signature(*view, registry));
+}
+
 }  // namespace
 }  // namespace fortress::replication
