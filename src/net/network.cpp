@@ -210,6 +210,46 @@ void Network::send_copy(HostId from, HostId to, BytesView payload) {
   send(from, to, std::move(buf));
 }
 
+void Network::send_batch(HostId from, HostId to, Bytes frames,
+                         std::uint32_t count) {
+  if (count == 0 || !attached(from)) {
+    recycle_buffer(std::move(frames));
+    return;
+  }
+  if (!config_.partitions.empty() && link_blocked(from, to)) {
+    recycle_buffer(std::move(frames));
+    return;
+  }
+  sim::Time delay = latency_->sample(rng_);
+  sim_.schedule_after(
+      delay, [this, from, to, count, frames = std::move(frames)]() mutable {
+        Handler* handler = to < hosts_.size() ? hosts_[to] : nullptr;
+        if (handler == nullptr) {
+          recycle_buffer(std::move(frames));
+          return;
+        }
+        const BytesView whole(frames);
+        std::size_t off = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint32_t len = read_u32_be(whole, off);
+          off += 4;
+          FORTRESS_CHECK(off + len <= whole.size());
+          const BytesView frame = whole.subspan(off, len);
+          off += len;
+          // Batch divergence: the drop coin for each frame is drawn here,
+          // at delivery, not at send — same RNG, different draw point.
+          if (config_.drop_probability > 0 &&
+              rng_.bernoulli(config_.drop_probability)) {
+            continue;
+          }
+          ++delivered_;
+          handler->on_message(
+              Envelope{from, to, frame, std::nullopt, false, {}});
+        }
+        recycle_buffer(std::move(frames));
+      });
+}
+
 std::optional<ConnectionId> Network::connect(const Address& from,
                                              const Address& to) {
   return connect(intern(from), intern(to));

@@ -258,6 +258,20 @@ class Network {
   /// broadcast path (encode once, send_copy per recipient).
   void send_copy(HostId from, HostId to, BytesView payload);
 
+  /// Deliver `count` length-prefixed datagram frames ([u32-be length][frame
+  /// bytes] repeated) from `from` to `to` as ONE scheduled simulator event —
+  /// the population-plane fan-in path: a cohort tick hands the network N
+  /// requests without N timer events. Batch semantics vs N send() calls
+  /// (documented divergences of the compact plane):
+  ///  * one latency sample covers the whole batch (frames travel together);
+  ///  * per-frame drop coins are drawn at DELIVERY time, in frame order,
+  ///    from the same network RNG (the scalar path draws at send time);
+  ///  * frames are never duplicated (duplicate_probability is a per-datagram
+  ///    model; a batch models one wire transfer).
+  /// Partitioned links lose the whole batch at send time, like send(). The
+  /// buffer is consumed and recycled after delivery.
+  void send_batch(HostId from, HostId to, Bytes frames, std::uint32_t count);
+
   /// Open a connection from `from` to `to`. Returns the connection id; the
   /// acceptor learns about it via on_connection_opened after one latency.
   /// Returns nullopt if `to` is not attached (connection refused) or the

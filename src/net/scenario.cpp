@@ -57,6 +57,20 @@ void TrafficSpec::validate() const {
   FORTRESS_EXPECTS(request_deadline >= 0.0);
 }
 
+void PopulationSpec::validate() const {
+  if (!enabled()) return;
+  FORTRESS_EXPECTS(cohort_size >= 1);
+  FORTRESS_EXPECTS(request_rate >= 0.0);
+  FORTRESS_EXPECTS(write_fraction >= 0.0 && write_fraction <= 1.0);
+  // Keys live in a u16 table column.
+  FORTRESS_EXPECTS(distinct_keys >= 1 && distinct_keys <= 65536);
+  FORTRESS_EXPECTS(tick_interval > 0.0);
+  FORTRESS_EXPECTS(retry_base > 0.0);
+  FORTRESS_EXPECTS(retry_multiplier >= 1.0);
+  FORTRESS_EXPECTS(retry_cap >= 0.0);
+  FORTRESS_EXPECTS(request_deadline >= 0.0);
+}
+
 void ScenarioPlan::validate() const {
   latency.validate();
   FORTRESS_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
@@ -82,6 +96,7 @@ void ScenarioPlan::validate() const {
   FORTRESS_EXPECTS(horizon_steps >= 1);
   service.validate();
   traffic.validate();
+  population.validate();
 }
 
 }  // namespace fortress::net

@@ -206,6 +206,43 @@ struct TrafficSpec {
   void validate() const;
 };
 
+/// A compact client population for internet-scale trials: `clients` clients
+/// live as O(bytes) slots in a flat core::ClientPopulation SoA table driven
+/// by ONE timer per cohort (not per client) — 10^5-10^6 clients per trial
+/// instead of the tens that per-client core::Client stacks allow. Retry and
+/// acceptance semantics reuse TrafficSpec's vocabulary; the differences
+/// (tick-quantized retries/deadlines, batched per-tier delivery, first-valid
+/// SMR acceptance) are documented on core::ClientPopulation. Disabled by
+/// default (`clients == 0`): plans without a population build nothing and
+/// schedule nothing.
+struct PopulationSpec {
+  /// Total population size; 0 disables the plane entirely.
+  std::uint64_t clients = 0;
+  /// Clients per cohort: one wheel timer and one RNG substream per cohort.
+  std::uint32_t cohort_size = 1024;
+  /// Open-loop arrival rate per CLIENT per unit time (the cohort kernel
+  /// draws Poisson arrivals at rate clients x this).
+  double request_rate = 0.01;
+  /// Fraction of requests that are writes (PUT); the rest are reads (GET).
+  double write_fraction = 0.5;
+  /// Distinct keys the generated requests touch.
+  unsigned distinct_keys = 16;
+  /// Cohort kernel cadence: arrivals, retries and deadlines are processed
+  /// at this granularity (quantization is part of the model).
+  sim::Time tick_interval = 1.0;
+
+  // --- retry/backoff state packed per client slot (TrafficSpec semantics,
+  // minus jitter — cohort staggering decorrelates retry storms instead) ---
+  sim::Time retry_base = 2.0;         ///< first retry delay
+  double retry_multiplier = 2.0;      ///< exponential backoff factor
+  sim::Time retry_cap = 16.0;         ///< backoff ceiling (0 = uncapped)
+  std::uint32_t retry_budget = 6;     ///< retries per request (0 = unlimited)
+  sim::Time request_deadline = 50.0;  ///< per-request deadline (0 = never)
+
+  bool enabled() const { return clients > 0; }
+  void validate() const;
+};
+
 /// A complete scenario: network behaviour + schedules + deployment knobs.
 struct ScenarioPlan {
   std::string name = "baseline";
@@ -247,6 +284,11 @@ struct ScenarioPlan {
   /// Open-loop client traffic (consumed by scenario::TrafficGenerator in
   /// the campaign trial driver); disabled by default.
   TrafficSpec traffic;
+  /// Compact large-scale client population (consumed by
+  /// core::ClientPopulation in the campaign trial driver); disabled by
+  /// default. Orthogonal to `traffic`: a plan may run both (the handful of
+  /// heavy load generators AND the million-host background population).
+  PopulationSpec population;
 
   /// The model-side attacker strength this plan implies: α = ω/χ (the §4
   /// coupling used by the live-vs-analytic cross-checks).

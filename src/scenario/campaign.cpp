@@ -80,9 +80,12 @@ void apply_fault(core::LiveSystem& sys, const net::FaultEvent& fault) {
 /// `pool` (nullable) carries a pooled attacker across trials: when the
 /// wiring this trial needs matches the cached shape, the attacker is
 /// reset in place; otherwise it is rebuilt (and cached when pooled).
+/// `pop_pool` (nullable) likewise carries a pooled ClientPopulation; its
+/// reset() handles any shape change, so pooled populations always hit.
 TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
                          const net::ScenarioPlan& plan, std::uint64_t seed,
-                         AttackerPool* pool) {
+                         AttackerPool* pool,
+                         std::unique_ptr<core::ClientPopulation>* pop_pool) {
   live.start();
   live.on_failure = [&sim] { sim.request_stop(); };
 
@@ -101,9 +104,28 @@ TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
   }
 
   TrialOutcome out;
-  // The load generator is constructed BEFORE the attacker on both the fresh
-  // and pooled paths, so its clients intern their addresses in the same
-  // order everywhere — interning order is part of the determinism contract.
+  // Construction order — population, then traffic, then attacker — is
+  // identical on the fresh and pooled paths, so every plane interns its
+  // addresses in the same order everywhere; interning order is part of the
+  // determinism contract.
+  core::ClientPopulation* population = nullptr;
+  std::unique_ptr<core::ClientPopulation> pop_local;  // fresh-path ownership
+  if (plan.population.enabled()) {
+    const std::uint64_t pop_seed = seed ^ 0x50B5CA1EULL;
+    if (pop_pool != nullptr && *pop_pool != nullptr) {
+      (*pop_pool)->reset(live.directory(), plan.population, horizon, pop_seed);
+      population = pop_pool->get();
+    } else {
+      pop_local = std::make_unique<core::ClientPopulation>(
+          sim, live.network(), live.registry(), live.directory(),
+          plan.population, horizon, pop_seed);
+      population = pop_local.get();
+      if (pop_pool != nullptr) *pop_pool = std::move(pop_local);
+    }
+  } else if (pop_pool != nullptr) {
+    // A population pooled by an earlier plan must not linger half-wired.
+    pop_pool->reset();
+  }
   std::unique_ptr<TrafficGenerator> traffic;
   if (plan.traffic.enabled()) {
     traffic = std::make_unique<TrafficGenerator>(
@@ -185,6 +207,7 @@ TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
             ? static_cast<double>(out.traffic.completed) / horizon
             : 0.0;
   }
+  if (population != nullptr) out.population = population->stats();
   if (plan.service.enabled) {
     for (const osl::Machine* m : live.service_machines()) {
       const osl::OverloadStats& os = m->overload();
@@ -205,16 +228,23 @@ TrialOutcome drive_trial(sim::Simulator& sim, core::LiveSystem& live,
 
 TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
                        std::uint64_t seed) {
+  return run_trial(system, plan, seed, sim::default_scheduler_kind());
+}
+
+TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
+                       std::uint64_t seed, sim::SchedulerKind scheduler) {
   // No validate() here: make_live_system below validates (via
   // NetworkConfig::from_plan), and campaigns already validate before
   // fanning out — per-trial re-validation would be pure repeated work.
-  sim::Simulator sim;
+  sim::Simulator sim(scheduler);
   std::unique_ptr<core::LiveSystem> live =
       core::make_live_system(sim, system, plan, seed);
-  return drive_trial(sim, *live, plan, seed, /*pool=*/nullptr);
+  return drive_trial(sim, *live, plan, seed, /*pool=*/nullptr,
+                     /*pop_pool=*/nullptr);
 }
 
 TrialArena::TrialArena() = default;
+TrialArena::TrialArena(sim::SchedulerKind scheduler) : sim_(scheduler) {}
 TrialArena::~TrialArena() = default;
 
 TrialOutcome TrialArena::run(model::SystemKind system,
@@ -230,11 +260,12 @@ TrialOutcome TrialArena::run(model::SystemKind system,
     live_->reset(plan, seed);
   } else {
     // Structural mismatch (or first use): tear down the old attacker and
-    // deployment (in that order — attacker channels point at the
-    // deployment's machines) while the network is still alive, then
-    // rebuild on the reused simulator — the event slab keeps its capacity
-    // across trials either way.
+    // population, then the deployment (in that order — both point at the
+    // deployment's machines/network) while the network is still alive,
+    // then rebuild on the reused simulator — the event slab keeps its
+    // capacity across trials either way.
     attacker_pool_.attacker.reset();
+    population_.reset();
     live_.reset();
     sim_.reset();
     live_ = core::make_live_system(sim_, system, plan, seed);
@@ -242,7 +273,7 @@ TrialOutcome TrialArena::run(model::SystemKind system,
     built_servers_ = plan.n_servers;
     built_proxies_ = plan.n_proxies;
   }
-  return drive_trial(sim_, *live_, plan, seed, &attacker_pool_);
+  return drive_trial(sim_, *live_, plan, seed, &attacker_pool_, &population_);
 }
 
 namespace {
@@ -263,6 +294,7 @@ void absorb_outcome(CellStats& stats, const TrialOutcome& o) {
   stats.events_executed += o.events_executed;
   stats.blacklisted_sources += o.blacklisted_sources;
   stats.traffic.merge(o.traffic);
+  stats.population.merge(o.population);
 }
 
 }  // namespace
@@ -298,7 +330,7 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   std::vector<std::unique_ptr<TrialArena>> arenas;
   if (config.reuse_trial_stacks) {
     arenas.resize(pool.slot_count());
-    for (auto& a : arenas) a = std::make_unique<TrialArena>();
+    for (auto& a : arenas) a = std::make_unique<TrialArena>(config.scheduler);
   }
 
   struct Task {
@@ -350,9 +382,11 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
             const CampaignCell& cell = cells[task.cell];
             const std::uint64_t seed =
                 trial_seed(config.base_seed, task.cell, task.trial);
-            outcomes[t] = arena != nullptr
-                              ? arena->run(cell.system, cell.plan, seed)
-                              : run_trial(cell.system, cell.plan, seed);
+            outcomes[t] =
+                arena != nullptr
+                    ? arena->run(cell.system, cell.plan, seed)
+                    : run_trial(cell.system, cell.plan, seed,
+                                config.scheduler);
           }
         });
 

@@ -32,6 +32,7 @@
 
 #include "attack/derand_attacker.hpp"
 #include "common/stats.hpp"
+#include "core/population.hpp"
 #include "model/params.hpp"
 #include "net/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -85,14 +86,20 @@ struct TrialOutcome {
   /// detection tier fired (0 for classes without one).
   std::uint64_t blacklisted_sources = 0;
   TrafficStats traffic;
+  /// Compact population-plane aggregates (zero when the plan has no
+  /// PopulationSpec).
+  core::PopulationStats population;
 };
 
 /// Run one live experiment: build the deployment `plan` describes for
 /// `system`, schedule the plan's faults, wire the plan's attacker to the
 /// system's attack surface, and simulate until compromise or the plan
-/// horizon. Deterministic in (system, plan, seed).
+/// horizon. Deterministic in (system, plan, seed) — and bit-identical for
+/// either scheduler kind (the wheel/heap differential tests pin this).
 TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
                        std::uint64_t seed);
+TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
+                       std::uint64_t seed, sim::SchedulerKind scheduler);
 
 /// One campaign cell: a system class under a scenario.
 struct CampaignCell {
@@ -138,6 +145,11 @@ struct CampaignConfig {
   /// Confidence level for the per-cell lifetime interval (also the CI the
   /// adaptive stopping rule tests).
   double ci_level = 0.95;
+  /// Event scheduler for every trial simulator (pooled and fresh).
+  /// Defaults to the process-wide choice (FORTRESS_SIM_SCHEDULER); results
+  /// are bit-identical either way — this knob exists for the differential
+  /// lane and A/B benches.
+  sim::SchedulerKind scheduler = sim::default_scheduler_kind();
   AdaptiveConfig adaptive;
   /// Run trials on pooled per-worker stacks (TrialArena): the Simulator
   /// event slab, Network buffers and LiveSystem allocations are reused via
@@ -166,6 +178,7 @@ struct CellStats {
   std::uint64_t events_executed = 0;
   std::uint64_t blacklisted_sources = 0;  ///< summed over the cell's trials
   TrafficStats traffic;                   ///< merged over the cell's trials
+  core::PopulationStats population;       ///< merged over the cell's trials
 
   double mean_lifetime() const {
     return lifetime.count() > 0 ? lifetime.mean() : 0.0;
@@ -223,6 +236,7 @@ struct AttackerPool {
 class TrialArena {
  public:
   TrialArena();  // out of line: members only forward-declare LiveSystem
+  explicit TrialArena(sim::SchedulerKind scheduler);
   ~TrialArena();
   TrialArena(const TrialArena&) = delete;
   TrialArena& operator=(const TrialArena&) = delete;
@@ -237,6 +251,9 @@ class TrialArena {
   int built_servers_ = 0;
   int built_proxies_ = 0;
 
+  /// Pooled population plane; destroyed before live_ (it detaches from the
+  /// deployment's network) by declaration order.
+  std::unique_ptr<core::ClientPopulation> population_;
   AttackerPool attacker_pool_;
 };
 

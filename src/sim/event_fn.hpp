@@ -1,0 +1,123 @@
+// event_fn.hpp — the simulator's move-only type-erased event callback.
+//
+// Split out of simulator.hpp: EventFn is the one piece of the scheduler
+// with no dependency on the wheel/heap machinery, and the population and
+// network planes name it in their own headers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fortress::sim {
+
+/// Move-only type-erased callback with a small-buffer optimization sized so
+/// that every callback the live stack schedules — including network
+/// deliveries that capture a whole Envelope by value — stays inline.
+/// Callables larger than the buffer (or with throwing moves) fall back to a
+/// single heap allocation, preserving correctness for arbitrary captures.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 120;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT: implicit like std::function
+
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, EventFn> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  EventFn(F&& f) {  // NOLINT: implicit like std::function
+    emplace(std::forward<F>(f));
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Construct a callable in place (replacing any current one). The
+  /// scheduler's hot path uses this to build the handler directly inside
+  /// its slab slot instead of relocating a fully-built EventFn into it.
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, EventFn> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  /// Destroy the held callable (if any); leaves the EventFn empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move the representation from src storage into dst storage and leave
+    /// src destroyed (inline: relocate the object; heap: steal the pointer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+          *static_cast<void**>(dst) = *static_cast<void**>(src);
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); }};
+    return &ops;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace fortress::sim

@@ -251,6 +251,63 @@ TEST_F(NetworkTest, DetachDefaultReasonIsPeerClosed) {
   EXPECT_EQ(a_.closed[0].reason, CloseReason::PeerClosed);
 }
 
+// --- send_batch: the population plane's framed batch delivery -------------
+
+Bytes make_frames(std::initializer_list<Bytes> frames) {
+  Bytes out;
+  for (const Bytes& f : frames) {
+    append_u32_be(out, static_cast<std::uint32_t>(f.size()));
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+TEST_F(NetworkTest, SendBatchDeliversFramesInOrderAtOneTime) {
+  const HostId a = net_.id_of("a");
+  const HostId b = net_.id_of("b");
+  net_.send_batch(a, b, make_frames({{1}, {2, 2}, {3, 3, 3}}), 3);
+  // One scheduled delivery: nothing before the (single) latency sample...
+  sim_.run_until(0.5);
+  EXPECT_TRUE(b_.messages.empty());
+  // ...then every frame, in frame order, as separate envelopes.
+  sim_.run();
+  ASSERT_EQ(b_.messages.size(), 3u);
+  EXPECT_EQ(b_.messages[0].payload, (Bytes{1}));
+  EXPECT_EQ(b_.messages[1].payload, (Bytes{2, 2}));
+  EXPECT_EQ(b_.messages[2].payload, (Bytes{3, 3, 3}));
+  EXPECT_EQ(b_.messages[0].from, "a");
+  EXPECT_EQ(net_.delivered_count(), 3u);
+}
+
+TEST_F(NetworkTest, SendBatchZeroCountIsNoEvent) {
+  net_.send_batch(net_.id_of("a"), net_.id_of("b"), Bytes{}, 0);
+  EXPECT_TRUE(sim_.idle());
+}
+
+TEST_F(NetworkTest, SendBatchToDetachedHostIsDropped) {
+  const HostId a = net_.id_of("a");
+  const HostId b = net_.id_of("b");
+  net_.send_batch(a, b, make_frames({{7}, {8}}), 2);
+  net_.detach("b");
+  sim_.run();
+  EXPECT_TRUE(b_.messages.empty());
+  EXPECT_EQ(net_.delivered_count(), 0u);
+}
+
+TEST(NetworkBatchDropTest, DropCoinsApplyPerFrame) {
+  sim::Simulator sim;
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  Network net(sim, std::make_unique<FixedLatency>(1.0), cfg);
+  RecordingHandler a{net}, b{net};
+  const HostId ida = net.attach("a", a);
+  const HostId idb = net.attach("b", b);
+  net.send_batch(ida, idb, make_frames({{1}, {2}, {3}}), 3);
+  sim.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.delivered_count(), 0u);
+}
+
 TEST(NetworkDupTest, DuplicateProbabilityOneDeliversDatagramTwice) {
   sim::Simulator sim;
   NetworkConfig cfg;

@@ -138,6 +138,37 @@ net::ScenarioPlan plan_d() {
   return p;
 }
 
+/// golden-e: the compact client-population plane (PR 8) at 10^4 clients
+/// riding with the attack, datagram drops (exercising send_batch's
+/// per-frame delivery coins) and a crash -> recover fault schedule. Its
+/// golden row was captured on the PR-8 build itself (the plane is new);
+/// cells 0-9 keep their earlier values untouched, which is what proves the
+/// population plane and the timer-wheel scheduler are inert for plans that
+/// do not opt in.
+net::ScenarioPlan plan_e() {
+  net::ScenarioPlan p;
+  p.name = "golden-e";
+  p.keyspace = 128;
+  p.attack.probes_per_step = 8.0;
+  p.attack.indirect_fraction = 0.5;
+  p.horizon_steps = 4;
+  p.step_duration = 50.0;
+  p.latency = net::LatencySpec::uniform(0.02, 0.1);
+  p.drop_probability = 0.02;
+  p.population.clients = 10'000;
+  p.population.request_rate = 0.001;
+  p.population.distinct_keys = 8;
+  p.population.retry_base = 4.0;
+  p.population.retry_cap = 16.0;
+  p.population.retry_budget = 4;
+  p.population.request_deadline = 30.0;
+  p.faults.push_back({net::FaultEvent::Target::Server, 0, 80.0,
+                      net::FaultEvent::Kind::Crash});
+  p.faults.push_back({net::FaultEvent::Target::Server, 0, 140.0,
+                      net::FaultEvent::Kind::Recover});
+  return p;
+}
+
 std::uint64_t bits(double d) {
   std::uint64_t u;
   std::memcpy(&u, &d, sizeof u);
@@ -194,6 +225,21 @@ constexpr GoldenTraffic kGoldenDTraffic = {
     32904ull, 0ull,    64574ull, 1284ull, 17ull,
     0x403cd33333333333ull, 0x9a153a323828595cull};
 
+/// Cell 10 (golden-e on S2): the base aggregates plus the population-plane
+/// row, captured on the PR-8 build.
+struct GoldenPopulation {
+  std::uint64_t offered, completed, timed_out, gave_up, retries,
+      rejected_responses, skipped_busy;
+  std::uint64_t latency_fingerprint;
+};
+
+constexpr GoldenCell kGoldenE = {
+    6ull, 1ull, 5ull,  0x400d555555555556ull, 0x3fe5555555555556ull, 547ull,
+    88ull, 541ull, 5ull, 5ull, 1051129ull, 0ull};
+constexpr GoldenPopulation kGoldenEPopulation = {
+    10974ull, 10083ull, 604ull, 0ull, 5524ull, 0ull, 0ull,
+    0x34501036376d4b86ull};
+
 void expect_cell_matches(const CellStats& c, const GoldenCell& g) {
   EXPECT_EQ(c.trials, g.trials);
   EXPECT_EQ(c.compromised, g.compromised);
@@ -210,8 +256,8 @@ void expect_cell_matches(const CellStats& c, const GoldenCell& g) {
 }
 
 void expect_matches_golden(const CampaignResult& result) {
-  ASSERT_EQ(result.cells.size(), 10u);
-  for (std::size_t i = 0; i + 1 < result.cells.size(); ++i) {
+  ASSERT_EQ(result.cells.size(), 11u);
+  for (std::size_t i = 0; i < 9; ++i) {
     SCOPED_TRACE("cell " + std::to_string(i));
     expect_cell_matches(result.cells[i], kGolden[i]);
     // Plans that do not opt into the overload plane must not touch its
@@ -219,6 +265,11 @@ void expect_matches_golden(const CampaignResult& result) {
     EXPECT_EQ(result.cells[i].traffic.offered, 0u);
     EXPECT_EQ(result.cells[i].traffic.enqueued, 0u);
     EXPECT_EQ(result.cells[i].traffic.latency.count(), 0u);
+  }
+  // Likewise the population plane: inert for every pre-PR-8 cell.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result.cells[i].population.offered, 0u);
+    EXPECT_EQ(result.cells[i].population.latency.count(), 0u);
   }
   {
     SCOPED_TRACE("cell 9 (golden-d)");
@@ -246,6 +297,27 @@ void expect_matches_golden(const CampaignResult& result) {
     EXPECT_GT(t.completed, 0u);
     EXPECT_GT(t.degraded, 0u);
   }
+  {
+    SCOPED_TRACE("cell 10 (golden-e)");
+    const CellStats& c = result.cells[10];
+    expect_cell_matches(c, kGoldenE);
+    const core::PopulationStats& p = c.population;
+    const GoldenPopulation& g = kGoldenEPopulation;
+    EXPECT_EQ(p.offered, g.offered);
+    EXPECT_EQ(p.completed, g.completed);
+    EXPECT_EQ(p.timed_out, g.timed_out);
+    EXPECT_EQ(p.gave_up, g.gave_up);
+    EXPECT_EQ(p.retries, g.retries);
+    EXPECT_EQ(p.rejected_responses, g.rejected_responses);
+    EXPECT_EQ(p.skipped_busy, g.skipped_busy);
+    EXPECT_EQ(p.latency.fingerprint(), g.latency_fingerprint);
+    // Sanity on the shape, independent of the golden bits: the population
+    // generated load, most of it completed, and drops forced retries.
+    EXPECT_GT(p.offered, 1000u);
+    EXPECT_GT(p.completed, 0u);
+    EXPECT_GT(p.retries, 0u);
+    EXPECT_EQ(p.rejected_responses, 0u);
+  }
 }
 
 CampaignResult run_golden_grid(bool pooled) {
@@ -259,6 +331,8 @@ CampaignResult run_golden_grid(bool pooled) {
   }
   // golden-d is likewise appended (cell 9) so cells 0-8 keep their seeds.
   cells.push_back({model::SystemKind::S2, plan_d()});
+  // golden-e (population plane, PR 8) is appended as cell 10.
+  cells.push_back({model::SystemKind::S2, plan_e()});
   CampaignConfig cfg;
   cfg.trials_per_cell = 6;
   cfg.base_seed = 42;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <array>
 #include <vector>
 
@@ -226,6 +228,154 @@ TEST(SimulatorTest, HighChurnReusesSlotsDeterministically) {
   EXPECT_EQ(fired.size(), 50u * 4u);
   EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
   EXPECT_TRUE(sim.idle());
+}
+
+TEST(TimerWheelTest, CancelAfterCascade) {
+  // Two timers share a level-1 bucket; when the cursor reaches that bucket
+  // both cascade into level-0 slots. The earlier one then cancels the later
+  // one AFTER the cascade relocated it — the unlink must find it in its
+  // post-cascade bucket.
+  Simulator sim(SchedulerKind::Wheel);
+  bool victim_ran = false;
+  // Ticks 2050 and 2049 (kTicksPerUnit = 1024): same level-1 slot, distinct
+  // level-0 slots after the cascade at tick 2048.
+  EventId victim = sim.schedule_at(2050.0 / 1024.0, [&] { victim_ran = true; });
+  sim.schedule_at(2049.0 / 1024.0, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(TimerWheelTest, CancelWhileStagedInDueQueue) {
+  // Two timers on the SAME tick share a level-0 bucket and get staged into
+  // the due queue together; cancelling the second from the first must
+  // tombstone the staged entry, not unlink a bucket.
+  Simulator sim(SchedulerKind::Wheel);
+  bool victim_ran = false;
+  EventId victim = 0;
+  sim.schedule_at(2049.0 / 1024.0, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  victim = sim.schedule_at(2049.0 / 1024.0, [&] { victim_ran = true; });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(TimerWheelTest, ScheduleAtExactWheelHorizon) {
+  // The wheel spans 64^8 ticks; a timer at exactly now + horizon has its
+  // top level bit beyond the last level and must take the overflow path —
+  // and still fire, in order, after a timer just inside the horizon.
+  Simulator sim(SchedulerKind::Wheel);
+  const double horizon_units = std::ldexp(1.0, 38);  // 2^48 ticks / 2^10
+  std::vector<int> order;
+  sim.schedule_at(horizon_units, [&] { order.push_back(2); });
+  sim.schedule_at(horizon_units / 2.0, [&] { order.push_back(1); });
+  EventId cancelled = sim.schedule_at(horizon_units, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.cancel(cancelled));
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), horizon_units);
+}
+
+TEST(TimerWheelTest, ZeroDelayScheduleAfterRunsSameTickFifo) {
+  // schedule_after(0) from inside a handler lands at a tick <= cursor and
+  // must run within the same simulator tick, in submission order, after
+  // the scheduling handler returns.
+  Simulator sim(SchedulerKind::Wheel);
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(0);
+    sim.schedule_after(0.0, [&] { order.push_back(1); });
+    sim.schedule_after(0.0, [&] {
+      order.push_back(2);
+      sim.schedule_after(0.0, [&] { order.push_back(4); });
+    });
+    sim.schedule_after(0.0, [&] { order.push_back(3); });
+  });
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(TimerWheelTest, EventIdGenerationSurvivesReset) {
+  // reset() bumps the generation of every live slot; an EventId captured
+  // before the reset must not cancel the slot's next occupant.
+  Simulator sim(SchedulerKind::Wheel);
+  EventId before = sim.schedule_at(1.0, [] {});
+  sim.reset();
+  EXPECT_TRUE(sim.idle());
+  bool ran = false;
+  EventId after = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_NE(before, after);
+  EXPECT_FALSE(sim.cancel(before));
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerWheelTest, ResetRestoresEpoch) {
+  // After running deep into simulated time the cursor sits far from zero;
+  // reset() must restore the epoch so early timers fire correctly again.
+  Simulator sim(SchedulerKind::Wheel);
+  sim.schedule_at(5000.0, [] {});
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5000.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  double fired_at = -1.0;
+  sim.schedule_at(0.5, [&] { fired_at = sim.now(); });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_DOUBLE_EQ(fired_at, 0.5);
+}
+
+namespace {
+
+/// A deterministic mixed-delay workload; returns an order-sensitive digest
+/// of the execution trajectory (time and identity of every firing).
+std::uint64_t run_trajectory(Simulator& sim) {
+  std::uint64_t digest = 14695981039346656037ull;
+  auto absorb = [&digest](std::uint64_t v) {
+    digest = (digest ^ v) * 1099511628211ull;
+  };
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const double at = 0.25 * (i % 7 + 1) + 3.0 * i;
+    ids.push_back(sim.schedule_at(at, [&absorb, i, &sim] {
+      absorb(static_cast<std::uint64_t>(i));
+      absorb(static_cast<std::uint64_t>(sim.now() * 1024.0));
+      if (i % 5 == 0) {
+        sim.schedule_after(0.125 * (i % 3 + 1),
+                           [&absorb] { absorb(0xABCDu); });
+      }
+    }));
+  }
+  for (int i = 0; i < 200; i += 3) {
+    sim.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  absorb(sim.run());
+  return digest;
+}
+
+}  // namespace
+
+TEST(TimerWheelTest, AlternatingSchedulerResetsInOneSimulator) {
+  // One pooled simulator alternating wheel and heap across resets must
+  // reproduce each fresh simulator's trajectory exactly — the regression
+  // for arenas whose campaign config flips scheduler kind between runs.
+  Simulator fresh_wheel(SchedulerKind::Wheel);
+  Simulator fresh_heap(SchedulerKind::Heap);
+  const std::uint64_t wheel_digest = run_trajectory(fresh_wheel);
+  const std::uint64_t heap_digest = run_trajectory(fresh_heap);
+  EXPECT_EQ(wheel_digest, heap_digest);
+
+  Simulator pooled(SchedulerKind::Wheel);
+  EXPECT_EQ(run_trajectory(pooled), wheel_digest);
+  pooled.reset(SchedulerKind::Heap);
+  EXPECT_EQ(run_trajectory(pooled), heap_digest);
+  pooled.reset(SchedulerKind::Wheel);
+  EXPECT_EQ(run_trajectory(pooled), wheel_digest);
+  pooled.reset();  // kind-preserving reset stays on the wheel
+  EXPECT_EQ(pooled.scheduler_kind(), SchedulerKind::Wheel);
+  EXPECT_EQ(run_trajectory(pooled), wheel_digest);
 }
 
 TEST(PeriodicTimerTest, FiresEveryPeriod) {
