@@ -30,6 +30,18 @@ namespace fortress::net {
 /// Network address of a host (the sole definition; network.hpp re-uses it).
 using Address = std::string;
 
+/// Thrown by the ScenarioPlan::validate() family with a precise description
+/// of the offending field ("ScenarioPlan 'x': faults[2].at must be finite
+/// and >= 0, got -1"). Derives from ContractViolation so callers that treat
+/// a bad plan as a contract breach keep working; the plan codec catches it
+/// at load so malformed fixture files fail at the door instead of deep
+/// inside the simulator.
+class PlanValidationError : public ContractViolation {
+ public:
+  explicit PlanValidationError(const std::string& what)
+      : ContractViolation(what) {}
+};
+
 /// Latency distribution, sampled per delivery. A value type (no virtual
 /// dispatch) so plans can be copied freely across campaign workers.
 struct LatencySpec {
@@ -54,7 +66,9 @@ struct LatencySpec {
   }
 
   sim::Time sample(Rng& rng) const;
-  void validate() const;
+  /// Throws PlanValidationError naming `ctx` (e.g. "latency") on NaN /
+  /// negative / inverted parameters.
+  void validate(const std::string& ctx = "LatencySpec") const;
 };
 
 /// One scheduled partition: during [start, end) the hosts in `island` are
@@ -164,7 +178,7 @@ struct ServiceModel {
   /// true it queues under `other_service` like everything else.
   bool queue_control = false;
 
-  void validate() const;
+  void validate(const std::string& ctx = "ServiceModel") const;
 };
 
 /// One piece of a piecewise-constant arrival-rate schedule: from `at`
@@ -203,7 +217,7 @@ struct TrafficSpec {
   sim::Time request_deadline = 50.0;  ///< per-request deadline (0 = never)
 
   bool enabled() const { return clients > 0 && !schedule.empty(); }
-  void validate() const;
+  void validate(const std::string& ctx = "TrafficSpec") const;
 };
 
 /// A compact client population for internet-scale trials: `clients` clients
@@ -240,7 +254,7 @@ struct PopulationSpec {
   sim::Time request_deadline = 50.0;  ///< per-request deadline (0 = never)
 
   bool enabled() const { return clients > 0; }
-  void validate() const;
+  void validate(const std::string& ctx = "PopulationSpec") const;
 };
 
 /// A complete scenario: network behaviour + schedules + deployment knobs.
@@ -296,6 +310,16 @@ struct ScenarioPlan {
     return attack.probes_per_step / static_cast<double>(keyspace);
   }
 
+  /// Full-plan validation with precise error strings: NaN / negative rates
+  /// and probabilities, inverted partition and rate-phase windows, empty
+  /// partition islands, zero-size cohorts, and non-finite times are all
+  /// rejected with the offending field named. Fault-time policy is explicit:
+  /// `faults[i].at` may lie at or past the horizon (step_duration *
+  /// horizon_steps) — the campaign DROPS such events instead of scheduling
+  /// dead work (see FaultEvent) — but it must be finite and >= 0.
+  ///
+  /// Called by the plan codec on every load and by run_trial in debug
+  /// builds; campaigns validate every cell plan up front.
   void validate() const;
 };
 

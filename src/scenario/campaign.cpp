@@ -233,9 +233,15 @@ TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
 
 TrialOutcome run_trial(model::SystemKind system, const net::ScenarioPlan& plan,
                        std::uint64_t seed, sim::SchedulerKind scheduler) {
-  // No validate() here: make_live_system below validates (via
-  // NetworkConfig::from_plan), and campaigns already validate before
-  // fanning out — per-trial re-validation would be pure repeated work.
+#ifndef NDEBUG
+  // Debug builds validate the FULL plan here so a malformed hand-authored
+  // plan fails with a precise PlanValidationError at the trial boundary.
+  // Release builds skip it: make_live_system below validates the fields it
+  // consumes (via NetworkConfig::from_plan), and campaigns already validate
+  // every cell before fanning out — per-trial re-validation would be pure
+  // repeated work in the hot path.
+  plan.validate();
+#endif
   sim::Simulator sim(scheduler);
   std::unique_ptr<core::LiveSystem> live =
       core::make_live_system(sim, system, plan, seed);

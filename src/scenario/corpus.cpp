@@ -1,0 +1,348 @@
+#include "scenario/corpus.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "common/json.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/plan_codec.hpp"
+
+namespace fortress::scenario {
+
+namespace {
+
+using json::ParseError;
+using json::Value;
+using json::Writer;
+
+constexpr const char* kSchemaTag = "fortress-scenario-v1";
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex64(const std::string& s, const std::string& ctx) {
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') {
+    throw ParseError(ctx + ": expected \"0x\" + 16 hex digits, got \"" + s +
+                     "\"");
+  }
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data() + 2, s.data() + s.size(), v, 16);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError(ctx + ": invalid hex literal \"" + s + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+model::SystemKind system_kind_from_string(const std::string& s,
+                                          const std::string& ctx) {
+  if (s == "S0") return model::SystemKind::S0;
+  if (s == "S1") return model::SystemKind::S1;
+  if (s == "S2") return model::SystemKind::S2;
+  throw ParseError(ctx + ": unknown system \"" + s + "\" (want S0|S1|S2)");
+}
+
+CorpusEntry corpus_entry_from_json(std::string_view text) {
+  const Value root = json::parse(text);
+  const std::string ctx = "corpus entry";
+  const auto& members = root.members(ctx);
+
+  // Strict key set, canonical order NOT required on load (re-encode
+  // byte-identity is checked separately by check_corpus_entry).
+  static constexpr const char* kKeys[] = {
+      "schema", "name",   "description", "base_seed", "trials_per_cell",
+      "systems", "digest", "plan",       "golden"};
+  for (const auto& [k, v] : members) {
+    bool known = false;
+    for (const char* key : kKeys) known = known || (k == key);
+    if (!known) throw ParseError(ctx + ": unknown key \"" + k + "\"");
+  }
+
+  const std::string& schema =
+      root.required("schema", ctx).as_string(ctx + ".schema");
+  if (schema != kSchemaTag) {
+    throw ParseError(ctx + ".schema: expected \"" + kSchemaTag + "\", got \"" +
+                     schema + "\"");
+  }
+
+  CorpusEntry e;
+  e.name = root.required("name", ctx).as_string(ctx + ".name");
+  e.description =
+      root.required("description", ctx).as_string(ctx + ".description");
+  e.base_seed = root.required("base_seed", ctx).as_u64(ctx + ".base_seed");
+  e.trials_per_cell =
+      root.required("trials_per_cell", ctx).as_u64(ctx + ".trials_per_cell");
+  if (e.trials_per_cell < 1) {
+    throw ParseError(ctx + ".trials_per_cell: must be >= 1");
+  }
+  for (const Value& s :
+       root.required("systems", ctx).as_array(ctx + ".systems")) {
+    e.systems.push_back(system_kind_from_string(
+        s.as_string(ctx + ".systems element"), ctx + ".systems"));
+  }
+  if (e.systems.empty()) {
+    throw ParseError(ctx + ".systems: must list at least one system class");
+  }
+  e.digest = root.required("digest", ctx).as_string(ctx + ".digest");
+
+  {
+    // Re-encode just the plan subtree and strict-decode it through the plan
+    // codec, so the plan object obeys exactly the plan_codec contract.
+    Writer w(/*compact=*/true);
+    const Value& plan_v = root.required("plan", ctx);
+    // Serialize the parsed subtree back to compact JSON for plan_from_json.
+    // (A tiny re-emitter: corpus files are small, this is load-time only.)
+    struct Reemit {
+      static void emit(Writer& w, const Value& v) {
+        switch (v.kind()) {
+          case Value::Kind::Null: w.value_null(); break;
+          case Value::Kind::Bool: w.value(v.as_bool("")); break;
+          case Value::Kind::Number:
+            // Verbatim lexeme: u64 fields (keyspace, clients) must not pass
+            // through a double on the wrapper->plan hop.
+            w.value_raw_number(v.number_lexeme(""));
+            break;
+          case Value::Kind::String:
+            w.value(std::string_view(v.as_string("")));
+            break;
+          case Value::Kind::Array:
+            w.begin_array();
+            for (const Value& it : v.as_array("")) emit(w, it);
+            w.end_array();
+            break;
+          case Value::Kind::Object:
+            w.begin_object();
+            for (const auto& [k, m] : v.members("")) {
+              w.key(k);
+              emit(w, m);
+            }
+            w.end_object();
+            break;
+        }
+      }
+    };
+    Reemit::emit(w, plan_v);
+    e.plan = plan_from_json(w.str());
+  }
+
+  if (e.plan.name != e.name) {
+    throw ParseError(ctx + ": name \"" + e.name +
+                     "\" does not match plan.name \"" + e.plan.name + "\"");
+  }
+
+  {
+    const std::string gctx = ctx + ".golden";
+    const auto& rows = root.required("golden", ctx).as_array(gctx);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::string rctx = gctx + "[" + std::to_string(i) + "]";
+      const Value& row = rows[i];
+      CorpusGoldenCell g;
+      g.system = system_kind_from_string(
+          row.required("system", rctx).as_string(rctx + ".system"), rctx);
+      g.trials = row.required("trials", rctx).as_u64(rctx + ".trials");
+      g.compromised =
+          row.required("compromised", rctx).as_u64(rctx + ".compromised");
+      g.censored = row.required("censored", rctx).as_u64(rctx + ".censored");
+      g.lifetime_mean_bits = parse_hex64(
+          row.required("lifetime_mean_bits", rctx)
+              .as_string(rctx + ".lifetime_mean_bits"),
+          rctx + ".lifetime_mean_bits");
+      g.direct_probes =
+          row.required("direct_probes", rctx).as_u64(rctx + ".direct_probes");
+      g.indirect_probes = row.required("indirect_probes", rctx)
+                              .as_u64(rctx + ".indirect_probes");
+      g.events_executed = row.required("events_executed", rctx)
+                              .as_u64(rctx + ".events_executed");
+      g.blacklisted_sources = row.required("blacklisted_sources", rctx)
+                                  .as_u64(rctx + ".blacklisted_sources");
+      g.traffic_fingerprint = parse_hex64(
+          row.required("traffic_fingerprint", rctx)
+              .as_string(rctx + ".traffic_fingerprint"),
+          rctx + ".traffic_fingerprint");
+      g.population_fingerprint = parse_hex64(
+          row.required("population_fingerprint", rctx)
+              .as_string(rctx + ".population_fingerprint"),
+          rctx + ".population_fingerprint");
+      if (row.members(rctx).size() != 11) {
+        throw ParseError(rctx + ": unexpected extra keys");
+      }
+      e.golden.push_back(g);
+    }
+  }
+
+  if (!e.golden.empty() && e.golden.size() != e.systems.size()) {
+    throw ParseError(ctx + ": golden has " + std::to_string(e.golden.size()) +
+                     " rows but systems lists " +
+                     std::to_string(e.systems.size()) + " classes");
+  }
+  return e;
+}
+
+std::string corpus_entry_to_json(const CorpusEntry& entry) {
+  Writer w(/*compact=*/false);
+  w.begin_object();
+  w.key("schema");
+  w.value(std::string_view(kSchemaTag));
+  w.key("name");
+  w.value(std::string_view(entry.name));
+  w.key("description");
+  w.value(std::string_view(entry.description));
+  w.key("base_seed");
+  w.value(entry.base_seed);
+  w.key("trials_per_cell");
+  w.value(entry.trials_per_cell);
+  w.key("systems");
+  w.begin_array();
+  for (model::SystemKind s : entry.systems) {
+    w.value(std::string_view(model::to_string(s)));
+  }
+  w.end_array();
+  w.key("digest");
+  w.value(std::string_view(entry.digest));
+  w.key("plan");
+  // Splice the canonical pretty plan encoding, re-indented one level: the
+  // plan codec's layout is the contract, so the wrapper reuses its bytes.
+  {
+    const std::string plan_json = plan_to_json(entry.plan);
+    std::string shifted;
+    shifted.reserve(plan_json.size() + 64);
+    for (char c : plan_json) {
+      shifted.push_back(c);
+      if (c == '\n') shifted.append("  ");
+    }
+    // Writer has no raw-splice API on purpose (canonical layout); emit via
+    // a placeholder then substitute below.
+    w.value(std::string_view("\x01plan\x01"));
+    w.key("golden");
+    w.begin_array();
+    for (const CorpusGoldenCell& g : entry.golden) {
+      w.begin_object();
+      w.key("system");
+      w.value(std::string_view(model::to_string(g.system)));
+      w.key("trials");
+      w.value(g.trials);
+      w.key("compromised");
+      w.value(g.compromised);
+      w.key("censored");
+      w.value(g.censored);
+      w.key("lifetime_mean_bits");
+      w.value(std::string_view(hex64(g.lifetime_mean_bits)));
+      w.key("direct_probes");
+      w.value(g.direct_probes);
+      w.key("indirect_probes");
+      w.value(g.indirect_probes);
+      w.key("events_executed");
+      w.value(g.events_executed);
+      w.key("blacklisted_sources");
+      w.value(g.blacklisted_sources);
+      w.key("traffic_fingerprint");
+      w.value(std::string_view(hex64(g.traffic_fingerprint)));
+      w.key("population_fingerprint");
+      w.value(std::string_view(hex64(g.population_fingerprint)));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::string out = w.str();
+    const std::string placeholder = "\"\\u0001plan\\u0001\"";
+    const std::size_t at = out.find(placeholder);
+    out.replace(at, placeholder.size(), shifted);
+    out.push_back('\n');  // committed files end with a newline
+    return out;
+  }
+}
+
+std::vector<CorpusGoldenCell> capture_corpus_golden(const CorpusEntry& entry) {
+  std::vector<CampaignCell> cells;
+  for (model::SystemKind s : entry.systems) cells.push_back({s, entry.plan});
+  CampaignConfig cfg;
+  cfg.trials_per_cell = entry.trials_per_cell;
+  cfg.base_seed = entry.base_seed;
+  cfg.threads = 1;
+  const CampaignResult result = run_campaign(cells, cfg);
+
+  std::vector<CorpusGoldenCell> rows;
+  for (const CellStats& c : result.cells) {
+    CorpusGoldenCell g;
+    g.system = c.system;
+    g.trials = c.trials;
+    g.compromised = c.compromised;
+    g.censored = c.censored;
+    double mean = c.mean_lifetime();
+    std::memcpy(&g.lifetime_mean_bits, &mean, sizeof mean);
+    g.direct_probes = c.attacker.direct_probes;
+    g.indirect_probes = c.attacker.indirect_probes;
+    g.events_executed = c.events_executed;
+    g.blacklisted_sources = c.blacklisted_sources;
+    g.traffic_fingerprint = c.traffic.latency.fingerprint();
+    g.population_fingerprint = c.population.latency.fingerprint();
+    rows.push_back(g);
+  }
+  return rows;
+}
+
+std::vector<std::string> check_corpus_entry(const CorpusEntry& entry,
+                                            std::string_view original_text) {
+  std::vector<std::string> problems;
+
+  const std::string expect_digest = plan_digest_string(entry.plan);
+  if (entry.digest != expect_digest) {
+    problems.push_back("digest drift: file pins " + entry.digest +
+                       " but the plan encodes to " + expect_digest);
+  }
+
+  const std::string reencoded = corpus_entry_to_json(entry);
+  if (reencoded != original_text) {
+    problems.push_back(
+        "canonical-form drift: re-encoding the entry does not reproduce the "
+        "file bytes (run `plan_tool capture` and commit the output)");
+  }
+
+  if (entry.golden.empty()) {
+    problems.push_back("no golden rows: run `plan_tool capture`");
+    return problems;
+  }
+
+  const std::vector<CorpusGoldenCell> fresh = capture_corpus_golden(entry);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const CorpusGoldenCell& want = entry.golden[i];
+    const CorpusGoldenCell& got = fresh[i];
+    const std::string cell =
+        "golden[" + std::to_string(i) + "] (" + model::to_string(got.system) +
+        ")";
+    auto pin = [&](const char* field, std::uint64_t w, std::uint64_t g) {
+      if (w != g) {
+        problems.push_back(cell + "." + field + ": pinned " +
+                           std::to_string(w) + ", re-run produced " +
+                           std::to_string(g));
+      }
+    };
+    if (want.system != got.system) {
+      problems.push_back(cell + ": system order mismatch");
+      continue;
+    }
+    pin("trials", want.trials, got.trials);
+    pin("compromised", want.compromised, got.compromised);
+    pin("censored", want.censored, got.censored);
+    pin("lifetime_mean_bits", want.lifetime_mean_bits,
+        got.lifetime_mean_bits);
+    pin("direct_probes", want.direct_probes, got.direct_probes);
+    pin("indirect_probes", want.indirect_probes, got.indirect_probes);
+    pin("events_executed", want.events_executed, got.events_executed);
+    pin("blacklisted_sources", want.blacklisted_sources,
+        got.blacklisted_sources);
+    pin("traffic_fingerprint", want.traffic_fingerprint,
+        got.traffic_fingerprint);
+    pin("population_fingerprint", want.population_fingerprint,
+        got.population_fingerprint);
+  }
+  return problems;
+}
+
+}  // namespace fortress::scenario

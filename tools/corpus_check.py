@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Corpus drift gate: run `plan_tool check` over every committed scenario.
+
+Invoked from ctest (see fortress_corpus_check in CMakeLists.txt):
+
+    corpus_check.py --plan-tool build/plan_tool --scenarios scenarios/
+
+For every scenarios/*.json this re-digests the plan, re-encodes the file
+canonically, and re-runs the pinned campaign — plan_tool exits non-zero on
+any drift (digest, byte form, or golden aggregates), and so does this
+wrapper. An empty or missing scenarios directory is an error: the corpus is
+a committed fixture set, losing it silently would disarm the gate.
+
+To refresh an entry after a DELIBERATE behaviour change:
+
+    build/plan_tool capture scenarios/<name>.json > /tmp/new.json
+    mv /tmp/new.json scenarios/<name>.json
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--plan-tool", required=True,
+                        help="path to the built plan_tool binary")
+    parser.add_argument("--scenarios", required=True,
+                        help="directory holding the committed *.json corpus")
+    args = parser.parse_args()
+
+    scenario_dir = pathlib.Path(args.scenarios)
+    entries = sorted(scenario_dir.glob("*.json"))
+    if not entries:
+        print(f"corpus_check: no *.json entries under {scenario_dir}",
+              file=sys.stderr)
+        return 1
+
+    proc = subprocess.run([args.plan_tool, "check", *map(str, entries)])
+    if proc.returncode != 0:
+        print("corpus_check: drift detected — if the change is deliberate, "
+              "re-capture with `plan_tool capture` and commit the output",
+              file=sys.stderr)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
