@@ -21,12 +21,21 @@
 //  4. Adaptive sampling: the rounds-based stopping rule vs the fixed
 //     budget, reporting trials/sec and the per-cell trial allocation.
 //
+//  5. Work-stealing rounds: a closed-cell-heavy grid (many calm cells that
+//     close in round one on the absolute CI floor, two noisy cells that run
+//     to the cap) with round reissue off vs on. The noisy cells are
+//     cap-bound, so both schedules land on identical per-cell trial counts
+//     and the aggregates must be BIT-identical (enforced); stealing just
+//     reaches the cap in far fewer serial rounds, which is the reported
+//     speedup.
+//
 // Writes BenchRecorder JSON (campaign_trials_t{N}, campaign_trial_fresh /
-// _pooled, campaign_trials_adaptive) to the optional argv[1] path (default
-// BENCH_campaign.json). The `bench_diff` CMake target now gates these
-// entries against bench/baseline.json alongside the BENCH_results.json
-// ones, so trials/sec regressions in the pooled/adaptive paths fail CI like
-// any ns/op regression.
+// _pooled, campaign_trials_adaptive, campaign_adaptive_nosteal / _steal) to
+// the optional argv[1] path (default BENCH_campaign.json). The `bench_diff`
+// CMake target now gates these entries against bench/baseline.json
+// alongside the BENCH_results.json ones, so trials/sec regressions in the
+// pooled/adaptive paths fail CI like any ns/op regression.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -239,6 +248,75 @@ int main(int argc, char** argv) {
               "cap would be %llu)\n",
               static_cast<unsigned long long>(adaptive_result.total_trials),
               ad_rate, static_cast<unsigned long long>(fixed_budget));
+
+  // --- work-stealing rounds on a closed-cell-heavy grid -------------------
+  // The triage-sweep shape the reissue planner exists for: most cells are
+  // calm (near-zero-mean lifetimes, closed by the absolute CI floor after
+  // round one) while a couple of noisy cells need the full cap. Without
+  // stealing the noisy cells grind through cap/round_trials serial rounds at
+  // round_trials each; with stealing they inherit the closed cells' capacity
+  // and hit the cap in a round or two. Both schedules are cap-bound on the
+  // noisy cells and close the calm cells at the same round-one boundary, so
+  // per-cell trial counts — and therefore aggregates — must be bit-identical.
+  std::vector<net::ScenarioPlan> steal_plans;
+  for (std::uint64_t chi : {20ULL, 22ULL, 24ULL, 26ULL, 28ULL, 30ULL}) {
+    net::ScenarioPlan calm = bench_plan(chi, 0.25);
+    calm.name = "calm" + std::to_string(chi);
+    calm.attack.probes_per_step = 16.0;
+    steal_plans.push_back(calm);
+  }
+  net::ScenarioPlan noisy = bench_plan(512, 0.25);
+  noisy.name = "noisy512";
+  steal_plans.push_back(noisy);
+  std::vector<CampaignCell> steal_cells =
+      cross({model::SystemKind::S1, model::SystemKind::S2}, steal_plans);
+
+  CampaignConfig steal_cfg;
+  steal_cfg.base_seed = 7;
+  steal_cfg.threads = 4;
+  steal_cfg.adaptive.enabled = true;
+  steal_cfg.adaptive.round_trials = 32;
+  steal_cfg.adaptive.target_rel_ci = 0.02;  // unreachable for noisy cells
+  steal_cfg.adaptive.abs_ci_floor = 0.5;    // closes the calm cells early
+  steal_cfg.adaptive.max_trials_per_cell = 256;
+
+  std::printf("\nWork-stealing rounds (%zu cells: %zu calm + 2 noisy, cap "
+              "%llu, 4 threads):\n\n",
+              steal_cells.size(), steal_cells.size() - 2,
+              static_cast<unsigned long long>(
+                  steal_cfg.adaptive.max_trials_per_cell));
+  std::printf("%10s %12s %10s %10s\n", "stealing", "trials/sec", "trials",
+              "rounds");
+  rule(46);
+  double nosteal_rate = 0.0;
+  double steal_rate = 0.0;
+  std::uint64_t fp_nosteal = 0;
+  std::uint64_t fp_steal = 0;
+  for (bool stealing : {false, true}) {
+    steal_cfg.adaptive.work_stealing = stealing;
+    CampaignResult result;
+    const std::string name =
+        stealing ? "campaign_adaptive_steal" : "campaign_adaptive_nosteal";
+    const double ns = recorder.time_and_add(
+        name, /*iters=*/3, 1.0,
+        [&] { result = run_campaign(steal_cells, steal_cfg); });
+    const double rate =
+        static_cast<double>(result.total_trials) / (ns / 1e9);
+    (stealing ? steal_rate : nosteal_rate) = rate;
+    (stealing ? fp_steal : fp_nosteal) = fingerprint(result);
+    std::uint64_t max_rounds = 0;
+    for (const CellStats& cell : result.cells) {
+      max_rounds = std::max(max_rounds, cell.rounds);
+    }
+    std::printf("%10s %12.0f %10llu %10llu\n", stealing ? "on" : "off", rate,
+                static_cast<unsigned long long>(result.total_trials),
+                static_cast<unsigned long long>(max_rounds));
+  }
+  rule(46);
+  const bool steal_identical = fp_steal == fp_nosteal;
+  identical = identical && steal_identical;
+  std::printf("stealing speedup: %.2fx; aggregates identical: %s\n",
+              steal_rate / nosteal_rate, pass(steal_identical));
 
   recorder.write_json(out_path);
   return identical ? 0 : 1;

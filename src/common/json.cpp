@@ -524,6 +524,36 @@ std::string Writer::format_double(double d) {
   return s;
 }
 
+void reemit(Writer& w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Null:
+      w.value_null();
+      break;
+    case Value::Kind::Bool:
+      w.value(v.as_bool(""));
+      break;
+    case Value::Kind::Number:
+      w.value_raw_number(v.number_lexeme(""));
+      break;
+    case Value::Kind::String:
+      w.value(std::string_view(v.as_string("")));
+      break;
+    case Value::Kind::Array:
+      w.begin_array();
+      for (const Value& it : v.as_array("")) reemit(w, it);
+      w.end_array();
+      break;
+    case Value::Kind::Object:
+      w.begin_object();
+      for (const auto& [k, m] : v.members("")) {
+        w.key(k);
+        reemit(w, m);
+      }
+      w.end_object();
+      break;
+  }
+}
+
 std::uint64_t fnv1a64(std::string_view bytes) {
   std::uint64_t h = 14695981039346656037ull;
   for (char c : bytes) {

@@ -138,6 +138,12 @@ class Writer {
   bool pending_key_ = false;
 };
 
+/// Re-emit a parsed Value through `w` verbatim: numbers keep their raw
+/// lexemes (u64 fields never pass through a double), member order is
+/// preserved. This is how a wrapper document (corpus entry, campaign spec)
+/// hands an embedded subtree to a strict sub-codec that only takes text.
+void reemit(Writer& w, const Value& v);
+
 /// FNV-1a 64-bit over a byte string — the digest primitive the plan codec
 /// and corpus fixtures use (offset basis 14695981039346656037, prime
 /// 1099511628211).

@@ -67,19 +67,51 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats RunningStats::from_raw(std::uint64_t n, double mean, double m2,
+                                    double min, double max) {
+  RunningStats s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
+namespace {
+
+// Bucketed z-score shared by every normal-approximation interval here (see
+// the normal_ci doc comment for the buckets).
+double z_for_level(double level) {
+  FORTRESS_EXPECTS(level > 0.0 && level < 1.0);
+  if (level >= 0.989) return 2.5758293035489004;  // 99%
+  if (level >= 0.949) return 1.959963984540054;   // 95%
+  return 1.6448536269514722;                      // 90%
+}
+
+}  // namespace
+
 ConfidenceInterval normal_ci(const RunningStats& stats, double level) {
   FORTRESS_EXPECTS(stats.count() > 1);
-  FORTRESS_EXPECTS(level > 0.0 && level < 1.0);
-  double z;
-  if (level >= 0.989) {
-    z = 2.5758293035489004;  // 99%
-  } else if (level >= 0.949) {
-    z = 1.959963984540054;  // 95%
-  } else {
-    z = 1.6448536269514722;  // 90%
-  }
+  const double z = z_for_level(level);
   double half = z * stats.stderr_mean();
   return ConfidenceInterval{stats.mean() - half, stats.mean() + half, level};
+}
+
+ConfidenceInterval wilson_ci(std::uint64_t successes, std::uint64_t trials,
+                             double level) {
+  FORTRESS_EXPECTS(trials > 0);
+  FORTRESS_EXPECTS(successes <= trials);
+  const double z = z_for_level(level);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))) / denom;
+  return ConfidenceInterval{std::max(0.0, center - half),
+                            std::min(1.0, center + half), level};
 }
 
 double quantile(std::vector<double> data, double q) {
@@ -118,6 +150,12 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   count_ += other.count_;
 }
 
+void LatencyHistogram::add_bin(int b, std::uint64_t n) {
+  FORTRESS_EXPECTS(b >= 0 && b < kBins);
+  bins_[static_cast<unsigned>(b)] += n;
+  count_ += n;
+}
+
 double LatencyHistogram::bin_upper_edge(int b) {
   FORTRESS_EXPECTS(b >= 0 && b < kBins);
   if (b == 0) return kMinLatency;
@@ -138,6 +176,41 @@ double LatencyHistogram::quantile(double q) const {
     if (cumulative >= rank) return bin_upper_edge(b);
   }
   return bin_upper_edge(kBins - 1);
+}
+
+ConfidenceInterval LatencyHistogram::quantile_ci(double q,
+                                                 double level) const {
+  FORTRESS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return ConfidenceInterval{0.0, 0.0, level};
+  const double z = z_for_level(level);
+  const double n = static_cast<double>(count_);
+  const double target = q * n;
+  const double spread = z * std::sqrt(n * q * (1.0 - q));
+  // Rank band of the q-th order statistic, clamped to the sample.
+  const std::uint64_t lo_rank = std::max<std::uint64_t>(
+      1, target > spread
+             ? static_cast<std::uint64_t>(std::ceil(target - spread))
+             : 1);
+  const std::uint64_t hi_rank = std::min<std::uint64_t>(
+      count_, std::max<std::uint64_t>(
+                  1, static_cast<std::uint64_t>(std::ceil(target + spread))));
+  // Map both ranks to their bin edges in one cumulative scan.
+  double lo_edge = bin_upper_edge(kBins - 1);
+  double hi_edge = bin_upper_edge(kBins - 1);
+  bool lo_found = false;
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBins; ++b) {
+    cumulative += bins_[static_cast<unsigned>(b)];
+    if (!lo_found && cumulative >= lo_rank) {
+      lo_edge = bin_upper_edge(b);
+      lo_found = true;
+    }
+    if (cumulative >= hi_rank) {
+      hi_edge = bin_upper_edge(b);
+      break;
+    }
+  }
+  return ConfidenceInterval{lo_edge, hi_edge, level};
 }
 
 std::uint64_t LatencyHistogram::fingerprint() const {

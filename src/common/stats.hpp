@@ -26,6 +26,19 @@ class RunningStats {
   /// Merge another accumulator (parallel reduction).
   void merge(const RunningStats& other);
 
+  /// Raw accumulator state, defined at ANY count (all zero when empty) —
+  /// the campaign shard sidecar serializes these by bit pattern and
+  /// rebuilds with from_raw(), so a merge of deserialized accumulators is
+  /// bit-identical to a merge of the originals. mean()/variance() are NOT
+  /// usable for that: they have count preconditions and variance() derives
+  /// (m2 / (n-1)) instead of exposing the merged state.
+  double raw_mean() const { return mean_; }
+  double raw_m2() const { return m2_; }
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+  static RunningStats from_raw(std::uint64_t n, double mean, double m2,
+                               double min, double max);
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -49,6 +62,16 @@ struct ConfidenceInterval {
 /// to the nearest supported z-score: >= 0.989 -> 99%, >= 0.949 -> 95%,
 /// everything below -> 90% (so e.g. 0.97 gets the 95% z).
 ConfidenceInterval normal_ci(const RunningStats& stats, double level = 0.95);
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials`, at the same bucketed z as normal_ci. Unlike the Wald interval
+/// it is well-defined and non-degenerate at 0 or `trials` successes — a
+/// zero-success cell still gets a shrinking upper bound (~z^2/n), which is
+/// what lets a rare-event stopping rule close on an absolute width floor
+/// instead of stalling on a zero-width point estimate. Precondition:
+/// trials > 0 and 0 < level < 1.
+ConfidenceInterval wilson_ci(std::uint64_t successes, std::uint64_t trials,
+                             double level = 0.95);
 
 /// Linear-interpolation quantile of a sample (q in [0,1]). The input vector
 /// is copied and sorted. Precondition: data non-empty.
@@ -74,6 +97,10 @@ class LatencyHistogram {
 
   void add(double v);
   void merge(const LatencyHistogram& other);
+  /// Add `n` observations directly to bin `b` — the deserialization
+  /// primitive of the campaign shard sidecar (the histogram is merge-closed,
+  /// so rebuilding from bin counts is exact). Precondition: 0 <= b < kBins.
+  void add_bin(int b, std::uint64_t n);
 
   std::uint64_t count() const { return count_; }
   std::uint64_t bin(int b) const { return bins_[static_cast<unsigned>(b)]; }
@@ -83,6 +110,16 @@ class LatencyHistogram {
   /// q in [0,1]: upper edge of the bin containing the ceil(q·count)-th
   /// smallest observation. Returns 0 when empty.
   double quantile(double q) const;
+  /// Distribution-free CI for the q-th quantile via the binomial rank
+  /// interval: the rank of the q-th order statistic is ~Binomial(n, q), so
+  /// ranks ceil(nq ± z·sqrt(nq(1-q))) (clamped to [1, n]) bound it; the
+  /// interval is [edge(bin at lo rank), edge(bin at hi rank)]. Because bins
+  /// are discrete, the interval collapses to zero width once the rank band
+  /// sits inside one bin — the histogram's resolution (~19% per bin) is the
+  /// floor on what a quantile stopping rule can ask for. Returns {0, 0}
+  /// when empty; the hi edge is +inf while the rank band touches the
+  /// overflow bin. Level is bucketed like normal_ci.
+  ConfidenceInterval quantile_ci(double q, double level = 0.95) const;
   /// FNV-1a over the bin counts — the golden-value digest campaign
   /// determinism tests compare across thread counts and isolation modes.
   std::uint64_t fingerprint() const;

@@ -282,7 +282,67 @@ TrialOutcome TrialArena::run(model::SystemKind system,
   return drive_trial(sim_, *live_, plan, seed, &attacker_pool_, &population_);
 }
 
+std::vector<StoppingRule> AdaptiveConfig::effective_rules() const {
+  if (!rules.empty()) return rules;
+  StoppingRule def;
+  def.metric = StoppingRule::Metric::MeanLifetime;
+  def.target_rel = target_rel_ci;
+  def.abs_floor = abs_ci_floor;
+  return {def};
+}
+
+bool stopping_rule_satisfied(const CellStats& stats, const StoppingRule& rule,
+                             double ci_level) {
+  switch (rule.metric) {
+    case StoppingRule::Metric::MeanLifetime: {
+      if (stats.lifetime.count() <= 1) return false;
+      const ConfidenceInterval ci = normal_ci(stats.lifetime, ci_level);
+      const double half = (ci.hi - ci.lo) / 2.0;
+      return half <= std::max(rule.target_rel * stats.lifetime.mean(),
+                              rule.abs_floor);
+    }
+    case StoppingRule::Metric::CompromiseProbability: {
+      if (stats.trials <= 1) return false;
+      const ConfidenceInterval ci =
+          wilson_ci(stats.compromised, stats.trials, ci_level);
+      const double half = (ci.hi - ci.lo) / 2.0;
+      const double p = static_cast<double>(stats.compromised) /
+                       static_cast<double>(stats.trials);
+      return half <= std::max(rule.target_rel * p, rule.abs_floor);
+    }
+    case StoppingRule::Metric::LatencyQuantile: {
+      // No samples: either the plan has no traffic plane (the rule can
+      // never bind — vacuously satisfied, not an eternal stall) or nothing
+      // completed yet under total outage, where a quantile is undefined.
+      if (stats.traffic.latency.count() == 0) return true;
+      if (stats.trials <= 1) return false;
+      const ConfidenceInterval ci =
+          stats.traffic.latency.quantile_ci(rule.quantile, ci_level);
+      const double half = (ci.hi - ci.lo) / 2.0;
+      const double value = stats.traffic.latency.quantile(rule.quantile);
+      return half <= std::max(rule.target_rel * value, rule.abs_floor);
+    }
+  }
+  return false;  // unreachable
+}
+
 namespace {
+
+void validate_rule(const StoppingRule& rule) {
+  FORTRESS_EXPECTS(rule.target_rel >= 0.0);
+  FORTRESS_EXPECTS(rule.abs_floor >= 0.0);
+  // A rule with both legs zero can only be satisfied by an exactly
+  // zero-width interval — a stall by construction.
+  FORTRESS_EXPECTS(rule.target_rel > 0.0 || rule.abs_floor > 0.0);
+  if (rule.metric == StoppingRule::Metric::CompromiseProbability) {
+    // Rare-event guard: at p = 0 (or 1) the relative leg is zero, so the
+    // floor is the only thing that can ever close the cell.
+    FORTRESS_EXPECTS(rule.abs_floor > 0.0);
+  }
+  if (rule.metric == StoppingRule::Metric::LatencyQuantile) {
+    FORTRESS_EXPECTS(rule.quantile > 0.0 && rule.quantile < 1.0);
+  }
+}
 
 void absorb_outcome(CellStats& stats, const TrialOutcome& o) {
   ++stats.trials;
@@ -305,8 +365,10 @@ void absorb_outcome(CellStats& stats, const TrialOutcome& o) {
 
 }  // namespace
 
-CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
-                            const CampaignConfig& config) {
+CampaignResult run_campaign_subset(
+    const std::vector<CampaignCell>& cells, const CampaignConfig& config,
+    const std::vector<std::uint64_t>& cell_indices) {
+  FORTRESS_EXPECTS(cell_indices.size() == cells.size());
   const bool adaptive = config.adaptive.enabled;
   const std::uint64_t round_trials =
       adaptive ? config.adaptive.round_trials : config.trials_per_cell;
@@ -314,7 +376,12 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
       adaptive ? config.adaptive.max_trials_per_cell : config.trials_per_cell;
   FORTRESS_EXPECTS(round_trials >= 1);
   FORTRESS_EXPECTS(max_trials >= 1);
-  if (adaptive) FORTRESS_EXPECTS(config.adaptive.target_rel_ci > 0.0);
+  std::vector<StoppingRule> rules;
+  if (adaptive) {
+    rules = config.adaptive.effective_rules();
+    for (const StoppingRule& rule : rules) validate_rule(rule);
+  }
+  const bool stealing = adaptive && config.adaptive.work_stealing;
   for (const CampaignCell& cell : cells) cell.plan.validate();
 
   struct CellState {
@@ -328,10 +395,14 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
     states[c].stats.plan_name = cells[c].plan.name;
   }
 
-  // One arena per pool worker slot: a slot is owned by exactly one thread
-  // at a time (jobs serialize), so arena access is race-free. The pool is
-  // per-campaign-call, not global — concurrent campaigns don't share
-  // stacks.
+  // One arena per worker slot of the process-wide SHARED pool (the arena
+  // vector itself is per-campaign-call): a slot is owned by at most one
+  // thread at a time within this pool's jobs (jobs serialize), so indexing
+  // by ThreadPool::current_slot is race-free. The bounds check in the task
+  // body is load-bearing, not paranoia — a worker of a larger foreign pool
+  // (a nested campaign inside someone else's parallel_chunks) reports ITS
+  // OWN slot, which can be >= this vector's size; such threads fall back to
+  // fresh per-trial stacks, with identical outcomes.
   exec::ThreadPool& pool = exec::ThreadPool::shared();
   std::vector<std::unique_ptr<TrialArena>> arenas;
   if (config.reuse_trial_stacks) {
@@ -345,19 +416,72 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   };
   std::vector<Task> tasks;
   std::vector<TrialOutcome> outcomes;
+  std::vector<std::uint64_t> grant(states.size(), 0);
 
-  // Rounds: issue `round_trials` per still-open cell, fan out, reduce in
-  // task-index order, close cells whose CI meets the target (or that hit
-  // the cap). Fixed mode is the degenerate single round of
-  // `trials_per_cell` for every cell.
+  // Rounds: plan this round's per-cell trial grants, fan out, reduce in
+  // task-index order, close cells whose stopping rules all hold (or that
+  // hit the cap). Fixed mode is the degenerate single round of
+  // `trials_per_cell` for every cell. The planner runs serially between
+  // rounds, so the grant schedule — and with it the executed (cell, trial)
+  // seed set — is a pure function of per-round aggregates, never of thread
+  // count or scheduling order.
   bool any_open = true;
   while (any_open) {
+    // --- plan the round -------------------------------------------------
+    std::fill(grant.begin(), grant.end(), 0);
+    if (!stealing) {
+      // Legacy schedule: every open cell gets round_trials, capped by its
+      // remaining budget; closed cells shrink the round.
+      for (std::size_t c = 0; c < states.size(); ++c) {
+        if (!states[c].open) continue;
+        grant[c] = std::min(round_trials, max_trials - states[c].next_trial);
+      }
+    } else {
+      // Work-stealing schedule: the round's capacity is the FULL grid's
+      // (round_trials per cell, open or closed) and the open cells split
+      // it evenly in cell order — so closing a cell re-issues its share to
+      // the survivors instead of shrinking the round. Cells near their cap
+      // absorb only their headroom; the spill re-flows to the rest in
+      // further passes. While every cell is open this degenerates to the
+      // legacy schedule exactly.
+      std::uint64_t remaining =
+          round_trials * static_cast<std::uint64_t>(states.size());
+      while (remaining > 0) {
+        std::size_t takers = 0;
+        for (std::size_t c = 0; c < states.size(); ++c) {
+          if (states[c].open &&
+              states[c].next_trial + grant[c] < max_trials) {
+            ++takers;
+          }
+        }
+        if (takers == 0) break;
+        const std::uint64_t share = remaining / takers;
+        std::uint64_t extra = remaining % takers;
+        std::uint64_t assigned = 0;
+        for (std::size_t c = 0; c < states.size(); ++c) {
+          if (!states[c].open) continue;
+          const std::uint64_t headroom =
+              max_trials - states[c].next_trial - grant[c];
+          if (headroom == 0) continue;
+          std::uint64_t want = share;
+          if (extra > 0) {
+            ++want;
+            --extra;
+          }
+          const std::uint64_t give = std::min(want, headroom);
+          grant[c] += give;
+          assigned += give;
+        }
+        remaining -= assigned;
+        if (assigned == 0) break;
+      }
+    }
+
     tasks.clear();
     for (std::size_t c = 0; c < states.size(); ++c) {
       CellState& st = states[c];
-      if (!st.open) continue;
-      const std::uint64_t n =
-          std::min(round_trials, max_trials - st.next_trial);
+      const std::uint64_t n = grant[c];
+      if (n == 0) continue;
       for (std::uint64_t i = 0; i < n; ++i) {
         tasks.push_back({static_cast<std::uint32_t>(c), st.next_trial + i});
       }
@@ -374,10 +498,8 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
         tasks.size(), 1, config.threads,
         [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
           (void)chunk;
-          // A worker of a larger foreign pool (nested campaign inside
-          // someone else's parallel_chunks) can report a slot beyond the
-          // shared pool's count; such threads take the fresh-stack path —
-          // outcomes are identical either way.
+          // Foreign-pool workers (slot >= arenas.size()) take the
+          // fresh-stack path — see the arena-vector comment above.
           const unsigned slot = exec::ThreadPool::current_slot();
           TrialArena* arena =
               config.reuse_trial_stacks && slot < arenas.size()
@@ -386,8 +508,8 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
           for (std::uint64_t t = begin; t < end; ++t) {
             const Task& task = tasks[t];
             const CampaignCell& cell = cells[task.cell];
-            const std::uint64_t seed =
-                trial_seed(config.base_seed, task.cell, task.trial);
+            const std::uint64_t seed = trial_seed(
+                config.base_seed, cell_indices[task.cell], task.trial);
             outcomes[t] =
                 arena != nullptr
                     ? arena->run(cell.system, cell.plan, seed)
@@ -412,11 +534,14 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
         st.open = false;
         continue;
       }
-      if (adaptive && st.stats.lifetime.count() > 1) {
-        const double half =
-            (st.stats.lifetime_ci.hi - st.stats.lifetime_ci.lo) / 2.0;
-        if (half <=
-            config.adaptive.target_rel_ci * st.stats.lifetime.mean()) {
+      if (adaptive) {
+        bool satisfied = true;
+        for (const StoppingRule& rule : rules) {
+          satisfied =
+              satisfied && stopping_rule_satisfied(st.stats, rule,
+                                                   config.ci_level);
+        }
+        if (satisfied) {
           st.open = false;
           continue;
         }
@@ -433,6 +558,13 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
     result.cells.push_back(std::move(st.stats));
   }
   return result;
+}
+
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            const CampaignConfig& config) {
+  std::vector<std::uint64_t> identity(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) identity[c] = c;
+  return run_campaign_subset(cells, config, identity);
 }
 
 std::vector<CampaignCell> cross(const std::vector<model::SystemKind>& systems,

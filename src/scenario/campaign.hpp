@@ -107,31 +107,95 @@ struct CampaignCell {
   net::ScenarioPlan plan;
 };
 
+/// One adaptive stopping criterion: which observable to watch and how
+/// narrow its confidence interval must get. A cell closes once EVERY
+/// configured rule is satisfied; a rule is satisfied when
+///
+///   half_width(CI) <= max(target_rel * value, abs_floor)
+///
+/// The absolute floor is not optional polish — it is the rare-event fix: a
+/// relative-only target is unsatisfiable when the point estimate sits at or
+/// near zero (an instant-compromise cell's mean lifetime, a zero-success
+/// compromise count), so such cells used to burn the whole per-cell budget.
+/// With a floor, "the interval is narrower than a quantity I don't care to
+/// resolve" closes the cell.
+struct StoppingRule {
+  enum class Metric : std::uint8_t {
+    /// Mean lifetime in steps; CI = normal_ci over the cell's lifetime
+    /// accumulator (needs >= 2 trials). The legacy (PR-3) criterion.
+    MeanLifetime,
+    /// P(compromise before horizon); CI = wilson_ci on the binomial
+    /// (compromised, trials) count (needs >= 2 trials). The Wilson interval
+    /// plus the mandatory abs_floor is the rare-event guard: a cell with
+    /// zero (or all) successes still closes once the interval's width —
+    /// which shrinks like z^2/n around 0 — drops under the floor.
+    CompromiseProbability,
+    /// A quantile of the completed-request latency histogram (traffic
+    /// plane); CI = LatencyHistogram::quantile_ci at `quantile`. Vacuously
+    /// satisfied while the cell has no latency samples (a plan without a
+    /// traffic plane would otherwise stall forever).
+    LatencyQuantile,
+  };
+  Metric metric = Metric::MeanLifetime;
+  /// LatencyQuantile only: which quantile (in (0,1), e.g. 0.99 for p99).
+  double quantile = 0.99;
+  /// Relative half-width target (fraction of the metric's point estimate).
+  double target_rel = 0.10;
+  /// Absolute half-width floor, in the metric's own unit (steps /
+  /// probability / latency time units). Must be > 0 for
+  /// CompromiseProbability (the rare-event guard has no relative leg to
+  /// stand on at p = 0).
+  double abs_floor = 0.0;
+};
+
 /// Adaptive (sequential-sampling) mode: instead of a fixed trial budget per
 /// cell, cells run in deterministic ROUNDS of `round_trials` each; after
-/// every round the serial reducer closes any cell whose lifetime CI is
-/// narrow enough, and the next round's trials go only to the still-open
+/// every round the serial reducer closes any cell whose stopping rules are
+/// all satisfied, and the next round's trials go only to the still-open
 /// cells — low-variance cells stop early and the budget flows to the cells
-/// whose EL estimate is still uncertain (the paper's Fig. 1 curves are
+/// whose estimates are still uncertain (the paper's Fig. 1 curves are
 /// exactly such per-cell means).
 ///
 /// Determinism contract: a cell's trial indices grow contiguously across
 /// rounds (trial t of cell c always uses trial_seed(base, c, t)), and the
-/// close/continue decision is made by the in-order reducer between rounds —
-/// so the executed (cell, trial) seed set, and therefore every aggregate,
-/// is bit-identical for any thread count.
+/// close/continue decision — and the next round's trial allocation, work-
+/// stealing included — is made by the in-order reducer between rounds, so
+/// the executed (cell, trial) seed set, and therefore every aggregate, is
+/// bit-identical for any thread count.
 struct AdaptiveConfig {
   bool enabled = false;
-  /// Trials appended to every still-open cell per round.
+  /// Per-cell trials per round (with work_stealing, the per-cell SHARE of
+  /// the round's capacity while every cell is open).
   std::uint64_t round_trials = 16;
-  /// Close a cell once half_width(CI) <= target_rel_ci * mean(lifetime).
-  /// (A zero-variance cell — all trials censored at the horizon, or all
-  /// compromised at step 0 — has a zero-width CI and closes after its
-  /// first round.)
+  /// The default mean-lifetime rule's relative target (used when `rules`
+  /// is empty): close once half_width(CI) <= max(target_rel_ci * mean,
+  /// abs_ci_floor).
   double target_rel_ci = 0.10;
-  /// Hard per-cell cap: a cell that never reaches the target CI closes
-  /// here.
+  /// The default rule's absolute half-width floor, in steps. Lifetimes are
+  /// measured in whole steps, so resolving the mean below half a step is
+  /// meaningless — and demanding it is exactly the zero-mean stall bug
+  /// (instant-compromise cells could never satisfy a relative-only target).
+  double abs_ci_floor = 0.5;
+  /// Hard per-cell cap: a cell that never reaches its targets closes here.
   std::uint64_t max_trials_per_cell = 1024;
+  /// Multi-metric stopping: when non-empty these REPLACE the default
+  /// mean-lifetime rule, and a cell stays open until every rule holds.
+  std::vector<StoppingRule> rules;
+  /// Work-stealing rounds: every round re-issues the FULL grid capacity
+  /// (round_trials x number of cells) across the still-open cells, split
+  /// evenly in cell order (capped by each cell's remaining budget, spill
+  /// re-flowing to the rest) — closed cells donate their share instead of
+  /// shrinking the round, so workers never idle as the grid converges.
+  /// While every cell is open the allocation equals the legacy schedule;
+  /// off (the default) preserves the PR-3 allocation bit-exactly. Stealing
+  /// pools capacity WITHIN one run_campaign call: a sharded campaign steals
+  /// within each shard, so shard-vs-single-process bit-identity holds only
+  /// with stealing off (see scenario/shard.hpp).
+  bool work_stealing = false;
+
+  /// The rule set in force: `rules`, or the single default mean-lifetime
+  /// rule synthesized from target_rel_ci / abs_ci_floor.
+  std::vector<StoppingRule> effective_rules() const;
 };
 
 struct CampaignConfig {
@@ -198,6 +262,26 @@ struct CampaignResult {
 /// Run every cell's trials fanned out over the shared thread pool.
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
                             const CampaignConfig& config);
+
+/// The shard building block: run_campaign over `cells`, but cell i derives
+/// its trial seeds as GLOBAL cell index cell_indices[i] — so a process that
+/// owns a subset of a larger grid executes exactly the (cell, trial) seed
+/// set the full single-process run would have executed for those cells
+/// (stopping decisions are per-cell, so per-cell aggregates match bit for
+/// bit; see scenario/shard.hpp for the caveat on work_stealing, whose
+/// donation pool is per-call). run_campaign(cells, cfg) ==
+/// run_campaign_subset(cells, cfg, {0, 1, ..., cells.size()-1}).
+/// Precondition: cell_indices.size() == cells.size().
+CampaignResult run_campaign_subset(
+    const std::vector<CampaignCell>& cells, const CampaignConfig& config,
+    const std::vector<std::uint64_t>& cell_indices);
+
+/// Evaluate one stopping rule against a cell's current aggregates at the
+/// given confidence level (exposed for tests and the shard driver's
+/// reporting). Rules needing more data than the cell has yet (< 2 trials)
+/// report false; a LatencyQuantile rule with no samples reports true.
+bool stopping_rule_satisfied(const CellStats& stats, const StoppingRule& rule,
+                             double ci_level);
 
 /// Grid helper: the cross product (systems x plans), systems-major.
 std::vector<CampaignCell> cross(const std::vector<model::SystemKind>& systems,

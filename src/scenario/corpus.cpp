@@ -13,6 +13,7 @@ namespace fortress::scenario {
 namespace {
 
 using json::ParseError;
+using json::reemit;
 using json::Value;
 using json::Writer;
 
@@ -94,40 +95,11 @@ CorpusEntry corpus_entry_from_json(std::string_view text) {
   {
     // Re-encode just the plan subtree and strict-decode it through the plan
     // codec, so the plan object obeys exactly the plan_codec contract.
+    // Serialize the parsed subtree back to compact JSON for plan_from_json
+    // (json::reemit keeps number lexemes verbatim, so u64 fields never pass
+    // through a double on the wrapper->plan hop).
     Writer w(/*compact=*/true);
-    const Value& plan_v = root.required("plan", ctx);
-    // Serialize the parsed subtree back to compact JSON for plan_from_json.
-    // (A tiny re-emitter: corpus files are small, this is load-time only.)
-    struct Reemit {
-      static void emit(Writer& w, const Value& v) {
-        switch (v.kind()) {
-          case Value::Kind::Null: w.value_null(); break;
-          case Value::Kind::Bool: w.value(v.as_bool("")); break;
-          case Value::Kind::Number:
-            // Verbatim lexeme: u64 fields (keyspace, clients) must not pass
-            // through a double on the wrapper->plan hop.
-            w.value_raw_number(v.number_lexeme(""));
-            break;
-          case Value::Kind::String:
-            w.value(std::string_view(v.as_string("")));
-            break;
-          case Value::Kind::Array:
-            w.begin_array();
-            for (const Value& it : v.as_array("")) emit(w, it);
-            w.end_array();
-            break;
-          case Value::Kind::Object:
-            w.begin_object();
-            for (const auto& [k, m] : v.members("")) {
-              w.key(k);
-              emit(w, m);
-            }
-            w.end_object();
-            break;
-        }
-      }
-    };
-    Reemit::emit(w, plan_v);
+    reemit(w, root.required("plan", ctx));
     e.plan = plan_from_json(w.str());
   }
 

@@ -10,6 +10,7 @@
 
 #include "analysis/markov.hpp"
 #include "core/live_system.hpp"
+#include "exec/thread_pool.hpp"
 #include "replication/service.hpp"
 
 namespace fortress::scenario {
@@ -493,6 +494,92 @@ TEST(AdaptiveCampaignTest, FixedModeMatchesLegacySingleRound) {
   EXPECT_EQ(r.total_trials, 9u);
   EXPECT_EQ(r.cells[0].trials, 9u);
   EXPECT_EQ(r.cells[0].rounds, 1u);
+}
+
+TEST(AdaptiveCampaignTest, CapClosedCellStillReportsValidCI) {
+  // A cell that never meets its target closes at the cap — its reported CI
+  // must still be the real interval over everything it ran, not a stale or
+  // default one.
+  std::vector<CampaignCell> cells = {
+      {model::SystemKind::S1, fast_plan(512, 8.0, 0.5, 80)}};
+  CampaignConfig cfg;
+  cfg.base_seed = 13;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.round_trials = 4;
+  cfg.adaptive.target_rel_ci = 1e-9;
+  cfg.adaptive.abs_ci_floor = 1e-9;
+  cfg.adaptive.max_trials_per_cell = 12;
+  const CampaignResult r = run_campaign(cells, cfg);
+  const CellStats& c = r.cells[0];
+  EXPECT_EQ(c.trials, cfg.adaptive.max_trials_per_cell);
+  EXPECT_EQ(c.rounds, 3u);
+  EXPECT_GT(c.lifetime_ci.hi, c.lifetime_ci.lo);
+  // The interval is the one normal_ci computes over the final aggregates.
+  const ConfidenceInterval want = normal_ci(c.lifetime, cfg.ci_level);
+  EXPECT_EQ(c.lifetime_ci.lo, want.lo);
+  EXPECT_EQ(c.lifetime_ci.hi, want.hi);
+}
+
+TEST(AdaptiveCampaignTest, SingleTrialCellKeepsDefaultCI) {
+  // With a one-trial cap there is no variance to build an interval from:
+  // the cell must close at the cap with the default (zero-width, level
+  // 0.95) interval rather than a garbage one — and still count its round.
+  std::vector<CampaignCell> cells = {
+      {model::SystemKind::S1, fast_plan(64, 8.0, 0.5, 20)}};
+  CampaignConfig cfg;
+  cfg.base_seed = 3;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.round_trials = 1;
+  cfg.adaptive.max_trials_per_cell = 1;
+  const CampaignResult r = run_campaign(cells, cfg);
+  EXPECT_EQ(r.cells[0].trials, 1u);
+  EXPECT_EQ(r.cells[0].rounds, 1u);
+  EXPECT_EQ(r.cells[0].lifetime_ci.lo, 0.0);
+  EXPECT_EQ(r.cells[0].lifetime_ci.hi, 0.0);
+  EXPECT_EQ(r.cells[0].lifetime_ci.level, 0.95);
+}
+
+TEST(CampaignTest, NestedCampaignInsideForeignPoolBitIdentical) {
+  // A campaign launched from inside ANOTHER pool's parallel_chunks: the
+  // foreign pool's workers report their own slots, which can be >= the
+  // shared pool's slot_count, so the arena lookup's bounds check must send
+  // them down the fresh-stack path instead of out of bounds — with
+  // outcomes bit-identical to a top-level run. This is the nested shape a
+  // sweep-of-campaigns driver produces.
+  std::vector<CampaignCell> cells = {
+      {model::SystemKind::S1, fast_plan(64, 8.0, 0.5, 30)},
+      {model::SystemKind::S2, fast_plan(128, 8.0, 0.25, 30)}};
+  CampaignConfig cfg;
+  cfg.trials_per_cell = 4;
+  cfg.base_seed = 77;
+  cfg.threads = 2;
+  const CampaignResult want = run_campaign(cells, cfg);
+
+  // Strictly more slots than the shared pool: at least one worker's slot
+  // is out of range for the campaign's arena vector.
+  exec::ThreadPool foreign(exec::ThreadPool::shared().slot_count() + 2);
+  constexpr std::uint64_t kRuns = 4;
+  std::vector<CampaignResult> results(kRuns);
+  foreign.parallel_chunks(
+      kRuns, 1, 0, [&](std::uint64_t, std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          results[i] = run_campaign(cells, cfg);
+        }
+      });
+  for (std::uint64_t i = 0; i < kRuns; ++i) {
+    ASSERT_EQ(results[i].cells.size(), want.cells.size());
+    EXPECT_EQ(results[i].total_trials, want.total_trials);
+    EXPECT_EQ(results[i].total_events, want.total_events);
+    for (std::size_t c = 0; c < want.cells.size(); ++c) {
+      EXPECT_EQ(results[i].cells[c].compromised, want.cells[c].compromised);
+      EXPECT_EQ(results[i].cells[c].events_executed,
+                want.cells[c].events_executed);
+      EXPECT_EQ(results[i].cells[c].lifetime.mean(),
+                want.cells[c].lifetime.mean());
+      EXPECT_EQ(results[i].cells[c].lifetime.variance(),
+                want.cells[c].lifetime.variance());
+    }
+  }
 }
 
 TEST(CampaignTest, CrossIsSystemsMajor) {

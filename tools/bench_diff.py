@@ -170,13 +170,16 @@ def main(argv=None):
                     print(f"| {name} | {key} | {before} | {after} |")
 
     print()
+    # Report EVERY failure class before exiting: a run with both a
+    # regression and a missing entry must name the missing entry too, or
+    # the rename gets "fixed" invisibly while the regression is chased.
     if regressions:
         print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%}: {', '.join(regressions)}")
-        return 1
     if missing:
         print(f"FAIL: {len(missing)} baseline benchmark(s) missing from the "
               f"fresh run: {', '.join(missing)} (update bench/baseline.json)")
+    if regressions or missing:
         return 1
     print(f"OK: no benchmark regressed more than {args.threshold:.0%} "
           f"({len(base)} compared)")
